@@ -1,0 +1,275 @@
+//! BFS — breadth-first search (Polymer-style graph analytics).
+//!
+//! Level-synchronous BFS over an R-MAT graph. The *initial* port is the
+//! classic push traversal: threads scan the frontier in their vertex
+//! partition and write discovery levels into neighbors — which live
+//! anywhere, so the level array's few pages bounce between all nodes, and
+//! a global discovered-counter is bumped per discovery. The *optimized*
+//! port applies Polymer's NUMA treatment (§V-C "packed these data objects
+//! into a per-node data structure"): edges are pre-partitioned by
+//! *destination* so every level write is node-local, frontier knowledge is
+//! pulled read-only, and discovery counts are staged locally and merged
+//! once per level.
+//!
+//! Both traversals assign identical levels, so one reference checksum
+//! covers all variants.
+
+use crate::workloads::{rmat_graph, Csr};
+use crate::{migrate_home, migrate_worker, mix, run_cluster, AppParams, AppResult, Scale, Variant};
+
+/// Abstract ops per edge relaxation (pointer-chasing graph work is
+/// cache-hostile: several hundred ns per edge).
+const OPS_PER_EDGE: u64 = 600;
+/// Abstract ops per vertex scanned for frontier membership.
+const OPS_PER_VERTEX: u64 = 4;
+const MAX_LEVELS: usize = 48;
+const ROOT: usize = 0;
+
+struct Dims {
+    vertices: usize,
+    edges: usize,
+}
+
+fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Test => Dims {
+            vertices: 1 << 10,
+            edges: 1 << 11,
+        },
+        Scale::Evaluation => Dims {
+            vertices: 1 << 14,
+            // The paper's graph has fewer edges than vertices (67M/50M);
+            // keep a similar sparse ratio.
+            edges: (1 << 14) * 3 / 4,
+        },
+    }
+}
+
+fn sequential_levels(graph: &Csr) -> Vec<i32> {
+    let mut levels = vec![-1i32; graph.vertices()];
+    levels[ROOT] = 0;
+    let mut frontier = vec![ROOT];
+    let mut level = 0;
+    while !frontier.is_empty() && (level as usize) < MAX_LEVELS {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in graph.neighbors(v) {
+                if levels[u as usize] == -1 {
+                    levels[u as usize] = level + 1;
+                    next.push(u as usize);
+                }
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+    levels
+}
+
+fn checksum_levels(levels: &[i32]) -> u64 {
+    let mut sum = 0u64;
+    for l in levels {
+        sum = sum.wrapping_add(*l as i64 as u64);
+    }
+    mix(0xcbf29ce484222325, sum)
+}
+
+/// Runs BFS under the given parameters.
+pub fn run(params: &AppParams) -> AppResult {
+    let d = dims(params.scale);
+    let graph = rmat_graph(params.seed, d.vertices, d.edges);
+    let v_count = graph.vertices();
+    let threads = params.total_threads();
+    let optimized = params.variant == Variant::Optimized;
+    let per_worker = v_count.div_ceil(threads);
+
+    // Polymer-style preprocessing (host side, like Polymer's graph load):
+    // for the optimized variant, give each worker the edges whose
+    // *destination* falls in its partition.
+    let incoming: Vec<Vec<(u32, u32)>> = if optimized {
+        let mut per = vec![Vec::new(); threads];
+        for src in 0..v_count {
+            for &dst in graph.neighbors(src) {
+                let owner = (dst as usize / per_worker).min(threads - 1);
+                per[owner].push((src as u32, dst));
+            }
+        }
+        per
+    } else {
+        Vec::new()
+    };
+
+    let mut levels_handle = None;
+    let params2 = params.clone();
+    let report = run_cluster(params, |p| {
+        // Graph structure: read-only, replicates cleanly.
+        let offsets = p.alloc_vec::<u32>(v_count + 1, "csr_offsets");
+        offsets.init(p, &graph.offsets);
+        let targets = p.alloc_vec::<u32>(graph.edges().max(1), "csr_targets");
+        targets.init(p, &graph.targets);
+
+        let levels = if optimized {
+            p.alloc_vec_aligned::<i32>(v_count, "levels")
+        } else {
+            p.alloc_vec::<i32>(v_count, "levels")
+        };
+        let mut init_levels = vec![-1i32; v_count];
+        init_levels[ROOT] = 0;
+        levels.init(p, &init_levels);
+        levels_handle = Some(levels);
+
+        // Discovered-this-level counter: the initial port bumps it per
+        // discovery; the optimized port merges once per worker per level.
+        let discovered = if optimized {
+            p.alloc_cell_aligned::<u64>(0, "discovered_count")
+        } else {
+            p.alloc_cell_tagged::<u64>(0, "discovered_count")
+        };
+
+        let barrier = p.new_barrier(threads as u32, "level_barrier");
+        let graph_offsets = graph.offsets.clone();
+
+        #[allow(clippy::needless_range_loop)] // w also selects the partition
+        for w in 0..threads {
+            let params = params2.clone();
+            let my_incoming = if optimized {
+                incoming[w].clone()
+            } else {
+                Vec::new()
+            };
+            let offsets_host = graph_offsets.clone();
+            p.spawn(move |ctx| {
+                migrate_worker(ctx, &params, w);
+                let first = w * per_worker;
+                let last = ((w + 1) * per_worker).min(v_count);
+                let mut level_buf = vec![0i32; last.saturating_sub(first)];
+                let mut continue_search = true;
+                let mut level = 0i32;
+
+                while continue_search && (level as usize) < MAX_LEVELS {
+                    if optimized {
+                        // Pull along incoming edges: every write is local.
+                        ctx.set_site("bfs.pull_incoming");
+                        let mut local_discovered = 0u64;
+                        ctx.compute_ops(my_incoming.len() as u64 * 2);
+                        for &(src, dst) in &my_incoming {
+                            // Frontier test: read the source's level
+                            // (read-only replication of remote pages).
+                            if levels.get(ctx, src as usize) == level
+                                && levels.get(ctx, dst as usize) == -1
+                            {
+                                ctx.compute_ops(OPS_PER_EDGE);
+                                levels.set(ctx, dst as usize, level + 1);
+                                local_discovered += 1;
+                            }
+                        }
+                        if local_discovered > 0 {
+                            ctx.set_site("bfs.merge_discovered");
+                            discovered.rmw(ctx, |v| v + local_discovered);
+                        }
+                    } else {
+                        // Push from the frontier: writes scatter anywhere.
+                        ctx.set_site("bfs.scan_frontier");
+                        if first < last {
+                            levels.read_slice(ctx, first, &mut level_buf);
+                        }
+                        ctx.compute_ops((last - first) as u64 * OPS_PER_VERTEX);
+                        for v in first..last {
+                            if level_buf[v - first] != level {
+                                continue;
+                            }
+                            let lo = offsets_host[v] as usize;
+                            let hi = offsets_host[v + 1] as usize;
+                            for e in lo..hi {
+                                ctx.set_site("bfs.push_discover");
+                                let u = targets.get(ctx, e) as usize;
+                                ctx.compute_ops(OPS_PER_EDGE);
+                                if levels.get(ctx, u) == -1 {
+                                    levels.set(ctx, u, level + 1);
+                                    discovered.rmw(ctx, |c| c + 1);
+                                }
+                            }
+                        }
+                    }
+
+                    barrier.wait(ctx);
+                    let found = discovered.get(ctx);
+                    barrier.wait(ctx);
+                    if w == 0 {
+                        discovered.set(ctx, 0);
+                    }
+                    barrier.wait(ctx);
+                    continue_search = found > 0;
+                    level += 1;
+                }
+                migrate_home(ctx, &params);
+            });
+        }
+    });
+
+    let final_levels = levels_handle.expect("allocated").snapshot(&report);
+    AppResult {
+        name: "BFS",
+        params: params.clone(),
+        elapsed: report.virtual_time,
+        checksum: checksum_levels(&final_levels),
+        stats: report.stats,
+        report,
+    }
+}
+
+/// Sequential reference checksum.
+pub fn reference_checksum(params: &AppParams) -> u64 {
+    let d = dims(params.scale);
+    let graph = rmat_graph(params.seed, d.vertices, d.edges);
+    checksum_levels(&sequential_levels(&graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_bfs_levels_are_sane() {
+        let graph = rmat_graph(42, 256, 512);
+        let levels = sequential_levels(&graph);
+        assert_eq!(levels[ROOT], 0);
+        // Level of every reachable vertex is 1 + level of some neighbor.
+        for v in 0..graph.vertices() {
+            if levels[v] > 0 {
+                assert!(graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| levels[u as usize] == levels[v] - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn initial_matches_reference() {
+        let params = AppParams::test(2, Variant::Initial);
+        assert_eq!(run(&params).checksum, reference_checksum(&params));
+    }
+
+    #[test]
+    fn optimized_matches_reference() {
+        let params = AppParams::test(2, Variant::Optimized);
+        assert_eq!(run(&params).checksum, reference_checksum(&params));
+    }
+
+    #[test]
+    fn optimized_localizes_writes() {
+        let mut ip = AppParams::new(2, Variant::Initial);
+        ip.threads_per_node = 4;
+        let mut op = AppParams::new(2, Variant::Optimized);
+        op.threads_per_node = 4;
+        let initial = run(&ip);
+        let optimized = run(&op);
+        assert!(
+            optimized.stats.invalidations < initial.stats.invalidations,
+            "optimized {} vs initial {}",
+            optimized.stats.invalidations,
+            initial.stats.invalidations
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! EP — embarrassingly parallel (NPB).
+//!
+//! Generates pseudo-random pairs, classifies them into annulus buckets,
+//! and reduces per-thread tallies at the end. EP has a single OpenMP
+//! parallel region and essentially no sharing, which is why it scaled on
+//! DEX without any optimization (§V-B): the only shared state is the
+//! per-thread result slot written once at the very end.
+
+use dex_sim::SimRng;
+
+use crate::{migrate_home, migrate_worker, mix, run_cluster, AppParams, AppResult, Scale, Variant};
+
+const BUCKETS: usize = 10;
+/// Abstract ops per sample: NPB EP generates a gaussian pair per sample
+/// (two uniforms, log, sqrt, squares) — about half a microsecond of real
+/// work at the 0.5 ns/op model.
+const OPS_PER_SAMPLE: u64 = 1_000;
+
+fn samples(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 1 << 16,
+        Scale::Evaluation => 1 << 21,
+    }
+}
+
+/// Classifies deterministic sample `i`: returns `Some(bucket)` when the
+/// pair falls inside the unit disk.
+fn classify(seed: u64, i: u64) -> Option<usize> {
+    let mut rng = SimRng::new(seed ^ i.wrapping_mul(0x9E3779B97F4A7C15));
+    let x = rng.gen_f64() * 2.0 - 1.0;
+    let y = rng.gen_f64() * 2.0 - 1.0;
+    let r2 = x * x + y * y;
+    if r2 <= 1.0 {
+        Some(((r2 * BUCKETS as f64) as usize).min(BUCKETS - 1))
+    } else {
+        None
+    }
+}
+
+fn tally_range(seed: u64, first: u64, last: u64) -> [u64; BUCKETS] {
+    let mut q = [0u64; BUCKETS];
+    for i in first..last {
+        if let Some(b) = classify(seed, i) {
+            q[b] += 1;
+        }
+    }
+    q
+}
+
+/// Runs EP under the given parameters.
+pub fn run(params: &AppParams) -> AppResult {
+    let n = samples(params.scale) as u64;
+    let threads = params.total_threads();
+    let optimized = params.variant == Variant::Optimized;
+    let seed = params.seed;
+
+    let mut slots_handle = None;
+    let params2 = params.clone();
+    let report = run_cluster(params, |p| {
+        // Per-thread result slots: written once at the end of the single
+        // parallel region. Initial packs them (harmless — one write
+        // each); optimized aligns them anyway.
+        let slots = if optimized {
+            p.alloc_vec_aligned::<u64>(threads * BUCKETS, "thread_results")
+        } else {
+            p.alloc_vec::<u64>(threads * BUCKETS, "thread_results")
+        };
+        slots_handle = Some(slots);
+
+        let per_worker = n.div_ceil(threads as u64);
+        for w in 0..threads {
+            let params = params2.clone();
+            p.spawn(move |ctx| {
+                migrate_worker(ctx, &params, w);
+                ctx.set_site("ep.sample_loop");
+                let first = w as u64 * per_worker;
+                let last = (first + per_worker).min(n);
+                // Chunked so virtual compute time interleaves with other
+                // threads, as a real core would.
+                let mut q = [0u64; BUCKETS];
+                let chunk = 1u64 << 14;
+                let mut i = first;
+                while i < last {
+                    let hi = (i + chunk).min(last);
+                    let t = tally_range(seed, i, hi);
+                    for (acc, v) in q.iter_mut().zip(t.iter()) {
+                        *acc += v;
+                    }
+                    ctx.compute_ops((hi - i) * OPS_PER_SAMPLE);
+                    i = hi;
+                }
+                ctx.set_site("ep.write_results");
+                slots.write_slice(ctx, w * BUCKETS, &q);
+                migrate_home(ctx, &params);
+            });
+        }
+    });
+
+    let all = slots_handle.expect("allocated").snapshot(&report);
+    let mut totals = [0u64; BUCKETS];
+    for w in 0..threads {
+        for b in 0..BUCKETS {
+            totals[b] += all[w * BUCKETS + b];
+        }
+    }
+    let mut checksum = 0xcbf29ce484222325;
+    for t in totals {
+        checksum = mix(checksum, t);
+    }
+    AppResult {
+        name: "EP",
+        params: params.clone(),
+        elapsed: report.virtual_time,
+        checksum,
+        stats: report.stats,
+        report,
+    }
+}
+
+/// Sequential reference checksum.
+pub fn reference_checksum(params: &AppParams) -> u64 {
+    let totals = tally_range(params.seed, 0, samples(params.scale) as u64);
+    let mut checksum = 0xcbf29ce484222325;
+    for t in totals {
+        checksum = mix(checksum, t);
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_is_deterministic() {
+        for i in 0..100 {
+            assert_eq!(classify(42, i), classify(42, i));
+        }
+    }
+
+    #[test]
+    fn tallies_partition_cleanly() {
+        let whole = tally_range(7, 0, 10_000);
+        let mut split = [0u64; BUCKETS];
+        for start in (0..10_000).step_by(1_237) {
+            let part = tally_range(7, start, (start + 1_237).min(10_000));
+            for (a, b) in split.iter_mut().zip(part.iter()) {
+                *a += b;
+            }
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn about_three_quarters_land_inside() {
+        let q = tally_range(3, 0, 20_000);
+        let inside: u64 = q.iter().sum();
+        let ratio = inside as f64 / 20_000.0;
+        // π/4 ≈ 0.785.
+        assert!((0.76..0.81).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn initial_matches_reference() {
+        let params = AppParams::test(2, Variant::Initial);
+        assert_eq!(run(&params).checksum, reference_checksum(&params));
+    }
+
+    #[test]
+    fn scales_with_nodes_even_unoptimized() {
+        let one = run(&AppParams::new(1, Variant::Initial));
+        let two = run(&AppParams::new(2, Variant::Initial));
+        let speedup = one.elapsed.as_secs_f64() / two.elapsed.as_secs_f64();
+        assert!(speedup > 1.5, "EP speedup 1→2 nodes: {speedup:.2}");
+    }
+}

@@ -1,0 +1,206 @@
+//! FT — 3-D FFT (NPB), modeled as its dominant communication pattern.
+//!
+//! NPB FT alternates local butterfly computation with a matrix transpose —
+//! an **all-to-all** exchange in which every node needs a slice of every
+//! other node's partition, every iteration. That exchange is the reason
+//! FT stayed below single-machine performance on DEX even after
+//! optimization (§V-B/§V-C): no layout fix removes inherent all-to-all
+//! traffic.
+//!
+//! The model keeps exact integer arithmetic (scramble + transpose per
+//! iteration) so the distributed result is checkable bit-for-bit. The
+//! OpenMP regions are mapped to barrier-separated phases of persistent
+//! workers (fork-join per region with re-migration would let migration
+//! overhead dominate at this reduced scale; see DESIGN.md).
+
+use crate::{migrate_home, migrate_worker, mix, run_cluster, AppParams, AppResult, Scale, Variant};
+
+/// Abstract ops per element per compute phase (butterfly stand-in —
+/// several complex multiply-adds per element per 1-D FFT pass).
+const OPS_PER_ELEMENT: u64 = 300;
+
+struct Dims {
+    /// The grid is `side × side` `u64`s.
+    side: usize,
+    iters: usize,
+}
+
+fn dims(scale: Scale) -> Dims {
+    match scale {
+        Scale::Test => Dims { side: 64, iters: 2 },
+        Scale::Evaluation => Dims { side: 192, iters: 3 },
+    }
+}
+
+fn initial_grid(seed: u64, side: usize) -> Vec<u64> {
+    let mut rng = dex_sim::SimRng::new(seed ^ 0x4654);
+    (0..side * side).map(|_| rng.next_u64()).collect()
+}
+
+/// The per-element "butterfly" transform (exact integer math).
+fn scramble(v: u64, iter: u64) -> u64 {
+    v.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407 ^ iter)
+        .rotate_left(17)
+}
+
+/// Runs FT under the given parameters.
+pub fn run(params: &AppParams) -> AppResult {
+    let d = dims(params.scale);
+    let side = d.side;
+    let grid0 = initial_grid(params.seed, side);
+    let threads = params.total_threads();
+    let optimized = params.variant == Variant::Optimized;
+
+    let mut handles = None;
+    let params2 = params.clone();
+    let report = run_cluster(params, |p| {
+        // Two grids, double-buffered across the transpose. Optimized:
+        // page-aligned (partition boundaries stop sharing pages).
+        let (a, b) = if optimized {
+            (
+                p.alloc_vec_aligned::<u64>(side * side, "grid_a"),
+                p.alloc_vec_aligned::<u64>(side * side, "grid_b"),
+            )
+        } else {
+            (
+                p.alloc_vec::<u64>(side * side, "grid_a"),
+                p.alloc_vec::<u64>(side * side, "grid_b"),
+            )
+        };
+        a.init(p, &grid0);
+        handles = Some((a, b));
+
+        let barrier = p.new_barrier(threads as u32, "phase_barrier");
+        let rows_per_worker = side.div_ceil(threads);
+
+        for w in 0..threads {
+            let params = params2.clone();
+            p.spawn(move |ctx| {
+                migrate_worker(ctx, &params, w);
+                // Trailing workers may get an empty partition when the
+                // grid does not divide evenly; they still join barriers.
+                let first_row = (w * rows_per_worker).min(side);
+                let last_row = ((w + 1) * rows_per_worker).min(side);
+                let mut row = vec![0u64; side];
+
+                for iter in 0..d.iters {
+                    let (from, to) = if iter % 2 == 0 { (a, b) } else { (b, a) };
+
+                    // Compute phase: scramble this worker's rows in place.
+                    ctx.set_site("ft.butterfly");
+                    for r in first_row..last_row {
+                        from.read_slice(ctx, r * side, &mut row);
+                        for v in row.iter_mut() {
+                            *v = scramble(*v, iter as u64);
+                        }
+                        from.write_slice(ctx, r * side, &row);
+                        ctx.compute_ops(side as u64 * OPS_PER_ELEMENT);
+                    }
+                    barrier.wait(ctx);
+
+                    // Transpose phase (pull): to fill its own rows of the
+                    // destination, the worker reads a column slice of
+                    // *every* source row — the all-to-all.
+                    ctx.set_site("ft.transpose");
+                    let my_rows = last_row - first_row;
+                    let mut stage = vec![0u64; my_rows * side];
+                    let mut col_slice = vec![0u64; my_rows];
+                    for src_row in 0..side {
+                        // dst[first_row + k][src_row] = from[src_row][first_row + k]
+                        from.read_slice(ctx, src_row * side + first_row, &mut col_slice);
+                        for (k, v) in col_slice.iter().enumerate() {
+                            stage[k * side + src_row] = *v;
+                        }
+                    }
+                    ctx.compute_ops((my_rows * side) as u64 * 2);
+                    for k in 0..my_rows {
+                        to.write_slice(
+                            ctx,
+                            (first_row + k) * side,
+                            &stage[k * side..(k + 1) * side],
+                        );
+                    }
+                    barrier.wait(ctx);
+                }
+                migrate_home(ctx, &params);
+            });
+        }
+    });
+
+    let (a, b) = handles.expect("allocated");
+    let final_grid = if d.iters.is_multiple_of(2) { a } else { b };
+    let values = final_grid.snapshot(&report);
+    let mut sum = 0u64;
+    for v in &values {
+        sum = sum.wrapping_add(*v);
+    }
+    let checksum = mix(0xcbf29ce484222325, sum);
+    AppResult {
+        name: "FT",
+        params: params.clone(),
+        elapsed: report.virtual_time,
+        checksum,
+        stats: report.stats,
+        report,
+    }
+}
+
+/// Sequential reference checksum.
+pub fn reference_checksum(params: &AppParams) -> u64 {
+    let d = dims(params.scale);
+    let side = d.side;
+    let mut src = initial_grid(params.seed, side);
+    let mut dst = vec![0u64; side * side];
+    for iter in 0..d.iters {
+        for v in src.iter_mut() {
+            *v = scramble(*v, iter as u64);
+        }
+        for r in 0..side {
+            for c in 0..side {
+                dst[c * side + r] = src[r * side + c];
+            }
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    let mut sum = 0u64;
+    for v in &src {
+        sum = sum.wrapping_add(*v);
+    }
+    mix(0xcbf29ce484222325, sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scramble_is_deterministic_and_iter_sensitive() {
+        assert_eq!(scramble(7, 0), scramble(7, 0));
+        assert_ne!(scramble(7, 0), scramble(7, 1));
+    }
+
+    #[test]
+    fn initial_matches_reference() {
+        let params = AppParams::test(2, Variant::Initial);
+        assert_eq!(run(&params).checksum, reference_checksum(&params));
+    }
+
+    #[test]
+    fn optimized_matches_reference() {
+        let params = AppParams::test(2, Variant::Optimized);
+        assert_eq!(run(&params).checksum, reference_checksum(&params));
+    }
+
+    #[test]
+    fn all_to_all_traffic_grows_with_nodes() {
+        let two = run(&AppParams::test(2, Variant::Optimized));
+        let four = run(&AppParams::test(4, Variant::Optimized));
+        assert!(
+            four.stats.pages_sent > two.stats.pages_sent,
+            "transpose traffic should grow: {} vs {}",
+            four.stats.pages_sent,
+            two.stats.pages_sent
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Criterion bench wrapping reduced versions of the paper-figure
+//! harnesses, so `cargo bench` exercises every experiment end to end
+//! (the full tables come from the `dex-bench` binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_apps::{run_app, AppParams, Variant};
+
+fn figure_harnesses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig_tables");
+    group.sample_size(10);
+
+    // Figure 2, one representative cell per regime.
+    for (app, nodes, variant) in [
+        ("EP", 2, Variant::Initial),      // scale-ready
+        ("KMN", 2, Variant::Optimized),   // optimized to scale
+        ("FT", 2, Variant::Optimized),    // communication-bound
+        ("BP", 2, Variant::Initial),      // bandwidth-bound
+    ] {
+        group.bench_function(format!("fig2_{app}_{nodes}n_{variant}"), |b| {
+            b.iter(|| {
+                let mut params = AppParams::test(nodes, variant);
+                params.threads_per_node = 4;
+                run_app(app, &params).elapsed
+            })
+        });
+    }
+
+    // Table II / Figure 3: migration microbenchmark.
+    group.bench_function("table2_migration_microbench", |b| {
+        b.iter(|| {
+            let cluster = dex_core::Cluster::new(dex_core::ClusterConfig::new(2));
+            let report = cluster.run(|p| {
+                p.spawn(|ctx| {
+                    for _ in 0..5 {
+                        ctx.migrate(1).expect("node 1");
+                        ctx.migrate_back().expect("origin");
+                    }
+                });
+            });
+            assert_eq!(report.migrations.len(), 10);
+            report.virtual_time
+        })
+    });
+
+    // §V-D: fault-cost microbenchmark.
+    group.bench_function("pgfault_microbench", |b| {
+        b.iter(|| {
+            let cluster = dex_core::Cluster::new(dex_core::ClusterConfig::new(2));
+            let report = cluster.run(|p| {
+                let cell = p.alloc_cell::<u64>(0);
+                for node in 0..2u16 {
+                    p.spawn(move |ctx| {
+                        ctx.migrate(node).expect("node exists");
+                        for _ in 0..200 {
+                            cell.rmw(ctx, |v| v + 1);
+                            ctx.compute_ops(2_000);
+                        }
+                    });
+                }
+            });
+            report.fault_hist.mean()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, figure_harnesses);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench: host-side throughput of the simulated fabric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_net::{Fabric, NetConfig, NodeId, WireMessage};
+use dex_sim::Engine;
+
+struct Ping(u64);
+
+impl WireMessage for Ping {
+    fn control_bytes(&self) -> usize {
+        16
+    }
+}
+
+struct Page;
+
+impl WireMessage for Page {
+    fn control_bytes(&self) -> usize {
+        16
+    }
+    fn page_bytes(&self) -> usize {
+        4096
+    }
+}
+
+fn messaging(c: &mut Criterion) {
+    c.bench_function("simulate_2000_control_messages", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let fabric = Fabric::<Ping>::new(NetConfig::default(), 2);
+            let tx = fabric.endpoint(NodeId(0));
+            let rx = fabric.endpoint(NodeId(1));
+            engine.spawn("tx", move |ctx| {
+                for i in 0..2000 {
+                    tx.send(ctx, NodeId(1), Ping(i));
+                }
+            });
+            engine.spawn("rx", move |ctx| {
+                for _ in 0..2000 {
+                    rx.recv(ctx).expect("open");
+                }
+            });
+            engine.run().expect("no deadlock")
+        })
+    });
+
+    c.bench_function("simulate_500_page_transfers", |b| {
+        b.iter(|| {
+            let engine = Engine::new();
+            let fabric = Fabric::<Page>::new(NetConfig::default(), 2);
+            let tx = fabric.endpoint(NodeId(0));
+            let rx = fabric.endpoint(NodeId(1));
+            engine.spawn("tx", move |ctx| {
+                for _ in 0..500 {
+                    tx.send(ctx, NodeId(1), Page);
+                }
+            });
+            engine.spawn("rx", move |ctx| {
+                for _ in 0..500 {
+                    rx.recv(ctx).expect("open");
+                }
+            });
+            engine.run().expect("no deadlock")
+        })
+    });
+}
+
+criterion_group!(benches, messaging);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: host-side cost of simulating thread migrations.
+//!
+//! Measures how fast the DES executes migration round trips — the
+//! simulator's own performance, not the modeled latency (that is Table
+//! II's job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_core::{Cluster, ClusterConfig};
+
+fn migration_roundtrips(c: &mut Criterion) {
+    c.bench_function("simulate_20_migration_roundtrips", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(2));
+            let report = cluster.run(|p| {
+                p.spawn(|ctx| {
+                    for _ in 0..20 {
+                        ctx.migrate(1).expect("node 1");
+                        ctx.migrate_back().expect("origin");
+                    }
+                });
+            });
+            assert_eq!(report.stats.forward_migrations, 20);
+            report.virtual_time
+        })
+    });
+
+    c.bench_function("simulate_fanout_migration_8_nodes", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(8));
+            let report = cluster.run(|p| {
+                for t in 0..16u16 {
+                    p.spawn(move |ctx| {
+                        ctx.migrate(1 + t % 7).expect("node exists");
+                        ctx.compute_ops(1_000);
+                        ctx.migrate_back().expect("origin");
+                    });
+                }
+            });
+            assert_eq!(report.stats.forward_migrations, 16);
+            report.virtual_time
+        })
+    });
+}
+
+criterion_group!(benches, migration_roundtrips);
+criterion_main!(benches);

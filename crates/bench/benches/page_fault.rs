@@ -1,0 +1,52 @@
+//! Criterion bench: host-side throughput of the fault/consistency path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_core::{Cluster, ClusterConfig};
+
+fn fault_paths(c: &mut Criterion) {
+    c.bench_function("simulate_200_pingpong_faults", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(2));
+            let report = cluster.run(|p| {
+                let cell = p.alloc_cell::<u64>(0);
+                let round = p.new_barrier(2, "round");
+                for node in 0..2u16 {
+                    p.spawn(move |ctx| {
+                        ctx.migrate(node).expect("node exists");
+                        for _ in 0..100 {
+                            // Barrier-paced rounds force an ownership
+                            // transfer per update on each side.
+                            cell.rmw(ctx, |v| v + 1);
+                            round.wait(ctx);
+                        }
+                    });
+                }
+            });
+            assert!(report.stats.total_faults() > 50);
+            report.virtual_time
+        })
+    });
+
+    c.bench_function("simulate_read_replication_512_pages", |b| {
+        b.iter(|| {
+            let cluster = Cluster::new(ClusterConfig::new(4));
+            let report = cluster.run(|p| {
+                let data = p.alloc_vec::<u64>(512 * 512, "bulk");
+                for node in 1..4u16 {
+                    p.spawn(move |ctx| {
+                        ctx.migrate(node).expect("node exists");
+                        let mut buf = vec![0u64; 512];
+                        for page in 0..512 {
+                            data.read_slice(ctx, page * 512, &mut buf);
+                        }
+                    });
+                }
+            });
+            assert!(report.stats.read_faults >= 512);
+            report.virtual_time
+        })
+    });
+}
+
+criterion_group!(benches, fault_paths);
+criterion_main!(benches);

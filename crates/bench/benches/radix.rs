@@ -1,0 +1,55 @@
+//! Criterion bench: the ownership-directory radix tree against the
+//! standard-library BTreeMap on page-number-shaped keys.
+
+use std::collections::BTreeMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dex_os::RadixTree;
+
+fn keys() -> Vec<u64> {
+    // Page numbers of a 64 MiB heap starting at 0x1000_0000, plus sparse
+    // stack/TLS pages — the shape the directory actually indexes.
+    let mut keys: Vec<u64> = (0x10000..0x14000u64).collect();
+    keys.extend((0..64).map(|i| 0x7_f000_0000 / 4096 + i * 16));
+    keys
+}
+
+fn radix_vs_btree(c: &mut Criterion) {
+    let keys = keys();
+
+    c.bench_function("radix_insert_get_16k_pages", |b| {
+        b.iter(|| {
+            let mut tree = RadixTree::new();
+            for &k in &keys {
+                tree.insert(k, k);
+            }
+            let mut sum = 0u64;
+            for &k in &keys {
+                sum = sum.wrapping_add(*tree.get(k).expect("present"));
+            }
+            sum
+        })
+    });
+
+    c.bench_function("btree_insert_get_16k_pages", |b| {
+        b.iter(|| {
+            let mut tree = BTreeMap::new();
+            for &k in &keys {
+                tree.insert(k, k);
+            }
+            let mut sum = 0u64;
+            for &k in &keys {
+                sum = sum.wrapping_add(*tree.get(&k).expect("present"));
+            }
+            sum
+        })
+    });
+
+    c.bench_function("radix_iter_16k_pages", |b| {
+        let tree: RadixTree<u64> = keys.iter().map(|&k| (k, k)).collect();
+        b.iter(|| tree.iter().map(|(_, v)| *v).sum::<u64>())
+    });
+}
+
+criterion_group!(benches, radix_vs_btree);
+criterion_main!(benches);

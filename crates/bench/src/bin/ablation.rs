@@ -1,0 +1,185 @@
+//! Ablation studies of DEX's design choices.
+//!
+//! Three decisions the paper argues for are toggled here:
+//!
+//! 1. **Leader–follower fault coalescing** (§III-C) — without it, every
+//!    thread faulting on a hot page runs the full protocol itself.
+//! 2. **Hybrid RDMA (sink + copy)** (§III-E) — against per-page memory-
+//!    region registration and plain VERB sends for page data.
+//! 3. **False-sharing optimization** (§IV) — the initial→optimized delta
+//!    on the two applications the paper optimizes in most detail.
+
+use dex_apps::{run_app, AppParams, Variant};
+use dex_bench::render_table;
+use dex_core::{Cluster, ClusterConfig, CostModel};
+use dex_net::{NetConfig, RdmaStrategy};
+use dex_sim::SimDuration;
+
+/// Hot-page microbenchmark: `threads` threads on one remote node all read
+/// a freshly-written page repeatedly.
+fn coalescing_run(coalesce: bool) -> (SimDuration, u64) {
+    let cost = CostModel {
+        coalesce_faults: coalesce,
+        ..CostModel::default()
+    };
+    let cluster = Cluster::new(ClusterConfig::new(2).with_cost(cost));
+    let report = cluster.run(|p| {
+        let data = p.alloc_vec_aligned::<u64>(512, "hot_page");
+        let barrier = p.new_barrier(9, "round");
+        // A writer at the origin dirties the page each round...
+        p.spawn(move |ctx| {
+            for round in 0..50u64 {
+                data.set(ctx, 0, round);
+                barrier.wait(ctx);
+                barrier.wait(ctx);
+            }
+        });
+        // ...and eight remote threads all fault on it at once.
+        for t in 0..8 {
+            p.spawn(move |ctx| {
+                ctx.migrate(1).expect("node 1 exists");
+                for round in 0..50u64 {
+                    barrier.wait(ctx);
+                    let v = data.get(ctx, t % 512);
+                    assert!(v <= round + 1);
+                    barrier.wait(ctx);
+                }
+            });
+        }
+    });
+    (report.virtual_time, report.stats.total_faults())
+}
+
+/// Page-streaming microbenchmark for RDMA strategies: seven remote nodes
+/// all pull 512 pages from the origin concurrently, so sender-side CPU
+/// occupancy (the cost RDMA offloads) shows up as origin-handler
+/// serialization.
+fn rdma_run(strategy: RdmaStrategy) -> SimDuration {
+    let net = NetConfig {
+        rdma_strategy: strategy,
+        ..NetConfig::default()
+    };
+    let cluster = Cluster::new(ClusterConfig::new(8).with_net(net));
+    let report = cluster.run(|p| {
+        let data = p.alloc_vec::<u64>(512 * 512, "bulk"); // 512 pages
+        for node in 1..8u16 {
+            p.spawn(move |ctx| {
+                ctx.migrate(node).expect("node exists");
+                let mut buf = vec![0u64; 512];
+                for page in 0..512 {
+                    data.read_slice(ctx, page * 512, &mut buf);
+                }
+            });
+        }
+    });
+    report.virtual_time
+}
+
+fn main() {
+    println!("Ablation 1: leader-follower fault coalescing (8 threads, hot page)\n");
+    let (t_on, faults_on) = coalescing_run(true);
+    let (t_off, faults_off) = coalescing_run(false);
+    println!(
+        "{}",
+        render_table(
+            &["coalescing", "virtual time", "protocol faults"],
+            &[
+                vec!["on (DEX)".into(), format!("{t_on}"), faults_on.to_string()],
+                vec!["off".into(), format!("{t_off}"), faults_off.to_string()],
+            ]
+        )
+    );
+    assert!(
+        faults_on < faults_off,
+        "coalescing must absorb duplicate faults: {faults_on} vs {faults_off}"
+    );
+
+    println!("\nAblation 2: page-transfer strategy (512-page remote stream)\n");
+    let sink = rdma_run(RdmaStrategy::SinkCopy);
+    let reg = rdma_run(RdmaStrategy::PerPageRegistration);
+    let verb = rdma_run(RdmaStrategy::VerbOnly);
+    println!(
+        "{}",
+        render_table(
+            &["strategy", "virtual time"],
+            &[
+                vec!["RDMA sink + copy (DEX)".into(), format!("{sink}")],
+                vec!["per-page MR registration".into(), format!("{reg}")],
+                vec!["VERB only".into(), format!("{verb}")],
+            ]
+        )
+    );
+    assert!(
+        sink < reg,
+        "the hybrid must beat per-page registration: {sink} vs {reg}"
+    );
+    assert!(
+        sink < verb,
+        "the hybrid must beat VERB under concurrency: {sink} vs {verb}"
+    );
+
+    println!("\nAblation 3: false-sharing optimization delta (4 nodes)\n");
+    let mut rows = Vec::new();
+    for app in ["GRP", "KMN"] {
+        let base = run_app(app, &AppParams::new(1, Variant::Baseline))
+            .elapsed
+            .as_secs_f64();
+        let initial = run_app(app, &AppParams::new(4, Variant::Initial));
+        let optimized = run_app(app, &AppParams::new(4, Variant::Optimized));
+        rows.push(vec![
+            app.to_string(),
+            format!("{:.2}x", base / initial.elapsed.as_secs_f64()),
+            format!("{:.2}x", base / optimized.elapsed.as_secs_f64()),
+            initial.stats.write_faults.to_string(),
+            optimized.stats.write_faults.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["app", "initial speedup", "optimized speedup", "initial wf", "optimized wf"],
+            &rows
+        )
+    );
+    println!("\nAblation 4: zero-page grant optimization (first-touch writes)\n");
+    let (t_zp_off, pages_off) = zero_page_run(false);
+    let (t_zp_on, pages_on) = zero_page_run(true);
+    println!(
+        "{}",
+        render_table(
+            &["zero-page optimization", "virtual time", "page payloads sent"],
+            &[
+                vec!["off (stock kernel)".into(), format!("{t_zp_off}"), pages_off.to_string()],
+                vec!["on".into(), format!("{t_zp_on}"), pages_on.to_string()],
+            ]
+        )
+    );
+    assert!(
+        pages_on < pages_off / 4,
+        "zero-page grants avoid the transfers: {pages_on} vs {pages_off}"
+    );
+    assert!(t_zp_on < t_zp_off);
+
+    println!("\nall ablation shape checks passed");
+}
+
+/// First-touch write microbenchmark: a remote thread writes 256 fresh
+/// pages the origin never materialized.
+fn zero_page_run(enabled: bool) -> (SimDuration, u64) {
+    let cost = CostModel {
+        zero_page_optimization: enabled,
+        ..CostModel::default()
+    };
+    let cluster = Cluster::new(ClusterConfig::new(2).with_cost(cost));
+    let report = cluster.run(|p| {
+        let data = p.alloc_vec::<u64>(256 * 512, "fresh");
+        p.spawn(move |ctx| {
+            ctx.migrate(1).expect("node 1 exists");
+            let chunk = vec![7u64; 512];
+            for page in 0..256 {
+                data.write_slice(ctx, page * 512, &chunk);
+            }
+        });
+    });
+    (report.virtual_time, report.stats.pages_sent)
+}

@@ -1,0 +1,84 @@
+//! §V-B first paragraph — inherent scalability on a scale-up machine.
+//!
+//! The paper first checks that the applications are inherently scalable by
+//! running them on an 8-socket, 224-core Xeon Platinum box: completion
+//! time is inversely proportional to thread count. This harness models
+//! that machine (one node, 224 cores, proportionally larger memory
+//! bandwidth) and sweeps the thread count on an EP-style kernel.
+
+use dex_apps::{run_app_with_config, AppParams, Variant};
+use dex_bench::render_table;
+use dex_core::{Cluster, ClusterConfig, CostModel};
+
+fn main() {
+    let total_ops: u64 = 200_000_000;
+    println!("Scale-up baseline: one 224-core machine, {total_ops} total ops\n");
+
+    let mut rows = Vec::new();
+    let mut first_time = None;
+    for threads in [1usize, 2, 4, 8, 16, 32, 64] {
+        let cost = CostModel {
+            cores_per_node: 224,
+            // Xeon Platinum 8180 x8: ~6x the memory bandwidth of the
+            // rack nodes.
+            mem_bandwidth_bytes_per_sec: 120_000_000_000,
+            ..CostModel::default()
+        };
+        let config = ClusterConfig::new(1).with_cost(cost);
+        let cluster = Cluster::new(config);
+        let report = cluster.run(|p| {
+            let ops_per_thread = total_ops / threads as u64;
+            for t in 0..threads {
+                let _ = t;
+                p.spawn(move |ctx| {
+                    // Chunked compute, like a real parallel kernel.
+                    for _ in 0..64 {
+                        ctx.compute_ops(ops_per_thread / 64);
+                    }
+                });
+            }
+        });
+        let secs = report.virtual_time.as_secs_f64();
+        let t1 = *first_time.get_or_insert(secs);
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{:.2}", secs * 1e3),
+            format!("{:.2}", t1 / secs),
+            format!("{:.2}", t1 / secs / threads as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["threads", "time(ms)", "speedup", "efficiency"], &rows)
+    );
+
+    // The same sweep on a real application (EP, unmodified, one node).
+    println!("\nEP (NPB) on the scale-up machine:\n");
+    let mut rows = Vec::new();
+    let mut first = None;
+    for threads in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut params = AppParams::new(1, Variant::Baseline);
+        params.threads_per_node = threads;
+        let cost = CostModel {
+            cores_per_node: 224,
+            mem_bandwidth_bytes_per_sec: 120_000_000_000,
+            ..CostModel::default()
+        };
+        let config = ClusterConfig::new(1).with_cost(cost);
+        let result = run_app_with_config("EP", &params, config);
+        let secs = result.elapsed.as_secs_f64();
+        let t1 = *first.get_or_insert(secs);
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{:.2}", secs * 1e3),
+            format!("{:.2}", t1 / secs),
+            format!("{:.2}", t1 / secs / threads as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["threads", "time(ms)", "speedup", "efficiency"], &rows)
+    );
+    println!("Paper: completion times were inversely proportional to thread");
+    println!("count for all applications, so the workloads are scale-ready.");
+}

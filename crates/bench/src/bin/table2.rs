@@ -1,0 +1,75 @@
+//! Table II — thread-migration latency in microseconds.
+//!
+//! Reproduces the paper's microbenchmark: a thread repeatedly migrates to
+//! a remote node and back; the table reports origin-side, remote-side, and
+//! total latency of the first and second forward and backward migrations.
+
+use dex_bench::render_table;
+use dex_core::{Cluster, ClusterConfig};
+
+fn main() {
+    let cluster = Cluster::new(ClusterConfig::new(2));
+    let report = cluster.run(|p| {
+        p.spawn(|ctx| {
+            for _ in 0..10 {
+                ctx.migrate(1).expect("node 1 exists");
+                ctx.migrate_back().expect("origin exists");
+            }
+        });
+    });
+
+    let fwd: Vec<_> = report.migrations.iter().filter(|m| m.forward).collect();
+    let bwd: Vec<_> = report.migrations.iter().filter(|m| !m.forward).collect();
+    assert!(fwd.len() >= 2 && bwd.len() >= 2, "microbenchmark ran");
+
+    let row = |label: &str, m: &dex_core::MigrationSample, paper: (f64, f64, f64)| {
+        vec![
+            label.to_string(),
+            format!("{:.1}", m.origin_side.as_micros_f64()),
+            format!("{:.1}", m.remote_side.as_micros_f64()),
+            format!("{:.1}", m.total.as_micros_f64()),
+            format!("{:.1}", paper.0),
+            format!("{:.1}", paper.1),
+            format!("{:.1}", paper.2),
+        ]
+    };
+
+    println!("Table II: migration latency (microseconds), 10 round trips\n");
+    let rows = vec![
+        // Paper: 1st fwd origin 12.1, remote 800.0, total 812.1;
+        //        2nd fwd origin 6.6, remote 230.0, total 236.6;
+        //        backward total 24.7.
+        row("forward 1st", fwd[0], (12.1, 800.0, 812.1)),
+        row("forward 2nd", fwd[1], (6.6, 230.0, 236.6)),
+        row("forward last", fwd[fwd.len() - 1], (6.6, 230.0, 236.6)),
+        row("backward 1st", bwd[0], (20.0, 3.0, 24.7)),
+        row("backward 2nd", bwd[1], (20.0, 3.0, 24.7)),
+    ];
+    println!(
+        "{}",
+        render_table(
+            &[
+                "migration",
+                "origin(us)",
+                "remote(us)",
+                "total(us)",
+                "paper-origin",
+                "paper-remote",
+                "paper-total"
+            ],
+            &rows
+        )
+    );
+
+    // Sanity: repeat migrations must be far cheaper than the first, and
+    // backward two orders below forward — the paper's two observations.
+    let t1 = fwd[0].total.as_micros_f64();
+    let t2 = fwd[1].total.as_micros_f64();
+    assert!(
+        (0.2..0.4).contains(&(t2 / t1)),
+        "2nd/1st forward ratio {:.2} (paper: 0.29)",
+        t2 / t1
+    );
+    assert!(bwd[0].total.as_micros_f64() < 40.0, "backward stays tens of us");
+    println!("\nshape checks passed: 2nd/1st forward = {:.2} (paper 0.29)", t2 / t1);
+}

@@ -1,0 +1,111 @@
+//! # dex-bench — experiment harnesses for the DEX reproduction
+//!
+//! One binary per table/figure of the paper:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig2`    | Figure 2 — scalability of the eight applications, 1→8 nodes, initial vs optimized |
+//! | `table1`  | Table I — lines changed to convert and optimize each application |
+//! | `table2`  | Table II — forward/backward migration latency, first vs repeat |
+//! | `fig3`    | Figure 3 — remote-side breakdown of migration latency |
+//! | `pgfault` | §V-D — bimodal page-fault handling cost microbenchmark |
+//! | `scaleup` | §V-B — inherent scalability on one large scale-up machine |
+//! | `ablation`| design-choice studies: leader–follower, RDMA strategy, optimization deltas |
+//!
+//! Run any of them with `cargo run -p dex-bench --release --bin <name>`.
+//! The `benches/` directory additionally holds criterion benchmarks of the
+//! simulator's host-side performance.
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+/// Formats a simple aligned text table: `header` row then `rows`, each a
+/// vector of cells. The first column is left-aligned, the rest right.
+///
+/// # Examples
+///
+/// ```
+/// let t = dex_bench::render_table(
+///     &["app", "x1", "x2"],
+///     &[vec!["GRP".into(), "1.00".into(), "1.52".into()]],
+/// );
+/// assert!(t.contains("GRP"));
+/// assert!(t.contains("x2"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, h) in header.iter().enumerate() {
+        if i == 0 {
+            let _ = write!(out, "{:<w$}", h, w = widths[i]);
+        } else {
+            let _ = write!(out, "  {:>w$}", h, w = widths[i]);
+        }
+    }
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+            } else {
+                let _ = write!(out, "  {:>w$}", cell, w = widths[i]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses `--flag value` style arguments from `std::env::args`.
+pub fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Returns `true` when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "v"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn arg_helpers_do_not_crash() {
+        assert_eq!(arg_value("--definitely-not-set"), None);
+        assert!(!arg_flag("--definitely-not-set"));
+    }
+}

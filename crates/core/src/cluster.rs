@@ -1,0 +1,518 @@
+//! The public entry point: build a cluster, run a distributed process.
+//!
+//! [`Cluster::run`] stands up the simulated rack (fabric, per-node
+//! dispatchers), creates one process at the origin node, hands the setup
+//! closure a [`DexProcess`] to allocate distributed memory and spawn
+//! threads, then drives the simulation to completion and returns a
+//! [`RunReport`] with timing, protocol statistics, migration samples, and
+//! (optionally) the page-fault trace.
+
+use std::sync::Arc;
+
+use dex_net::{NetConfig, NodeId};
+use dex_os::{Pid, VirtAddr, PAGE_SIZE};
+use dex_sim::{Engine, Histogram, SimDuration, SimTime};
+
+use crate::cost::CostModel;
+use crate::dispatch::{dispatcher_loop, ProcessRegistry};
+use crate::handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
+use crate::process::{MigrationSample, ProcessShared};
+use crate::sync::{new_barrier, new_condvar, new_mutex, new_rwlock, DexBarrier, DexCondvar, DexMutex, DexRwLock};
+use crate::thread::{DexThread, ThreadCtx};
+use crate::trace::{FaultEvent, TraceBuffer};
+
+/// Configuration of a simulated DEX cluster.
+///
+/// # Examples
+///
+/// ```
+/// use dex_core::{Cluster, ClusterConfig};
+///
+/// let config = ClusterConfig::new(8).with_trace();
+/// assert_eq!(config.nodes, 8);
+/// let cluster = Cluster::new(config);
+/// let report = cluster.run(|proc_| {
+///     proc_.spawn(|ctx| ctx.compute_ops(1_000));
+/// });
+/// assert!(report.virtual_time.as_micros_f64() > 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of nodes (the paper's testbed has 8).
+    pub nodes: usize,
+    /// Messaging-layer cost model.
+    pub net: NetConfig,
+    /// Kernel-path cost model.
+    pub cost: CostModel,
+    /// Collect the page-fault trace (profiling mode).
+    pub trace: bool,
+    /// Abort the run after this many simulation events (livelock guard).
+    pub event_budget: u64,
+    /// Pages in the process's shared heap VMA.
+    pub heap_pages: u64,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` nodes with the calibrated default cost models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or exceeds 64 (the ownership bitmap
+    /// width).
+    pub fn new(nodes: usize) -> Self {
+        assert!((1..=64).contains(&nodes), "cluster size must be 1..=64");
+        ClusterConfig {
+            nodes,
+            net: NetConfig::default(),
+            cost: CostModel::default(),
+            trace: false,
+            event_budget: u64::MAX,
+            heap_pages: 1 << 18, // 1 GiB of address space; frames on demand
+        }
+    }
+
+    /// Enables page-fault tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Replaces the network cost model.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replaces the kernel-path cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Caps the simulation event count.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+}
+
+/// A simulated DEX cluster, ready to run distributed processes.
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster from `config`.
+    pub fn new(config: ClusterConfig) -> Self {
+        Cluster { config }
+    }
+
+    /// The configuration this cluster was built with.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Runs one distributed process to completion.
+    ///
+    /// `setup` receives the process handle to allocate distributed memory
+    /// and spawn threads; it runs before virtual time starts. The report
+    /// is produced when every spawned thread has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks, exceeds its event budget, or an
+    /// application thread panics (e.g. a simulated segmentation fault).
+    pub fn run<F>(&self, setup: F) -> RunReport
+    where
+        F: FnOnce(&DexProcess<'_>),
+    {
+        self.run_multi(|cluster| {
+            let proc_ = cluster.create_process(NodeId(0));
+            setup(&proc_);
+        })
+        .into_iter()
+        .next()
+        .expect("run created one process")
+    }
+
+    /// Runs any number of distributed processes to completion — DEX
+    /// supports several processes sharing the rack, each with its own
+    /// origin node, address space, ownership directory, and futex table
+    /// (messages carry the pid throughout).
+    ///
+    /// Returns one report per created process, in creation order.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Cluster::run`]; additionally if `setup` creates no
+    /// process.
+    pub fn run_multi<F>(&self, setup: F) -> Vec<RunReport>
+    where
+        F: FnOnce(&ClusterHandle<'_>),
+    {
+        let cfg = &self.config;
+        let engine = Engine::with_event_budget(cfg.event_budget);
+        let fabric = crate::process::Fabric::new(cfg.net.clone(), cfg.nodes);
+        let registry = ProcessRegistry::new();
+
+        // One dispatcher daemon per node drains that node's inbox.
+        for n in 0..cfg.nodes {
+            let node = NodeId(n as u16);
+            let registry = Arc::clone(&registry);
+            let endpoint = fabric.endpoint(node);
+            engine.spawn_daemon(format!("dispatcher-{node}"), move |ctx| {
+                dispatcher_loop(ctx, node, registry, endpoint);
+            });
+        }
+
+        let handle = ClusterHandle {
+            engine: &engine,
+            fabric,
+            registry,
+            config: cfg,
+            created: std::cell::RefCell::new(Vec::new()),
+        };
+        setup(&handle);
+        let created = handle.created.into_inner();
+        assert!(!created.is_empty(), "setup must create at least one process");
+
+        let end: SimTime = match engine.run() {
+            Ok(end) => end,
+            Err(e) => panic!("dex simulation failed: {e}"),
+        };
+
+        created
+            .into_iter()
+            .map(|shared| {
+                let stats = DexStats::collect(&shared);
+                let fault_hist = shared.stats.fault_hist.clone();
+                let migrations = shared.stats.migrations.lock().clone();
+                let trace = shared.trace.snapshot();
+                RunReport {
+                    virtual_time: end.saturating_since(SimTime::ZERO),
+                    stats,
+                    fault_hist,
+                    migrations,
+                    trace,
+                    shared,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Handle for creating processes inside [`Cluster::run_multi`].
+pub struct ClusterHandle<'e> {
+    engine: &'e Engine,
+    fabric: Arc<crate::process::Fabric>,
+    registry: Arc<ProcessRegistry>,
+    config: &'e ClusterConfig,
+    created: std::cell::RefCell<Vec<Arc<ProcessShared>>>,
+}
+
+impl<'e> ClusterHandle<'e> {
+    /// Creates a new process whose threads originate at `origin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is outside the cluster.
+    pub fn create_process(&self, origin: NodeId) -> DexProcess<'e> {
+        assert!(
+            (origin.0 as usize) < self.config.nodes,
+            "origin {origin} outside the {}-node cluster",
+            self.config.nodes
+        );
+        let trace = if self.config.trace {
+            TraceBuffer::enabled()
+        } else {
+            TraceBuffer::disabled()
+        };
+        let pid = Pid(self.created.borrow().len() as u64 + 1);
+        let shared = ProcessShared::new(
+            pid,
+            origin,
+            self.config.nodes,
+            self.config.cost.clone(),
+            Arc::clone(&self.fabric),
+            trace,
+            self.config.heap_pages,
+        );
+        self.registry.insert(Arc::clone(&shared));
+        self.created.borrow_mut().push(Arc::clone(&shared));
+        DexProcess {
+            shared,
+            engine: self.engine,
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("processes", &self.created.borrow().len())
+            .finish()
+    }
+}
+
+/// Handle to the distributed process during setup: allocate memory, create
+/// synchronization primitives, spawn threads.
+pub struct DexProcess<'e> {
+    shared: Arc<ProcessShared>,
+    engine: &'e Engine,
+}
+
+impl ProcessRef for DexProcess<'_> {
+    fn shared_ref(&self) -> &ProcessShared {
+        &self.shared
+    }
+}
+
+impl DexProcess<'_> {
+    /// The shared process state (advanced use).
+    pub fn shared(&self) -> &Arc<ProcessShared> {
+        &self.shared
+    }
+
+    /// The origin node of the process.
+    pub fn origin(&self) -> NodeId {
+        self.shared.origin
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.shared.nodes
+    }
+
+    /// Spawns an application thread at the origin. The closure runs in
+    /// virtual time with a [`ThreadCtx`].
+    pub fn spawn<F>(&self, f: F) -> DexThread
+    where
+        F: FnOnce(&ThreadCtx<'_>) + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let tid = shared.new_tid();
+        let handle = DexThread::new();
+        let handle2 = handle.clone();
+        self.engine.spawn(format!("app-{tid}"), move |ctx| {
+            shared.adjust_load(shared.origin, 1);
+            let tctx = ThreadCtx::new(ctx, shared, tid);
+            f(&tctx);
+            tctx.process().adjust_load(tctx.node(), -1);
+            handle2.mark_done(ctx);
+        });
+        handle
+    }
+
+    /// Allocates a typed vector, packed at element alignment (objects
+    /// share pages — the paper's false-sharing hazard).
+    pub fn alloc_vec<T: DsmScalar>(&self, len: usize, tag: &str) -> DsmVec<T> {
+        let addr = self
+            .shared
+            .alloc_raw((len * T::BYTES) as u64, T::BYTES.next_power_of_two().min(4096) as u64, Some(tag));
+        DsmVec::from_raw(addr, len)
+    }
+
+    /// Allocates a typed vector aligned to a page boundary *and padded to
+    /// whole pages*, so no other object shares its pages (the
+    /// `posix_memalign`-plus-padding fix from §IV-B).
+    pub fn alloc_vec_aligned<T: DsmScalar>(&self, len: usize, tag: &str) -> DsmVec<T> {
+        let bytes = ((len * T::BYTES) as u64).div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        let addr = self
+            .shared
+            .alloc_raw(bytes.max(PAGE_SIZE as u64), PAGE_SIZE as u64, Some(tag));
+        DsmVec::from_raw(addr, len)
+    }
+
+    /// Allocates and initializes a single cell (packed).
+    pub fn alloc_cell<T: DsmScalar>(&self, init: T) -> DsmCell<T> {
+        self.alloc_cell_tagged(init, "cell")
+    }
+
+    /// Allocates and initializes a tagged cell (packed).
+    pub fn alloc_cell_tagged<T: DsmScalar>(&self, init: T, tag: &str) -> DsmCell<T> {
+        let addr = self
+            .shared
+            .alloc_raw(T::BYTES as u64, T::BYTES.next_power_of_two().min(4096) as u64, Some(tag));
+        let cell = DsmCell::from_raw(addr);
+        cell.init(self, init);
+        cell
+    }
+
+    /// Allocates and initializes a cell on its own *whole* page (padded,
+    /// so nothing else ever shares it).
+    pub fn alloc_cell_aligned<T: DsmScalar>(&self, init: T, tag: &str) -> DsmCell<T> {
+        let addr = self
+            .shared
+            .alloc_raw(PAGE_SIZE as u64, PAGE_SIZE as u64, Some(tag));
+        let cell = DsmCell::from_raw(addr);
+        cell.init(self, init);
+        cell
+    }
+
+    /// Allocates a row-major 2-D matrix, packed.
+    pub fn alloc_matrix<T: DsmScalar>(&self, rows: usize, cols: usize, tag: &str) -> DsmMatrix<T> {
+        let addr = self.shared.alloc_raw(
+            (rows * cols * T::BYTES) as u64,
+            T::BYTES.next_power_of_two().min(4096) as u64,
+            Some(tag),
+        );
+        DsmMatrix::from_raw(addr, rows, cols, cols)
+    }
+
+    /// Allocates a 2-D matrix with every row padded to whole pages, so
+    /// row partitions never share pages across workers (the grid layout
+    /// BT/FT-style applications want after optimization).
+    pub fn alloc_matrix_row_aligned<T: DsmScalar>(
+        &self,
+        rows: usize,
+        cols: usize,
+        tag: &str,
+    ) -> DsmMatrix<T> {
+        let row_bytes = (cols * T::BYTES).div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let stride = row_bytes / T::BYTES;
+        let addr = self
+            .shared
+            .alloc_raw((rows * row_bytes) as u64, PAGE_SIZE as u64, Some(tag));
+        DsmMatrix::from_raw(addr, rows, cols, stride)
+    }
+
+    /// Allocates raw bytes (packed by default; pass `PAGE_SIZE` alignment
+    /// to isolate).
+    pub fn alloc_raw(&self, len: u64, align: u64, tag: &str) -> VirtAddr {
+        self.shared.alloc_raw(len, align, Some(tag))
+    }
+
+    /// Creates a cluster-wide mutex.
+    pub fn new_mutex(&self, tag: &str) -> DexMutex {
+        new_mutex(self, tag)
+    }
+
+    /// Creates a cluster-wide barrier for `parties` threads.
+    pub fn new_barrier(&self, parties: u32, tag: &str) -> DexBarrier {
+        new_barrier(self, parties, tag)
+    }
+
+    /// Creates a cluster-wide condition variable.
+    pub fn new_condvar(&self, tag: &str) -> DexCondvar {
+        new_condvar(self, tag)
+    }
+
+    /// Creates a cluster-wide readers-writer lock.
+    pub fn new_rwlock(&self, tag: &str) -> DexRwLock {
+        new_rwlock(self, tag)
+    }
+}
+
+impl std::fmt::Debug for DexProcess<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DexProcess")
+            .field("pid", &self.shared.pid)
+            .finish()
+    }
+}
+
+/// Aggregate protocol statistics of one run (friendly snapshot of the raw
+/// counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DexStats {
+    /// Forward thread migrations.
+    pub forward_migrations: u64,
+    /// Backward thread migrations.
+    pub backward_migrations: u64,
+    /// Read faults entering the protocol.
+    pub read_faults: u64,
+    /// Write faults entering the protocol.
+    pub write_faults: u64,
+    /// Faults absorbed as followers by leader–follower coalescing.
+    pub coalesced_faults: u64,
+    /// Fault rounds retried after conflicting transactions.
+    pub retried_faults: u64,
+    /// Ownership revocations applied.
+    pub invalidations: u64,
+    /// On-demand VMA pulls.
+    pub vma_syncs: u64,
+    /// Eager VMA broadcasts (munmap/mprotect downgrades).
+    pub vma_broadcasts: u64,
+    /// Operations delegated to original threads.
+    pub delegations: u64,
+    /// Futex wait operations.
+    pub futex_waits: u64,
+    /// Futex wake operations.
+    pub futex_wakes: u64,
+    /// Messages sent on the fabric.
+    pub msgs_sent: u64,
+    /// Page payloads sent on the fabric.
+    pub pages_sent: u64,
+    /// Total bytes sent on the fabric.
+    pub bytes_sent: u64,
+}
+
+impl DexStats {
+    fn collect(shared: &ProcessShared) -> Self {
+        let c = &shared.stats.counters;
+        let n = shared.fabric.counters();
+        DexStats {
+            forward_migrations: c.get("migrations.forward"),
+            backward_migrations: c.get("migrations.backward"),
+            read_faults: c.get("faults.read"),
+            write_faults: c.get("faults.write"),
+            coalesced_faults: c.get("faults.coalesced"),
+            retried_faults: c.get("faults.retried"),
+            invalidations: c.get("protocol.invalidations"),
+            vma_syncs: c.get("vma.syncs"),
+            vma_broadcasts: c.get("vma.broadcasts"),
+            delegations: c.get("delegations"),
+            futex_waits: c.get("futex.waits"),
+            futex_wakes: c.get("futex.wakes"),
+            msgs_sent: n.get("msgs.sent"),
+            pages_sent: n.get("pages.sent"),
+            bytes_sent: n.get("bytes.sent"),
+        }
+    }
+
+    /// Total faults that entered the protocol (reads + writes).
+    pub fn total_faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+}
+
+/// Everything a completed run reports.
+pub struct RunReport {
+    /// Total virtual time the run took.
+    pub virtual_time: SimDuration,
+    /// Aggregate protocol statistics.
+    pub stats: DexStats,
+    /// Distribution of protocol-fault handling latencies.
+    pub fault_hist: Histogram,
+    /// Per-migration timing samples (Table II / Figure 3 inputs).
+    pub migrations: Vec<MigrationSample>,
+    /// The page-fault trace (empty unless tracing was enabled).
+    pub trace: Vec<FaultEvent>,
+    shared: Arc<ProcessShared>,
+}
+
+impl ProcessRef for RunReport {
+    fn shared_ref(&self) -> &ProcessShared {
+        &self.shared
+    }
+}
+
+impl RunReport {
+    /// The shared process state, for reading final memory contents via
+    /// [`DsmVec::snapshot`] / [`DsmCell::snapshot`].
+    pub fn process(&self) -> &Arc<ProcessShared> {
+        &self.shared
+    }
+}
+
+impl std::fmt::Debug for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("virtual_time", &self.virtual_time)
+            .field("stats", &self.stats)
+            .field("migrations", &self.migrations.len())
+            .field("trace_events", &self.trace.len())
+            .finish()
+    }
+}

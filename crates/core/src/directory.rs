@@ -1,0 +1,743 @@
+//! The origin-side ownership directory (§III-B).
+//!
+//! DEX tracks the location of up-to-date pages by maintaining per-page,
+//! per-node ownership at the origin, indexed by a radix tree keyed on the
+//! virtual page number. The model is multiple-reader / single-writer with
+//! read-replicate / write-invalidate transitions:
+//!
+//! * initially the origin exclusively owns every page;
+//! * a read request adds the requester to the owner set (replication),
+//!   flushing the current exclusive writer first if there is one;
+//! * a write request revokes every other owner and grants exclusivity,
+//!   skipping the data transfer when the requester's copy is already up to
+//!   date;
+//! * a request against a page with an in-flight transaction is told to
+//!   retry (the slow mode of the paper's bimodal fault cost).
+//!
+//! This module is *pure protocol logic*: methods consume a request and
+//! return the [`DirAction`]s the caller must perform (send messages,
+//! change the origin's own PTE, install staged data). That keeps the state
+//! machine unit-testable without the simulator, and the invariants
+//! machine-checkable (see the property tests).
+
+use dex_net::NodeId;
+use dex_os::{Access, RadixTree, Vpn};
+
+/// A compact set of node ids (the cluster is rack-scale: ≤ 64 nodes).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    pub const EMPTY: NodeSet = NodeSet(0);
+
+    /// A set containing only `node`.
+    pub fn single(node: NodeId) -> Self {
+        let mut s = NodeSet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// Adds `node`.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.0 < 64, "NodeSet supports up to 64 nodes");
+        self.0 |= 1 << node.0;
+    }
+
+    /// Removes `node`.
+    pub fn remove(&mut self, node: NodeId) {
+        self.0 &= !(1 << node.0.min(63));
+    }
+
+    /// Membership test.
+    pub fn contains(self, node: NodeId) -> bool {
+        node.0 < 64 && self.0 & (1 << node.0) != 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in ascending node order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(NodeId)
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = NodeSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Who is waiting for a page-request to complete.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Requester {
+    /// A remote node's thread; the grant travels over the fabric.
+    Remote {
+        /// The requesting node.
+        node: NodeId,
+        /// Correlation id of its request.
+        req_id: u64,
+    },
+    /// A thread at the origin itself; the grant is delivered locally.
+    Local {
+        /// Correlation id of the origin-local waiter.
+        req_id: u64,
+    },
+}
+
+impl Requester {
+    /// The node the requester runs on.
+    pub fn node(self, origin: NodeId) -> NodeId {
+        match self {
+            Requester::Remote { node, .. } => node,
+            Requester::Local { .. } => origin,
+        }
+    }
+}
+
+/// An action the caller must carry out after a directory transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DirAction {
+    /// Grant the request: set the requester's PTE (and ship origin frame
+    /// contents when `with_data`).
+    Grant {
+        /// Who to grant.
+        to: Requester,
+        /// The access granted.
+        access: Access,
+        /// Whether page contents accompany the grant.
+        with_data: bool,
+    },
+    /// Tell the requester to back off and retry.
+    Retry {
+        /// Who to tell.
+        to: Requester,
+    },
+    /// Ask `to` (the current exclusive writer) to downgrade to shared and
+    /// return the page contents.
+    SendFlush {
+        /// The writer node.
+        to: NodeId,
+    },
+    /// Revoke `to`'s copy; `needs_data` when it holds the only up-to-date
+    /// one.
+    SendInvalidate {
+        /// The owner being revoked.
+        to: NodeId,
+        /// Whether the revoked node must ship contents back.
+        needs_data: bool,
+    },
+    /// The origin loses its own mapping (clear PTE; keep the stale frame).
+    ClearOriginPte,
+    /// The origin's exclusive mapping becomes shared (writable bit off).
+    DowngradeOriginPte,
+    /// The origin (re)gains a shared mapping of the page.
+    SetOriginPteRo,
+    /// Staged page contents (from a flush or a data-carrying invalidation
+    /// ack) must be installed into the origin's frame.
+    InstallOriginData,
+}
+
+/// The state the directory keeps per page.
+#[derive(Clone, Debug)]
+struct PageInfo {
+    /// Nodes holding a valid copy.
+    owners: NodeSet,
+    /// The exclusive writer, if any (then `owners == {writer}`).
+    writer: Option<NodeId>,
+    /// In-flight revocation/flush transaction.
+    txn: Option<Txn>,
+}
+
+#[derive(Clone, Debug)]
+struct Txn {
+    access: Access,
+    requester: Requester,
+    pending: NodeSet,
+    /// Requester already held a valid copy (skip the data transfer).
+    requester_had_copy: bool,
+}
+
+/// Statistics the directory maintains about its own activity.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct DirStats {
+    /// Requests answered without any remote revocation.
+    pub inline_grants: u64,
+    /// Requests that opened a flush/invalidate transaction.
+    pub transactions: u64,
+    /// Requests refused with a retry.
+    pub retries: u64,
+    /// Invalidation messages requested.
+    pub invalidations: u64,
+    /// Flush messages requested.
+    pub flushes: u64,
+    /// Grants that skipped the data transfer.
+    pub data_skips: u64,
+}
+
+/// The per-process ownership directory living at the origin.
+///
+/// # Examples
+///
+/// ```
+/// use dex_core::{DirAction, Directory, Requester};
+/// use dex_net::NodeId;
+/// use dex_os::{Access, Vpn};
+///
+/// let origin = NodeId(0);
+/// let mut dir = Directory::new(origin);
+/// // Node 1 read-faults on a fresh page: the origin owns it, so the
+/// // grant is inline and carries data.
+/// let actions = dir.request(
+///     Vpn::new(5),
+///     Access::Read,
+///     Requester::Remote { node: NodeId(1), req_id: 9 },
+/// );
+/// assert!(actions.contains(&DirAction::Grant {
+///     to: Requester::Remote { node: NodeId(1), req_id: 9 },
+///     access: Access::Read,
+///     with_data: true,
+/// }));
+/// ```
+#[derive(Debug)]
+pub struct Directory {
+    origin: NodeId,
+    pages: RadixTree<PageInfo>,
+    stats: DirStats,
+}
+
+impl Directory {
+    /// Creates the directory; every page starts exclusively owned by the
+    /// origin.
+    pub fn new(origin: NodeId) -> Self {
+        Directory {
+            origin,
+            pages: RadixTree::new(),
+            stats: DirStats::default(),
+        }
+    }
+
+    /// Activity statistics.
+    pub fn stats(&self) -> DirStats {
+        self.stats
+    }
+
+    /// Number of pages with directory state (touched by the protocol).
+    pub fn tracked_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The node holding `vpn` exclusively, if any (the origin for pages
+    /// the protocol never touched). Used by computation-placement
+    /// policies ("relocating the computation near data", §VII).
+    pub fn current_writer(&self, vpn: Vpn) -> Option<NodeId> {
+        match self.pages.get(vpn.index()) {
+            Some(info) => info.writer,
+            None => Some(self.origin),
+        }
+    }
+
+    /// The nodes holding a valid copy of `vpn`.
+    pub fn owners(&self, vpn: Vpn) -> NodeSet {
+        match self.pages.get(vpn.index()) {
+            Some(info) => info.owners,
+            None => NodeSet::single(self.origin),
+        }
+    }
+
+    fn info(&mut self, vpn: Vpn) -> &mut PageInfo {
+        let origin = self.origin;
+        self.pages.get_or_insert_with(vpn.index(), || PageInfo {
+            owners: NodeSet::single(origin),
+            writer: Some(origin),
+            txn: None,
+        })
+    }
+
+    /// Handles a page request, returning the actions to perform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a local requester claims a remote node (caller bug).
+    pub fn request(&mut self, vpn: Vpn, access: Access, requester: Requester) -> Vec<DirAction> {
+        let origin = self.origin;
+        let node = requester.node(origin);
+        let info = self.info(vpn);
+
+        if info.txn.is_some() {
+            self.stats.retries += 1;
+            return vec![DirAction::Retry { to: requester }];
+        }
+
+        let mut actions = Vec::new();
+        match access {
+            Access::Read => {
+                match info.writer {
+                    Some(w) if w == node => {
+                        // Degenerate: requester is already the writer.
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: false,
+                        });
+                    }
+                    Some(w) if w == origin => {
+                        // The origin holds the page exclusively: downgrade
+                        // our own PTE and replicate to the reader.
+                        info.writer = None;
+                        info.owners.insert(node);
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::DowngradeOriginPte);
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: !matches!(requester, Requester::Local { .. }),
+                        });
+                    }
+                    Some(w) => {
+                        // A remote node writes the page: flush it first.
+                        info.txn = Some(Txn {
+                            access,
+                            requester,
+                            pending: NodeSet::single(w),
+                            requester_had_copy: false,
+                        });
+                        self.stats.transactions += 1;
+                        self.stats.flushes += 1;
+                        actions.push(DirAction::SendFlush { to: w });
+                    }
+                    None => {
+                        // Shared readers; the origin always retains a copy
+                        // in this state (protocol invariant).
+                        debug_assert!(info.owners.contains(origin));
+                        info.owners.insert(node);
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: !matches!(requester, Requester::Local { .. }),
+                        });
+                    }
+                }
+            }
+            Access::Write => {
+                if info.writer == Some(node) {
+                    self.stats.inline_grants += 1;
+                    return vec![DirAction::Grant {
+                        to: requester,
+                        access,
+                        with_data: false,
+                    }];
+                }
+                let had_copy = info.owners.contains(node);
+                let mut pending = NodeSet::EMPTY;
+                let mut invalidations_sent = 0u64;
+                for owner in info.owners.iter() {
+                    if owner == node {
+                        continue;
+                    }
+                    if owner == origin {
+                        // Revoke our own mapping synchronously.
+                        actions.push(DirAction::ClearOriginPte);
+                        info.owners.remove(origin);
+                    } else {
+                        let needs_data = info.writer == Some(owner);
+                        actions.push(DirAction::SendInvalidate {
+                            to: owner,
+                            needs_data,
+                        });
+                        pending.insert(owner);
+                        invalidations_sent += 1;
+                    }
+                }
+                let inline = pending.is_empty();
+                if inline {
+                    info.owners = NodeSet::single(node);
+                    info.writer = Some(node);
+                    let with_data = !had_copy && !matches!(requester, Requester::Local { .. });
+                    actions.push(DirAction::Grant {
+                        to: requester,
+                        access,
+                        with_data,
+                    });
+                } else {
+                    info.txn = Some(Txn {
+                        access,
+                        requester,
+                        pending,
+                        requester_had_copy: had_copy,
+                    });
+                }
+                self.stats.invalidations += invalidations_sent;
+                if inline {
+                    self.stats.inline_grants += 1;
+                    if had_copy {
+                        self.stats.data_skips += 1;
+                    }
+                } else {
+                    self.stats.transactions += 1;
+                }
+            }
+        }
+        actions
+    }
+
+    /// Handles the writer's flush acknowledgment for `vpn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no flush transaction is in flight for `vpn` (protocol
+    /// violation).
+    pub fn flush_ack(&mut self, vpn: Vpn, from: NodeId) -> Vec<DirAction> {
+        let origin = self.origin;
+        let info = self
+            .pages
+            .get_mut(vpn.index())
+            .expect("flush ack for untracked page");
+        let txn = info.txn.take().expect("flush ack without transaction");
+        assert_eq!(txn.access, Access::Read, "flush acks resolve read requests");
+        assert!(txn.pending.contains(from), "flush ack from unexpected node");
+
+        // The writer downgraded to shared; the origin installs the data
+        // and keeps a read replica; the requester joins the reader set.
+        info.writer = None;
+        info.owners.insert(origin);
+        info.owners.insert(txn.requester.node(origin));
+        vec![
+            DirAction::InstallOriginData,
+            DirAction::SetOriginPteRo,
+            DirAction::Grant {
+                to: txn.requester,
+                access: Access::Read,
+                with_data: !matches!(txn.requester, Requester::Local { .. }),
+            },
+        ]
+    }
+
+    /// Handles an invalidation acknowledgment. Returns the completion
+    /// actions once the last pending ack arrives (empty before that).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no invalidation transaction is in flight for `vpn`.
+    pub fn invalidate_ack(&mut self, vpn: Vpn, from: NodeId, carried_data: bool) -> Vec<DirAction> {
+        let origin = self.origin;
+        let info = self
+            .pages
+            .get_mut(vpn.index())
+            .expect("invalidate ack for untracked page");
+        let txn = info.txn.as_mut().expect("invalidate ack without transaction");
+        assert!(
+            txn.pending.contains(from),
+            "invalidate ack from unexpected node"
+        );
+        txn.pending.remove(from);
+
+        let mut actions = Vec::new();
+        if carried_data {
+            // The revoked writer shipped the only up-to-date copy; stage
+            // it in the origin frame so the grant can source from it.
+            actions.push(DirAction::InstallOriginData);
+        }
+        if !txn.pending.is_empty() {
+            return actions;
+        }
+        let txn = info.txn.take().expect("still present");
+        let node = txn.requester.node(origin);
+        info.owners = NodeSet::single(node);
+        info.writer = Some(node);
+        let with_data = !txn.requester_had_copy && !matches!(txn.requester, Requester::Local { .. });
+        if txn.requester_had_copy {
+            self.stats.data_skips += 1;
+        }
+        actions.push(DirAction::Grant {
+            to: txn.requester,
+            access: Access::Write,
+            with_data,
+        });
+        actions
+    }
+
+    /// Drops directory state for unmapped pages, returning per-node
+    /// invalidations the caller must broadcast (without data — the pages
+    /// are dead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of the pages has an in-flight transaction (callers
+    /// must not unmap pages being actively negotiated).
+    pub fn drop_pages(&mut self, pages: &[Vpn]) -> Vec<(NodeId, Vpn)> {
+        let mut revokes = Vec::new();
+        for &vpn in pages {
+            if let Some(info) = self.pages.get(vpn.index()) {
+                assert!(
+                    info.txn.is_none(),
+                    "unmapping page {vpn} with an in-flight transaction"
+                );
+                for owner in info.owners.iter() {
+                    if owner != self.origin {
+                        revokes.push((owner, vpn));
+                    }
+                }
+                self.pages.remove(vpn.index());
+            }
+        }
+        revokes
+    }
+
+    /// Validates the protocol invariants for every tracked page; used by
+    /// tests. Returns a description of the first violation.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (key, info) in self.pages.iter() {
+            match info.writer {
+                Some(w) => {
+                    if info.txn.is_none() && (info.owners.len() != 1 || !info.owners.contains(w)) {
+                        return Err(format!(
+                            "page {key:#x}: writer {w} but owners {:?}",
+                            info.owners
+                        ));
+                    }
+                }
+                None => {
+                    if info.txn.is_none() && !info.owners.contains(self.origin) {
+                        return Err(format!(
+                            "page {key:#x}: shared state without origin copy: {:?}",
+                            info.owners
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: NodeId = NodeId(0);
+
+    fn remote(node: u16, req: u64) -> Requester {
+        Requester::Remote {
+            node: NodeId(node),
+            req_id: req,
+        }
+    }
+
+    fn grant_of(actions: &[DirAction]) -> Option<(Requester, Access, bool)> {
+        actions.iter().find_map(|a| match a {
+            DirAction::Grant {
+                to,
+                access,
+                with_data,
+            } => Some((*to, *access, *with_data)),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn first_read_from_remote_is_inline_with_data() {
+        let mut dir = Directory::new(O);
+        let actions = dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        // Origin was exclusive writer: it downgrades itself and grants.
+        assert!(actions.contains(&DirAction::DowngradeOriginPte));
+        assert_eq!(
+            grant_of(&actions),
+            Some((remote(1, 1), Access::Read, true))
+        );
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_replicate() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        let actions = dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        assert_eq!(
+            grant_of(&actions),
+            Some((remote(2, 2), Access::Read, true))
+        );
+        assert_eq!(actions.len(), 1, "second reader needs no PTE change at origin");
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_revokes_all_readers() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(3, 3));
+        // Readers 1 and 2 and the origin itself all lose their copies.
+        assert!(actions.contains(&DirAction::SendInvalidate {
+            to: NodeId(1),
+            needs_data: false
+        }));
+        assert!(actions.contains(&DirAction::SendInvalidate {
+            to: NodeId(2),
+            needs_data: false
+        }));
+        assert!(actions.contains(&DirAction::ClearOriginPte));
+        assert!(grant_of(&actions).is_none(), "grant waits for acks");
+
+        // Acks complete the transaction; data comes from the origin frame.
+        assert_eq!(dir.invalidate_ack(Vpn::new(1), NodeId(1), false), vec![]);
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(2), false);
+        assert_eq!(
+            grant_of(&done),
+            Some((remote(3, 3), Access::Write, true))
+        );
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_by_existing_reader_skips_data_transfer() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(1, 3));
+        assert!(grant_of(&actions).is_none());
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(2), false);
+        // Node 1 already had the up-to-date copy: no data transfer.
+        assert_eq!(
+            grant_of(&done),
+            Some((remote(1, 3), Access::Write, false))
+        );
+        assert_eq!(dir.stats().data_skips, 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn read_of_remote_written_page_flushes() {
+        let mut dir = Directory::new(O);
+        // Node 1 takes the page exclusively.
+        let a = dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        assert!(a.contains(&DirAction::ClearOriginPte));
+        assert_eq!(grant_of(&a), Some((remote(1, 1), Access::Write, true)));
+
+        // Node 2 reads: writer must flush first.
+        let b = dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        assert_eq!(b, vec![DirAction::SendFlush { to: NodeId(1) }]);
+
+        let done = dir.flush_ack(Vpn::new(1), NodeId(1));
+        assert!(done.contains(&DirAction::InstallOriginData));
+        assert!(done.contains(&DirAction::SetOriginPteRo));
+        assert_eq!(grant_of(&done), Some((remote(2, 2), Access::Read, true)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn conflicting_request_during_transaction_retries() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        dir.request(Vpn::new(1), Access::Read, remote(2, 2)); // opens flush txn
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(3, 3));
+        assert_eq!(actions, vec![DirAction::Retry { to: remote(3, 3) }]);
+        assert_eq!(dir.stats().retries, 1);
+    }
+
+    #[test]
+    fn writer_to_writer_handoff_ships_data_via_origin() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(2, 2));
+        // Node 1 is the writer and must return the contents.
+        assert_eq!(
+            actions,
+            vec![DirAction::SendInvalidate {
+                to: NodeId(1),
+                needs_data: true
+            }]
+        );
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(1), true);
+        assert!(done.contains(&DirAction::InstallOriginData));
+        assert_eq!(grant_of(&done), Some((remote(2, 2), Access::Write, true)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn local_write_fault_revokes_remote_writer() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        let local = Requester::Local { req_id: 42 };
+        let actions = dir.request(Vpn::new(1), Access::Write, local);
+        assert_eq!(
+            actions,
+            vec![DirAction::SendInvalidate {
+                to: NodeId(1),
+                needs_data: true
+            }]
+        );
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(1), true);
+        assert!(done.contains(&DirAction::InstallOriginData));
+        // Local grants never carry data over the wire.
+        assert_eq!(grant_of(&done), Some((local, Access::Write, false)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn local_read_fault_after_remote_write_flushes() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        let local = Requester::Local { req_id: 7 };
+        let actions = dir.request(Vpn::new(1), Access::Read, local);
+        assert_eq!(actions, vec![DirAction::SendFlush { to: NodeId(1) }]);
+        let done = dir.flush_ack(Vpn::new(1), NodeId(1));
+        assert_eq!(grant_of(&done), Some((local, Access::Read, false)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn untouched_pages_cost_no_directory_state() {
+        let mut dir = Directory::new(O);
+        assert_eq!(dir.tracked_pages(), 0);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        assert_eq!(dir.tracked_pages(), 1);
+    }
+
+    #[test]
+    fn drop_pages_revokes_remote_copies() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        dir.request(Vpn::new(2), Access::Write, remote(2, 2));
+        let revokes = dir.drop_pages(&[Vpn::new(1), Vpn::new(2), Vpn::new(3)]);
+        assert!(revokes.contains(&(NodeId(1), Vpn::new(1))));
+        assert!(revokes.contains(&(NodeId(2), Vpn::new(2))));
+        assert_eq!(revokes.len(), 2);
+        assert_eq!(dir.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn nodeset_operations() {
+        let mut s = NodeSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(NodeId(3));
+        s.insert(NodeId(0));
+        s.insert(NodeId(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId(0)));
+        assert!(!s.contains(NodeId(1)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![NodeId(0), NodeId(3)]);
+        s.remove(NodeId(0));
+        assert_eq!(s, NodeSet::single(NodeId(3)));
+    }
+}

@@ -1,0 +1,582 @@
+//! Per-node message dispatchers and remote workers.
+//!
+//! Each node runs one dispatcher daemon that drains the node's fabric
+//! inbox and handles DEX protocol messages: it is the simulated analogue
+//! of the kernel message-handler context. The dispatcher never blocks on
+//! another node — requests that need remote acknowledgments are turned
+//! into directory transactions that later acks complete — so the protocol
+//! cannot deadlock across dispatchers.
+//!
+//! The first migration of a process onto a node also creates the
+//! *remote worker* (§III-A): a per-process daemon that applies node-wide
+//! operations (eager VMA updates) in its own context.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_net::NodeId;
+use dex_os::{Access, PageFrame, Pid, Pte, Tid, Vpn, PAGE_SIZE};
+use dex_sim::{SimChannel, SimCtx, SimDuration};
+
+use crate::directory::DirAction;
+use crate::msg::{DexMsg, MigrationPhases, VmaOp};
+use crate::process::{DelegationJob, ProcessShared, Reply};
+use crate::trace::{FaultEvent, FaultKind};
+
+/// The cluster-level registry the dispatchers consult to find process
+/// state by pid.
+#[derive(Default)]
+pub(crate) struct ProcessRegistry {
+    processes: Mutex<Vec<(Pid, Arc<ProcessShared>)>>,
+}
+
+impl ProcessRegistry {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub(crate) fn insert(&self, shared: Arc<ProcessShared>) {
+        self.processes.lock().push((shared.pid, shared));
+    }
+
+    pub(crate) fn get(&self, pid: Pid) -> Arc<ProcessShared> {
+        self.processes
+            .lock()
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, s)| Arc::clone(s))
+            .unwrap_or_else(|| panic!("message for unknown process {pid}"))
+    }
+}
+
+/// Runs the dispatcher loop for `node`. Spawned as a daemon by the
+/// cluster; exits when the engine drains.
+pub(crate) fn dispatcher_loop(
+    ctx: &SimCtx,
+    node: NodeId,
+    registry: Arc<ProcessRegistry>,
+    endpoint: crate::process::Endpoint,
+) {
+    while let Some(delivery) = endpoint.recv(ctx) {
+        let from = delivery.src;
+        match delivery.msg {
+            DexMsg::PageRequest {
+                pid,
+                vpn,
+                access,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                handle_page_request(ctx, &shared, &endpoint, from, vpn, access, req_id);
+            }
+            DexMsg::PageGrant {
+                pid,
+                vpn,
+                access,
+                data,
+                retry,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                handle_page_grant(ctx, &shared, node, vpn, access, data, retry, req_id);
+            }
+            DexMsg::Invalidate {
+                pid,
+                vpn,
+                needs_data,
+            } => {
+                let shared = registry.get(pid);
+                handle_invalidate(ctx, &shared, &endpoint, node, from, vpn, needs_data);
+            }
+            DexMsg::InvalidateAck { pid, vpn, data } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                let actions = shared.directory.lock().invalidate_ack(vpn, from, data.is_some());
+                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, data);
+            }
+            DexMsg::Flush { pid, vpn } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                let data = {
+                    let mut space = shared.space(node).lock();
+                    space.page_table.downgrade(vpn);
+                    space
+                        .frame(vpn)
+                        .cloned()
+                        .unwrap_or_else(PageFrame::zeroed)
+                };
+                endpoint.send(ctx, from, DexMsg::FlushAck { pid, vpn, data });
+            }
+            DexMsg::FlushAck { pid, vpn, data } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                let actions = shared.directory.lock().flush_ack(vpn, from);
+                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, Some(data));
+            }
+            DexMsg::VmaRequest { pid, addr, req_id } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                let vma = shared
+                    .space(shared.origin)
+                    .lock()
+                    .vmas
+                    .find(addr)
+                    .cloned();
+                endpoint.send(ctx, from, DexMsg::VmaReply { pid, vma, req_id });
+            }
+            DexMsg::VmaReply { pid, vma, req_id } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::Vma(vma));
+            }
+            DexMsg::VmaUpdate { pid, op, req_id } => {
+                let shared = registry.get(pid);
+                // Node-wide operations are handed to the remote worker when
+                // one exists; otherwise (no thread ever migrated here) the
+                // dispatcher applies them directly.
+                let chan = shared.remote_nodes[node.0 as usize]
+                    .lock()
+                    .worker_chan
+                    .clone();
+                match chan {
+                    Some(chan) => {
+                        // Queue the op for the remote worker; it applies the
+                        // change in its own context and acks the origin
+                        // itself, so the dispatcher never blocks. Ack
+                        // routing is stashed before the op is queued.
+                        shared.remote_nodes[node.0 as usize]
+                            .lock()
+                            .pending_acks
+                            .push((req_id, from));
+                        chan.send(ctx, op).expect("remote worker channel open");
+                    }
+                    None => {
+                        apply_vma_op(&shared, node, &op);
+                        endpoint.send(ctx, from, DexMsg::VmaUpdateAck { pid, req_id });
+                    }
+                }
+            }
+            DexMsg::VmaUpdateAck { pid, req_id } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::BroadcastDone);
+            }
+            DexMsg::MigrateRequest {
+                pid,
+                tid,
+                context,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                handle_migrate_request(ctx, &shared, &endpoint, node, from, tid, context, req_id);
+            }
+            DexMsg::MigrateAck {
+                pid,
+                phases,
+                req_id,
+                ..
+            } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::MigrateAck(phases));
+            }
+            DexMsg::MigrateBack { pid, req_id, .. } => {
+                let shared = registry.get(pid);
+                // Backward migration only updates the original thread's
+                // state — two orders of magnitude cheaper than forward.
+                ctx.advance(shared.cost.backward_update);
+                endpoint.send(
+                    ctx,
+                    from,
+                    DexMsg::MigrateBackAck {
+                        pid,
+                        tid: Tid(0),
+                        req_id,
+                    },
+                );
+            }
+            DexMsg::MigrateBackAck { pid, req_id, .. } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::MigrateBackAck);
+            }
+            DexMsg::Delegate {
+                pid,
+                tid,
+                op,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                let chan = shared.delegation.lock().get(&tid).cloned();
+                let chan = chan.unwrap_or_else(|| {
+                    panic!("delegation for {tid} with no original thread")
+                });
+                chan.send(
+                    ctx,
+                    DelegationJob {
+                        op,
+                        from,
+                        req_id,
+                    },
+                )
+                .expect("pair channel open");
+            }
+            DexMsg::DelegateReply {
+                pid,
+                result,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::Delegate(result));
+            }
+            DexMsg::FutexWoken { pid, req_id } => {
+                let shared = registry.get(pid);
+                shared.complete_pending(ctx, node, req_id, Reply::FutexWoken);
+            }
+        }
+    }
+}
+
+/// Origin-side handling of a remote page request: run the directory state
+/// machine and apply/dispatch its actions.
+fn handle_page_request(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    from: NodeId,
+    vpn: Vpn,
+    access: Access,
+    req_id: u64,
+) {
+    ctx.advance(shared.cost.protocol_handling);
+    let actions = shared.directory.lock().request(
+        vpn,
+        access,
+        crate::directory::Requester::Remote { node: from, req_id },
+    );
+    apply_origin_actions(ctx, shared, endpoint, vpn, actions, None);
+}
+
+/// Applies directory actions at the origin: local PTE/frame changes happen
+/// atomically (no yield), then grants/messages are sent.
+fn apply_origin_actions(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    vpn: Vpn,
+    actions: Vec<DirAction>,
+    staged: Option<PageFrame>,
+) {
+    let mut sends: Vec<(NodeId, DexMsg)> = Vec::new();
+    let mut local_completions: Vec<(u64, Reply)> = Vec::new();
+    {
+        let mut space = shared.space(shared.origin).lock();
+        for action in actions {
+            match action {
+                DirAction::Grant {
+                    to,
+                    access,
+                    with_data,
+                } => match to {
+                    crate::directory::Requester::Remote { node, req_id } => {
+                        // A page the origin never materialized is the
+                        // kernel zero page; with the optimization enabled
+                        // the receiver zero-fills locally instead of
+                        // pulling 4 KiB of zeros over the wire.
+                        let data = if with_data {
+                            match space.frame(vpn) {
+                                Some(frame) => Some(frame.clone()),
+                                None if shared.cost.zero_page_optimization => {
+                                    shared
+                                        .stats
+                                        .counters
+                                        .incr("protocol.zero_page_grants");
+                                    None
+                                }
+                                None => Some(PageFrame::zeroed()),
+                            }
+                        } else {
+                            None
+                        };
+                        sends.push((
+                            node,
+                            DexMsg::PageGrant {
+                                pid: shared.pid,
+                                vpn,
+                                access,
+                                data,
+                                retry: false,
+                                req_id,
+                            },
+                        ));
+                    }
+                    crate::directory::Requester::Local { req_id } => {
+                        space.page_table.set(
+                            vpn,
+                            if access.is_write() {
+                                Pte::READ_WRITE
+                            } else {
+                                Pte::READ_ONLY
+                            },
+                        );
+                        let _ = space.frame_mut(vpn);
+                        local_completions.push((req_id, Reply::PageGrant { retry: false }));
+                    }
+                },
+                DirAction::Retry { to } => match to {
+                    crate::directory::Requester::Remote { node, req_id } => {
+                        sends.push((
+                            node,
+                            DexMsg::PageGrant {
+                                pid: shared.pid,
+                                vpn,
+                                access: Access::Read,
+                                data: None,
+                                retry: true,
+                                req_id,
+                            },
+                        ));
+                    }
+                    crate::directory::Requester::Local { req_id } => {
+                        local_completions.push((req_id, Reply::PageGrant { retry: true }));
+                    }
+                },
+                DirAction::SendFlush { to } => {
+                    sends.push((
+                        to,
+                        DexMsg::Flush {
+                            pid: shared.pid,
+                            vpn,
+                        },
+                    ));
+                }
+                DirAction::SendInvalidate { to, needs_data } => {
+                    sends.push((
+                        to,
+                        DexMsg::Invalidate {
+                            pid: shared.pid,
+                            vpn,
+                            needs_data,
+                        },
+                    ));
+                }
+                DirAction::ClearOriginPte => {
+                    space.page_table.clear(vpn);
+                }
+                DirAction::DowngradeOriginPte => {
+                    space.page_table.downgrade(vpn);
+                }
+                DirAction::SetOriginPteRo => {
+                    space.page_table.set(vpn, Pte::READ_ONLY);
+                }
+                DirAction::InstallOriginData => {
+                    if let Some(frame) = staged.clone() {
+                        space.install_frame(vpn, frame);
+                    }
+                }
+            }
+        }
+    }
+    // Local waiters were parked at the origin: retry completions must be
+    // delivered like grants.
+    for (req_id, reply) in local_completions {
+        shared.complete_pending(ctx, shared.origin, req_id, reply);
+    }
+    for (to, msg) in sends {
+        endpoint.send(ctx, to, msg);
+    }
+}
+
+/// Requester-side handling of a page grant: install data + PTE, then wake
+/// the leader.
+#[allow(clippy::too_many_arguments)]
+fn handle_page_grant(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    node: NodeId,
+    vpn: Vpn,
+    access: Access,
+    data: Option<PageFrame>,
+    retry: bool,
+    req_id: u64,
+) {
+    if !retry {
+        let mut space = shared.space(node).lock();
+        if let Some(frame) = data {
+            shared
+                .stats
+                .counters
+                .add("protocol.page_bytes_received", PAGE_SIZE as u64);
+            space.install_frame(vpn, frame);
+        }
+        space.page_table.set(
+            vpn,
+            if access.is_write() {
+                Pte::READ_WRITE
+            } else {
+                Pte::READ_ONLY
+            },
+        );
+        let _ = space.frame_mut(vpn);
+    }
+    shared.complete_pending(ctx, node, req_id, Reply::PageGrant { retry });
+}
+
+/// A node's handling of an ownership revocation.
+fn handle_invalidate(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    node: NodeId,
+    from: NodeId,
+    vpn: Vpn,
+    needs_data: bool,
+) {
+    ctx.advance(shared.cost.protocol_handling);
+    let data = {
+        let mut space = shared.space(node).lock();
+        let data = if needs_data {
+            Some(
+                space
+                    .frame(vpn)
+                    .cloned()
+                    .unwrap_or_else(PageFrame::zeroed),
+            )
+        } else {
+            None
+        };
+        space.page_table.clear(vpn);
+        space.evict_frame(vpn);
+        data
+    };
+    if shared.trace.is_enabled() {
+        shared.trace.record(FaultEvent {
+            time: ctx.now(),
+            node,
+            task: Tid(u64::MAX),
+            kind: FaultKind::Invalidate,
+            site: "protocol.invalidate",
+            addr: vpn.base(),
+            tag: shared.tag_for(shared.origin, vpn.base()),
+        });
+    }
+    shared.stats.counters.incr("protocol.invalidations");
+    endpoint.send(
+        ctx,
+        from,
+        DexMsg::InvalidateAck {
+            pid: shared.pid,
+            vpn,
+            data,
+        },
+    );
+}
+
+/// Remote-node handling of a forward migration: create the per-process
+/// remote worker on first contact, fork a remote thread, install the
+/// context, and ack with the phase breakdown (Figure 3).
+#[allow(clippy::too_many_arguments)]
+fn handle_migrate_request(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    node: NodeId,
+    from: NodeId,
+    tid: Tid,
+    context: dex_os::ExecutionContext,
+    req_id: u64,
+) {
+    // Verify the context transferred intact (serialization round-trip).
+    let roundtrip = dex_os::ExecutionContext::from_bytes(&context.to_bytes())
+        .expect("context deserializes");
+    assert_eq!(roundtrip, context, "execution context corrupted in transit");
+
+    let mut phases: MigrationPhases = Vec::new();
+    let first = {
+        let mut state = shared.remote_nodes[node.0 as usize].lock();
+        if state.worker_started {
+            false
+        } else {
+            state.worker_started = true;
+            let chan: SimChannel<VmaOp> = SimChannel::unbounded();
+            state.worker_chan = Some(chan.clone());
+            let shared2 = Arc::clone(shared);
+            let endpoint2 = endpoint.clone();
+            ctx.spawn_daemon(format!("remote-worker-{}-{node}", shared.pid), move |ctx| {
+                remote_worker_loop(ctx, shared2, endpoint2, node, chan);
+            });
+            true
+        }
+    };
+    if first {
+        // Per-process setup: remote worker creation dominates the first
+        // migration (620 µs of the 800 µs remote side, Figure 3).
+        ctx.advance(shared.cost.remote_worker_setup);
+        phases.push(("remote_worker", shared.cost.remote_worker_setup));
+    } else {
+        ctx.advance(shared.cost.worker_reuse);
+        phases.push(("worker_reuse", shared.cost.worker_reuse));
+    }
+    ctx.advance(shared.cost.thread_fork);
+    phases.push(("thread_fork", shared.cost.thread_fork));
+    ctx.advance(shared.cost.context_install);
+    phases.push(("context_install", shared.cost.context_install));
+
+    endpoint.send(
+        ctx,
+        from,
+        DexMsg::MigrateAck {
+            pid: shared.pid,
+            tid,
+            phases,
+            req_id,
+        },
+    );
+}
+
+/// The remote worker: applies node-wide operations in its own context and
+/// acknowledges them to the origin.
+fn remote_worker_loop(
+    ctx: &SimCtx,
+    shared: Arc<ProcessShared>,
+    endpoint: crate::process::Endpoint,
+    node: NodeId,
+    chan: SimChannel<VmaOp>,
+) {
+    while let Some(op) = chan.recv(ctx) {
+        ctx.advance(SimDuration::from_micros(2)); // apply cost
+        apply_vma_op(&shared, node, &op);
+        let (req_id, to) = shared.remote_nodes[node.0 as usize]
+            .lock()
+            .pending_acks
+            .remove(0);
+        endpoint.send(
+            ctx,
+            to,
+            DexMsg::VmaUpdateAck {
+                pid: shared.pid,
+                req_id,
+            },
+        );
+    }
+}
+
+/// Applies a broadcast VMA operation to a node's replica: shrink/downgrade
+/// the VMAs and drop any local page state in the range.
+fn apply_vma_op(shared: &Arc<ProcessShared>, node: NodeId, op: &VmaOp) {
+    let mut space = shared.space(node).lock();
+    match op {
+        VmaOp::Unmap { addr, len } => {
+            let pages = space.vmas.munmap(*addr, *len).unwrap_or_default();
+            for vpn in pages {
+                space.page_table.clear(vpn);
+                space.evict_frame(vpn);
+            }
+        }
+        VmaOp::Protect { addr, len, prot } => {
+            // Replicas may not have pulled the VMA yet; only apply where
+            // known. Clear PTEs so the next touch revalidates.
+            let _ = space.vmas.mprotect(*addr, *len, *prot);
+            for vpn in dex_os::pages_covering(*addr, *len) {
+                space.page_table.clear(vpn);
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! DEX protocol messages.
+//!
+//! Everything DEX sends between nodes is a [`DexMsg`]: consistency-protocol
+//! traffic (page requests/grants, invalidations, flushes), on-demand VMA
+//! synchronization, thread migration, and work delegation. Control
+//! variants are small (tens of bytes, the paper's "bimodal" small mode);
+//! variants carrying page data report 4 KiB of page payload and take the
+//! RDMA path in the messaging layer.
+
+use dex_net::WireMessage;
+use dex_os::{Access, ExecutionContext, PageFrame, Pid, Prot, Tid, VirtAddr, Vma, Vpn, CONTEXT_BYTES, PAGE_SIZE};
+use dex_sim::SimDuration;
+
+/// An operation a remote thread delegates to its original thread at the
+/// origin (§III-A: futexes and other stateful kernel features).
+#[derive(Clone, Debug)]
+pub enum DelegatedOp {
+    /// `FUTEX_WAIT`: block if the futex word still equals `expected`.
+    FutexWait {
+        /// Futex word address.
+        addr: VirtAddr,
+        /// Expected value; mismatch returns `EAGAIN` immediately.
+        expected: u32,
+    },
+    /// `FUTEX_WAKE`: wake up to `count` waiters of the word at `addr`.
+    FutexWake {
+        /// Futex word address.
+        addr: VirtAddr,
+        /// Maximum waiters to wake.
+        count: u32,
+    },
+    /// `mmap`: create an anonymous mapping at the origin.
+    Mmap {
+        /// Requested length in bytes.
+        len: u64,
+        /// Protection for the new mapping.
+        prot: Prot,
+    },
+    /// `munmap`: remove mappings (a shrinking operation — broadcast
+    /// eagerly per §III-D).
+    Munmap {
+        /// Start of the range.
+        addr: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// `mprotect`: change protection (downgrades broadcast eagerly).
+    Mprotect {
+        /// Start of the range.
+        addr: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+        /// New protection.
+        prot: Prot,
+    },
+    /// Ask the origin's ownership directory which node holds the page of
+    /// `addr` exclusively — the placement query behind
+    /// [`ThreadCtx::migrate_to_data`](crate::ThreadCtx::migrate_to_data).
+    QueryOwner {
+        /// Address whose page ownership is queried.
+        addr: VirtAddr,
+    },
+    /// A stand-in for miscellaneous stateful syscalls serviced at the
+    /// origin (file I/O in the paper); costs `busy` of origin-thread time.
+    Syscall {
+        /// How long the original thread is busy servicing it.
+        busy: SimDuration,
+    },
+}
+
+/// How an update to VMAs is propagated to remote replicas.
+#[derive(Clone, Debug)]
+pub enum VmaOp {
+    /// Remove the range from every replica.
+    Unmap {
+        /// Start of the range.
+        addr: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+    },
+    /// Downgrade protection on every replica.
+    Protect {
+        /// Start of the range.
+        addr: VirtAddr,
+        /// Length in bytes.
+        len: u64,
+        /// New protection.
+        prot: Prot,
+    },
+}
+
+/// Per-phase timing of the remote side of a migration, reported back in
+/// the acknowledgment (drives Figure 3).
+pub type MigrationPhases = Vec<(&'static str, SimDuration)>;
+
+/// A DEX inter-node message.
+#[derive(Debug)]
+pub enum DexMsg {
+    // ---- memory consistency protocol (§III-B) ----
+    /// A node requests ownership of (and possibly data for) a page.
+    PageRequest {
+        /// Owning process.
+        pid: Pid,
+        /// Requested page.
+        vpn: Vpn,
+        /// Read (shared) or write (exclusive) ownership.
+        access: Access,
+        /// Correlates the grant with the waiting thread.
+        req_id: u64,
+    },
+    /// The origin grants (or asks to retry) a page request.
+    PageGrant {
+        /// Owning process.
+        pid: Pid,
+        /// Granted page.
+        vpn: Vpn,
+        /// Granted access.
+        access: Access,
+        /// Page contents; `None` when the requester's copy is up to date
+        /// (the paper's no-transfer optimization) or on retry.
+        data: Option<PageFrame>,
+        /// The request conflicted with an in-flight transaction; back off
+        /// and resend.
+        retry: bool,
+        /// Correlates with the request.
+        req_id: u64,
+    },
+    /// The origin revokes a node's copy of a page.
+    Invalidate {
+        /// Owning process.
+        pid: Pid,
+        /// Page being revoked.
+        vpn: Vpn,
+        /// The revoked node holds the only up-to-date copy and must ship
+        /// it back.
+        needs_data: bool,
+    },
+    /// A node acknowledges an invalidation.
+    InvalidateAck {
+        /// Owning process.
+        pid: Pid,
+        /// Acknowledged page.
+        vpn: Vpn,
+        /// The up-to-date contents, when requested.
+        data: Option<PageFrame>,
+    },
+    /// The origin asks the exclusive writer to downgrade to shared and
+    /// ship the current contents.
+    Flush {
+        /// Owning process.
+        pid: Pid,
+        /// Page to flush.
+        vpn: Vpn,
+    },
+    /// The writer's reply to a flush.
+    FlushAck {
+        /// Owning process.
+        pid: Pid,
+        /// Flushed page.
+        vpn: Vpn,
+        /// Up-to-date contents.
+        data: PageFrame,
+    },
+
+    // ---- on-demand VMA synchronization (§III-D) ----
+    /// A remote replica saw an address with no local VMA.
+    VmaRequest {
+        /// Owning process.
+        pid: Pid,
+        /// The address that missed.
+        addr: VirtAddr,
+        /// Correlates with the reply.
+        req_id: u64,
+    },
+    /// The origin's authoritative answer.
+    VmaReply {
+        /// Owning process.
+        pid: Pid,
+        /// The covering VMA, or `None` if the access is illegal (the
+        /// remote thread takes a segmentation fault).
+        vma: Option<Vma>,
+        /// Correlates with the request.
+        req_id: u64,
+    },
+    /// Eager broadcast of a shrinking/downgrading VMA operation.
+    VmaUpdate {
+        /// Owning process.
+        pid: Pid,
+        /// The operation to apply.
+        op: VmaOp,
+        /// Correlates with the ack.
+        req_id: u64,
+    },
+    /// A remote worker applied a [`DexMsg::VmaUpdate`].
+    VmaUpdateAck {
+        /// Owning process.
+        pid: Pid,
+        /// Correlates with the update.
+        req_id: u64,
+    },
+
+    // ---- thread migration (§III-A) ----
+    /// Forward migration: ship a thread's execution context.
+    MigrateRequest {
+        /// Owning process.
+        pid: Pid,
+        /// Migrating thread.
+        tid: Tid,
+        /// Captured architectural state.
+        context: ExecutionContext,
+        /// Correlates with the ack.
+        req_id: u64,
+    },
+    /// The remote node started the thread.
+    MigrateAck {
+        /// Owning process.
+        pid: Pid,
+        /// Migrated thread.
+        tid: Tid,
+        /// Remote-side per-phase latency breakdown (Figure 3).
+        phases: MigrationPhases,
+        /// Correlates with the request.
+        req_id: u64,
+    },
+    /// Backward migration: the remote thread's final context returns home.
+    MigrateBack {
+        /// Owning process.
+        pid: Pid,
+        /// Returning thread.
+        tid: Tid,
+        /// Up-to-date architectural state.
+        context: ExecutionContext,
+        /// Correlates with the ack.
+        req_id: u64,
+    },
+    /// The origin resumed the original thread.
+    MigrateBackAck {
+        /// Owning process.
+        pid: Pid,
+        /// Thread that returned.
+        tid: Tid,
+        /// Correlates with the request.
+        req_id: u64,
+    },
+
+    // ---- work delegation (§III-A) ----
+    /// A remote thread asks its original thread to perform `op`.
+    Delegate {
+        /// Owning process.
+        pid: Pid,
+        /// The delegating thread.
+        tid: Tid,
+        /// The operation.
+        op: DelegatedOp,
+        /// Correlates with the reply.
+        req_id: u64,
+    },
+    /// Result of a delegated operation.
+    DelegateReply {
+        /// Owning process.
+        pid: Pid,
+        /// Result value (syscall-style: ≥ 0 success, < 0 errno).
+        result: i64,
+        /// Correlates with the request.
+        req_id: u64,
+    },
+    /// A futex waiter parked by an earlier `FutexWait` has been woken.
+    FutexWoken {
+        /// Owning process.
+        pid: Pid,
+        /// Correlates with the original wait request.
+        req_id: u64,
+    },
+}
+
+impl WireMessage for DexMsg {
+    fn control_bytes(&self) -> usize {
+        match self {
+            DexMsg::PageRequest { .. } => 24,
+            DexMsg::PageGrant { .. } => 32,
+            DexMsg::Invalidate { .. } => 24,
+            DexMsg::InvalidateAck { .. } => 24,
+            DexMsg::Flush { .. } => 16,
+            DexMsg::FlushAck { .. } => 16,
+            DexMsg::VmaRequest { .. } => 24,
+            DexMsg::VmaReply { .. } => 64,
+            DexMsg::VmaUpdate { .. } => 40,
+            DexMsg::VmaUpdateAck { .. } => 16,
+            DexMsg::MigrateRequest { .. } => CONTEXT_BYTES + 16,
+            DexMsg::MigrateAck { phases, .. } => 16 + phases.len() * 12,
+            DexMsg::MigrateBack { .. } => CONTEXT_BYTES + 16,
+            DexMsg::MigrateBackAck { .. } => 16,
+            DexMsg::Delegate { .. } => 48,
+            DexMsg::DelegateReply { .. } => 24,
+            DexMsg::FutexWoken { .. } => 16,
+        }
+    }
+
+    fn page_bytes(&self) -> usize {
+        match self {
+            DexMsg::PageGrant { data: Some(_), .. } => PAGE_SIZE,
+            DexMsg::InvalidateAck { data: Some(_), .. } => PAGE_SIZE,
+            DexMsg::FlushAck { .. } => PAGE_SIZE,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_messages_are_small() {
+        let m = DexMsg::PageRequest {
+            pid: Pid(1),
+            vpn: Vpn::new(7),
+            access: Access::Write,
+            req_id: 1,
+        };
+        assert!(m.control_bytes() <= 64, "control messages are tens of bytes");
+        assert_eq!(m.page_bytes(), 0);
+    }
+
+    #[test]
+    fn grants_with_data_take_the_page_path() {
+        let with = DexMsg::PageGrant {
+            pid: Pid(1),
+            vpn: Vpn::new(7),
+            access: Access::Read,
+            data: Some(PageFrame::zeroed()),
+            retry: false,
+            req_id: 1,
+        };
+        let without = DexMsg::PageGrant {
+            pid: Pid(1),
+            vpn: Vpn::new(7),
+            access: Access::Write,
+            data: None,
+            retry: false,
+            req_id: 2,
+        };
+        assert_eq!(with.page_bytes(), PAGE_SIZE);
+        assert_eq!(without.page_bytes(), 0);
+    }
+
+    #[test]
+    fn migration_context_dominates_its_message_size() {
+        let m = DexMsg::MigrateRequest {
+            pid: Pid(1),
+            tid: Tid(2),
+            context: ExecutionContext::default(),
+            req_id: 3,
+        };
+        assert!(m.control_bytes() >= CONTEXT_BYTES);
+        assert_eq!(m.page_bytes(), 0);
+    }
+}

@@ -1,0 +1,538 @@
+//! Shared state of one distributed DEX process.
+//!
+//! A [`ProcessShared`] is the cluster-wide identity of a process: the
+//! per-node address-space replicas, the origin-side ownership directory
+//! and futex table, the per-node fault-coalescing tables and pending
+//! request tables, the delegation channels to each thread's original
+//! thread, and the statistics sinks. All protocol components (the thread
+//! fault path, the node dispatchers, the remote workers) operate on this
+//! structure.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_net::NodeId;
+use dex_os::{AddressSpace, FutexTable, Pid, Tid, VirtAddr, Vma, Vpn, PAGE_SIZE};
+use dex_sim::{Counters, Histogram, MultiResource, Resource, SimChannel, SimCtx, SimDuration, ThreadId};
+
+use crate::cost::CostModel;
+use crate::directory::Directory;
+use crate::msg::{DelegatedOp, DexMsg, MigrationPhases};
+use crate::trace::TraceBuffer;
+
+/// Re-exported alias so `process` stays readable.
+pub(crate) type Endpoint = dex_net::Endpoint<DexMsg>;
+pub(crate) type Fabric = dex_net::Fabric<DexMsg>;
+
+/// A reply delivered to a thread parked on a pending request.
+#[derive(Debug)]
+pub(crate) enum Reply {
+    /// A page grant arrived (PTE/frame already applied by the dispatcher);
+    /// `retry` means the request conflicted and must be resent after a
+    /// back-off.
+    PageGrant {
+        /// Conflict: back off and retry.
+        retry: bool,
+    },
+    /// On-demand VMA lookup result.
+    Vma(Option<Vma>),
+    /// Result of a delegated operation.
+    Delegate(i64),
+    /// A futex waiter was woken.
+    FutexWoken,
+    /// Forward migration acknowledged; remote-side phase breakdown.
+    MigrateAck(MigrationPhases),
+    /// Backward migration acknowledged.
+    MigrateBackAck,
+    /// All acknowledgments of a broadcast arrived.
+    BroadcastDone,
+}
+
+struct Pending {
+    thread: ThreadId,
+    slot: Arc<Mutex<Option<Reply>>>,
+    /// For broadcasts: acknowledgments still outstanding.
+    remaining: u32,
+}
+
+/// Per-node table of requests awaiting replies, keyed by request id.
+#[derive(Default)]
+pub(crate) struct PendingTable {
+    map: HashMap<u64, Pending>,
+}
+
+/// A job routed to a thread's original (pair) thread at the origin.
+pub(crate) struct DelegationJob {
+    pub op: DelegatedOp,
+    pub from: NodeId,
+    pub req_id: u64,
+}
+
+/// Per-(process, node) migration bookkeeping.
+#[derive(Default)]
+pub(crate) struct RemoteNodeState {
+    /// The remote worker for this process exists on this node.
+    pub worker_started: bool,
+    /// Channel to the remote worker (node-wide operations).
+    pub worker_chan: Option<SimChannel<crate::msg::VmaOp>>,
+    /// Ack routing for queued node-wide operations: `(req_id, reply_to)`
+    /// in the same order ops were queued to the worker.
+    pub pending_acks: Vec<(u64, NodeId)>,
+}
+
+/// Leader–follower fault coalescing table (§III-C): one entry per
+/// in-flight (page, access-type) fault on a node.
+#[derive(Default)]
+pub(crate) struct FaultTable {
+    pub entries: HashMap<(Vpn, bool), FaultEntry>,
+}
+
+/// The in-flight fault led by the first faulting thread.
+#[derive(Default)]
+pub(crate) struct FaultEntry {
+    pub followers: Vec<ThreadId>,
+}
+
+/// An object span registered by a tagged allocation; the profiler
+/// attributes faults to the innermost covering span (the offline
+/// equivalent of resolving the faulting address against debug info).
+#[derive(Clone, Debug)]
+pub struct ObjectSpan {
+    /// First byte of the object.
+    pub start: VirtAddr,
+    /// One past the last byte.
+    pub end: VirtAddr,
+    /// The user-visible tag.
+    pub tag: String,
+}
+
+/// Aggregate statistics of one run.
+pub struct RunStats {
+    /// Named protocol counters.
+    pub counters: Counters,
+    /// Distribution of protocol-fault handling times (per leader fault).
+    pub fault_hist: Histogram,
+    /// Per-migration timing samples.
+    pub migrations: Mutex<Vec<MigrationSample>>,
+}
+
+/// Timing of one migration (drives Table II and Figure 3).
+#[derive(Clone, Debug)]
+pub struct MigrationSample {
+    /// Forward (origin→remote) or backward.
+    pub forward: bool,
+    /// First migration of this process onto the destination node (pays
+    /// remote-worker creation).
+    pub first_on_node: bool,
+    /// Time spent at the initiating side capturing/updating state.
+    pub origin_side: SimDuration,
+    /// Time spent at the receiving side (sum of `phases`).
+    pub remote_side: SimDuration,
+    /// End-to-end latency observed by the thread.
+    pub total: SimDuration,
+    /// Receiving-side phase breakdown.
+    pub phases: MigrationPhases,
+}
+
+/// The cluster-wide shared state of one DEX process.
+pub struct ProcessShared {
+    /// Process id.
+    pub pid: Pid,
+    /// The node the process was created on.
+    pub origin: NodeId,
+    /// Number of nodes in the cluster.
+    pub nodes: usize,
+    /// Calibrated kernel-path costs.
+    pub cost: CostModel,
+    /// The messaging fabric.
+    pub fabric: Arc<Fabric>,
+    /// Per-node address-space replicas (`spaces[origin]` is authoritative
+    /// for VMAs).
+    pub spaces: Vec<Mutex<AddressSpace>>,
+    /// Origin-side ownership directory.
+    pub directory: Mutex<Directory>,
+    /// Origin-side futex wait queues (waiters keyed by request id).
+    pub futex: Mutex<FutexTable>,
+    /// Node each futex waiter's reply must be sent to.
+    pub futex_nodes: Mutex<HashMap<u64, NodeId>>,
+    /// Per-node leader–follower fault tables.
+    pub(crate) fault_tables: Vec<Mutex<FaultTable>>,
+    /// Per-node pending-request tables.
+    pub(crate) pending: Vec<Mutex<PendingTable>>,
+    /// Delegation channels to each migrated thread's original thread.
+    pub(crate) delegation: Mutex<HashMap<Tid, SimChannel<DelegationJob>>>,
+    /// Per-node migration bookkeeping.
+    pub(crate) remote_nodes: Vec<Mutex<RemoteNodeState>>,
+    /// Per-node shared memory-bandwidth pipes.
+    pub mem_bw: Vec<Resource>,
+    /// Per-node core pools.
+    pub cores: Vec<MultiResource>,
+    /// Statistics sinks.
+    pub stats: Arc<RunStats>,
+    /// Page-fault trace sink.
+    pub trace: TraceBuffer,
+    /// Tagged object spans for fault attribution.
+    pub objects: Mutex<Vec<ObjectSpan>>,
+    /// Number of application threads currently executing on each node
+    /// (drives load-aware placement).
+    pub(crate) node_threads: Mutex<Vec<i64>>,
+    /// Bump pointer inside the shared heap VMA.
+    pub(crate) heap_cursor: Mutex<u64>,
+    /// End of the shared heap VMA.
+    pub(crate) heap_end: u64,
+    next_req_id: AtomicU64,
+    next_tid: AtomicU64,
+}
+
+impl ProcessShared {
+    /// Creates the process state. `heap_pages` sizes the shared heap VMA
+    /// that the bump allocator hands out.
+    pub(crate) fn new(
+        pid: Pid,
+        origin: NodeId,
+        nodes: usize,
+        cost: CostModel,
+        fabric: Arc<Fabric>,
+        trace: TraceBuffer,
+        heap_pages: u64,
+    ) -> Arc<Self> {
+        let mut spaces: Vec<Mutex<AddressSpace>> =
+            (0..nodes).map(|_| Mutex::new(AddressSpace::new())).collect();
+        // Create the heap VMA on the origin replica; remote replicas learn
+        // about it through on-demand VMA synchronization.
+        let heap_base = {
+            let space = spaces[origin.0 as usize].get_mut();
+            space.vmas.mmap(
+                heap_pages * PAGE_SIZE as u64,
+                dex_os::Prot::RW,
+                dex_os::VmaKind::Heap,
+                Some("heap".to_string()),
+            )
+        };
+        let mem_bw = (0..nodes)
+            .map(|_| Resource::with_rate_bytes_per_sec(cost.mem_bandwidth_bytes_per_sec))
+            .collect();
+        let cores = (0..nodes).map(|_| MultiResource::new(cost.cores_per_node)).collect();
+        Arc::new(ProcessShared {
+            pid,
+            origin,
+            nodes,
+            cost,
+            fabric,
+            spaces,
+            directory: Mutex::new(Directory::new(origin)),
+            futex: Mutex::new(FutexTable::new()),
+            futex_nodes: Mutex::new(HashMap::new()),
+            fault_tables: (0..nodes).map(|_| Mutex::new(FaultTable::default())).collect(),
+            pending: (0..nodes).map(|_| Mutex::new(PendingTable::default())).collect(),
+            delegation: Mutex::new(HashMap::new()),
+            remote_nodes: (0..nodes)
+                .map(|_| Mutex::new(RemoteNodeState::default()))
+                .collect(),
+            mem_bw,
+            cores,
+            stats: Arc::new(RunStats {
+                counters: Counters::new(),
+                fault_hist: Histogram::new(),
+                migrations: Mutex::new(Vec::new()),
+            }),
+            trace,
+            objects: Mutex::new(Vec::new()),
+            node_threads: Mutex::new(vec![0; nodes]),
+            heap_cursor: Mutex::new(heap_base.as_u64()),
+            heap_end: heap_base.as_u64() + heap_pages * PAGE_SIZE as u64,
+            next_req_id: AtomicU64::new(1),
+            next_tid: AtomicU64::new(0),
+        })
+    }
+
+    /// Adjusts the application-thread count of `node` (placement policy
+    /// bookkeeping).
+    pub(crate) fn adjust_load(&self, node: NodeId, delta: i64) {
+        let mut loads = self.node_threads.lock();
+        loads[node.0 as usize] += delta;
+        debug_assert!(loads[node.0 as usize] >= 0, "negative node load");
+    }
+
+    /// Application threads currently executing on each node.
+    pub fn thread_counts(&self) -> Vec<i64> {
+        self.node_threads.lock().clone()
+    }
+
+    /// Allocates a cluster-unique request id.
+    pub(crate) fn new_req_id(&self) -> u64 {
+        self.next_req_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocates the next thread id.
+    pub(crate) fn new_tid(&self) -> Tid {
+        Tid(self.next_tid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The address-space replica of `node`.
+    pub fn space(&self, node: NodeId) -> &Mutex<AddressSpace> {
+        &self.spaces[node.0 as usize]
+    }
+
+    /// Bump-allocates `len` bytes in the shared heap with the given
+    /// alignment, registering `tag` as an object span when provided.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the heap VMA is exhausted.
+    pub fn alloc_raw(&self, len: u64, align: u64, tag: Option<&str>) -> VirtAddr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut cursor = self.heap_cursor.lock();
+        let start = (*cursor + align - 1) & !(align - 1);
+        let end = start + len.max(1);
+        assert!(
+            end <= self.heap_end,
+            "shared heap exhausted: {} bytes requested, {} available",
+            len,
+            self.heap_end - *cursor
+        );
+        *cursor = end;
+        if let Some(tag) = tag {
+            self.objects.lock().push(ObjectSpan {
+                start: VirtAddr::new(start),
+                end: VirtAddr::new(end),
+                tag: tag.to_string(),
+            });
+        }
+        VirtAddr::new(start)
+    }
+
+    /// Resolves the attribution tag for `addr`: the innermost registered
+    /// object span, falling back to the covering VMA's tag.
+    pub fn tag_for(&self, node: NodeId, addr: VirtAddr) -> Option<String> {
+        let objects = self.objects.lock();
+        let mut best: Option<&ObjectSpan> = None;
+        for span in objects.iter() {
+            if span.start <= addr && addr < span.end {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        (span.end.as_u64() - span.start.as_u64())
+                            < (b.end.as_u64() - b.start.as_u64())
+                    }
+                };
+                if better {
+                    best = Some(span);
+                }
+            }
+        }
+        if let Some(span) = best {
+            return Some(span.tag.clone());
+        }
+        self.space(node)
+            .lock()
+            .vmas
+            .find(addr)
+            .and_then(|vma| vma.tag.clone())
+    }
+
+    /// Writes `bytes` directly into the origin replica (pre-run
+    /// initialization; costs no virtual time, like data loaded before the
+    /// parallel region starts).
+    pub fn write_init(&self, addr: VirtAddr, bytes: &[u8]) {
+        self.space(self.origin).lock().write(addr, bytes);
+    }
+
+    /// Reads bytes from the cluster-wide *up-to-date* view of memory:
+    /// each page is sourced from its current exclusive writer, or the
+    /// origin replica otherwise. Used to collect results after a run.
+    pub fn read_coherent(&self, addr: VirtAddr, dst: &mut [u8]) {
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < dst.len() {
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(dst.len() - filled);
+            let node = self.up_to_date_node(cursor.vpn());
+            self.space(node)
+                .lock()
+                .read(cursor, &mut dst[filled..filled + chunk]);
+            filled += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+    }
+
+    fn up_to_date_node(&self, _vpn: Vpn) -> NodeId {
+        // The directory does not expose writer lookup publicly; consult
+        // per-node PTEs instead: a node with a writable mapping holds the
+        // authoritative copy.
+        for n in 0..self.nodes {
+            let node = NodeId(n as u16);
+            let space = self.space(node).lock();
+            let pte = space.page_table.entry(_vpn);
+            if pte.present && pte.writable {
+                return node;
+            }
+        }
+        self.origin
+    }
+
+    // ---- pending request plumbing ----
+
+    /// Registers a pending request at `node` for the calling thread.
+    pub(crate) fn register_pending(
+        &self,
+        ctx: &SimCtx,
+        node: NodeId,
+        req_id: u64,
+    ) -> Arc<Mutex<Option<Reply>>> {
+        self.register_pending_counted(ctx, node, req_id, 1)
+    }
+
+    /// Registers a pending broadcast expecting `count` acknowledgments.
+    pub(crate) fn register_pending_counted(
+        &self,
+        ctx: &SimCtx,
+        node: NodeId,
+        req_id: u64,
+        count: u32,
+    ) -> Arc<Mutex<Option<Reply>>> {
+        let slot = Arc::new(Mutex::new(None));
+        self.pending[node.0 as usize].lock().map.insert(
+            req_id,
+            Pending {
+                thread: ctx.id(),
+                slot: Arc::clone(&slot),
+                remaining: count,
+            },
+        );
+        slot
+    }
+
+    /// Parks until the pending slot is filled, returning the reply.
+    pub(crate) fn wait_reply(&self, ctx: &SimCtx, slot: &Arc<Mutex<Option<Reply>>>) -> Reply {
+        loop {
+            if let Some(reply) = slot.lock().take() {
+                return reply;
+            }
+            ctx.park();
+        }
+    }
+
+    /// Completes the pending request `req_id` at `node` with `reply`,
+    /// waking the registered thread.
+    pub(crate) fn complete_pending(&self, ctx: &SimCtx, node: NodeId, req_id: u64, reply: Reply) {
+        let woken = {
+            let mut table = self.pending[node.0 as usize].lock();
+            let Some(pending) = table.map.get_mut(&req_id) else {
+                panic!("completion for unknown request {req_id} at {node}");
+            };
+            pending.remaining = pending.remaining.saturating_sub(1);
+            if pending.remaining > 0 {
+                None
+            } else {
+                let pending = table.map.remove(&req_id).expect("present");
+                *pending.slot.lock() = Some(reply);
+                Some(pending.thread)
+            }
+        };
+        if let Some(thread) = woken {
+            ctx.unpark(thread);
+        }
+    }
+}
+
+impl std::fmt::Debug for ProcessShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessShared")
+            .field("pid", &self.pid)
+            .field("origin", &self.origin)
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_net::NetConfig;
+
+    fn shared(nodes: usize) -> Arc<ProcessShared> {
+        let fabric = Fabric::new(NetConfig::default(), nodes);
+        ProcessShared::new(
+            Pid(1),
+            NodeId(0),
+            nodes,
+            CostModel::default(),
+            fabric,
+            TraceBuffer::disabled(),
+            1024,
+        )
+    }
+
+    #[test]
+    fn alloc_respects_alignment_and_packing() {
+        let p = shared(2);
+        let a = p.alloc_raw(10, 8, None);
+        let b = p.alloc_raw(10, 8, None);
+        // Packed allocations land on the same page (the false-sharing
+        // hazard the paper optimizes away).
+        assert_eq!(a.vpn(), b.vpn());
+        let c = p.alloc_raw(10, PAGE_SIZE as u64, None);
+        assert_eq!(c.page_offset(), 0);
+        assert_ne!(c.vpn(), a.vpn());
+    }
+
+    #[test]
+    #[should_panic(expected = "heap exhausted")]
+    fn heap_exhaustion_panics() {
+        let p = shared(1);
+        let _ = p.alloc_raw(1024 * PAGE_SIZE as u64 + 1, 8, None);
+    }
+
+    #[test]
+    fn tag_resolution_prefers_innermost_object() {
+        let p = shared(1);
+        let big = p.alloc_raw(PAGE_SIZE as u64 * 2, 8, Some("arena"));
+        p.objects.lock().push(ObjectSpan {
+            start: big,
+            end: big.add(64),
+            tag: "counter".to_string(),
+        });
+        assert_eq!(p.tag_for(NodeId(0), big.add(10)), Some("counter".into()));
+        assert_eq!(p.tag_for(NodeId(0), big.add(100)), Some("arena".into()));
+    }
+
+    #[test]
+    fn tag_falls_back_to_vma_tag() {
+        let p = shared(1);
+        let untagged = p.alloc_raw(64, 8, None);
+        // The heap VMA itself is tagged "heap".
+        assert_eq!(p.tag_for(NodeId(0), untagged), Some("heap".into()));
+    }
+
+    #[test]
+    fn write_init_lands_in_origin_replica() {
+        let p = shared(2);
+        let addr = p.alloc_raw(16, 8, None);
+        p.write_init(addr, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        p.space(NodeId(0)).lock().read(addr, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn read_coherent_prefers_writable_replica() {
+        let p = shared(2);
+        let addr = p.alloc_raw(8, 8, None);
+        p.write_init(addr, &[1; 8]);
+        // Simulate node 1 having taken the page exclusively.
+        {
+            let mut s1 = p.space(NodeId(1)).lock();
+            s1.write(addr, &[9; 8]);
+            s1.page_table.set(addr.vpn(), dex_os::Pte::READ_WRITE);
+            let mut s0 = p.space(NodeId(0)).lock();
+            s0.page_table.clear(addr.vpn());
+        }
+        let mut buf = [0u8; 8];
+        p.read_coherent(addr, &mut buf);
+        assert_eq!(buf, [9; 8]);
+    }
+}

@@ -1,0 +1,1285 @@
+//! The per-thread execution context: transparent memory access, thread
+//! migration, and delegated system calls.
+//!
+//! A [`ThreadCtx`] is what application code sees. Its memory operations
+//! perform the same PTE permission check the MMU would; misses enter the
+//! DEX fault path (leader–follower coalescing, then the ownership
+//! protocol). [`ThreadCtx::migrate`] relocates the thread to another node
+//! exactly as §III-A describes: context capture at the origin side,
+//! remote-worker creation on the first migration of the process to a node,
+//! thread fork on later ones, and a paired original thread at the origin
+//! that services delegated work while the thread is away.
+
+use std::cell::Cell;
+use std::collections::hash_map::Entry;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_net::NodeId;
+use dex_os::{Access, ExecutionContext, MemFault, Prot, Tid, VirtAddr, VmaKind, Vpn, PAGE_SIZE};
+use dex_sim::{SimChannel, SimCtx, SimDuration, ThreadId};
+
+use crate::directory::{DirAction, Requester};
+use crate::msg::{DelegatedOp, DexMsg, VmaOp};
+use crate::process::{DelegationJob, MigrationSample, ProcessShared, Reply};
+use crate::trace::{FaultEvent, FaultKind};
+
+/// `EAGAIN`-style result of a futex wait whose word changed first.
+pub const FUTEX_EAGAIN: i64 = -11;
+
+/// Error from [`ThreadCtx::migrate`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MigrateError {
+    /// The destination node does not exist in this cluster.
+    NoSuchNode {
+        /// The requested destination.
+        requested: NodeId,
+        /// Number of nodes in the cluster.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::NoSuchNode { requested, nodes } => {
+                write!(f, "cannot migrate to {requested}: cluster has {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// Handle to a spawned application thread; lets the parent join it.
+#[derive(Clone)]
+pub struct DexThread {
+    state: Arc<Mutex<JoinState>>,
+}
+
+#[derive(Default)]
+struct JoinState {
+    done: bool,
+    waiters: Vec<ThreadId>,
+}
+
+impl DexThread {
+    pub(crate) fn new() -> Self {
+        DexThread {
+            state: Arc::new(Mutex::new(JoinState::default())),
+        }
+    }
+
+    pub(crate) fn mark_done(&self, ctx: &SimCtx) {
+        let waiters = {
+            let mut st = self.state.lock();
+            st.done = true;
+            std::mem::take(&mut st.waiters)
+        };
+        for w in waiters {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Blocks (in virtual time) until the thread's closure returns.
+    pub fn join(&self, ctx: &ThreadCtx<'_>) {
+        loop {
+            {
+                let mut st = self.state.lock();
+                if st.done {
+                    return;
+                }
+                st.waiters.push(ctx.sim.id());
+            }
+            ctx.sim.park();
+        }
+    }
+
+    /// Returns `true` once the thread's closure has returned.
+    pub fn is_done(&self) -> bool {
+        self.state.lock().done
+    }
+}
+
+impl std::fmt::Debug for DexThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DexThread")
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+/// The execution context of one application thread.
+///
+/// Obtained from [`DexProcess::spawn`](crate::DexProcess::spawn) or
+/// [`ThreadCtx::spawn_thread`]; borrowed by the thread's closure for its
+/// whole lifetime.
+pub struct ThreadCtx<'a> {
+    pub(crate) sim: &'a SimCtx,
+    pub(crate) shared: Arc<ProcessShared>,
+    tid: Tid,
+    node: Cell<NodeId>,
+    site: Cell<&'static str>,
+    has_migrated: Cell<bool>,
+    pair_started: Cell<bool>,
+}
+
+impl<'a> ThreadCtx<'a> {
+    pub(crate) fn new(sim: &'a SimCtx, shared: Arc<ProcessShared>, tid: Tid) -> Self {
+        let origin = shared.origin;
+        ThreadCtx {
+            sim,
+            shared,
+            tid,
+            node: Cell::new(origin),
+            site: Cell::new("unknown"),
+            has_migrated: Cell::new(false),
+            pair_started: Cell::new(false),
+        }
+    }
+
+    /// The thread's id within the process.
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// The node the thread currently executes on.
+    pub fn node(&self) -> NodeId {
+        self.node.get()
+    }
+
+    /// The process origin node.
+    pub fn origin(&self) -> NodeId {
+        self.shared.origin
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.shared.nodes
+    }
+
+    /// The shared process state (allocation, statistics).
+    pub fn process(&self) -> &Arc<ProcessShared> {
+        &self.shared
+    }
+
+    /// The underlying simulation context.
+    pub fn sim(&self) -> &SimCtx {
+        self.sim
+    }
+
+    /// Labels subsequent memory accesses with a code-site string — the
+    /// profiler's analogue of the faulting instruction address.
+    pub fn set_site(&self, site: &'static str) {
+        self.site.set(site);
+    }
+
+    // ---- compute model ----
+
+    /// Performs `ops` abstract compute operations on one of this node's
+    /// cores (queueing if the node is oversubscribed).
+    pub fn compute_ops(&self, ops: u64) {
+        let d = self.shared.cost.compute_time(ops);
+        self.compute(d);
+    }
+
+    /// Occupies a core for `d` of virtual time.
+    pub fn compute(&self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.shared.cores[self.node.get().0 as usize].acquire(self.sim, d);
+    }
+
+    /// Streams `bytes` through this node's shared memory-bandwidth pipe —
+    /// the contended resource that caps memory-bound applications on a
+    /// single machine.
+    pub fn membound(&self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.shared.mem_bw[self.node.get().0 as usize].acquire_bytes(self.sim, bytes);
+    }
+
+    // ---- transparent memory access ----
+
+    /// Reads `dst.len()` bytes at `addr` through the consistency protocol.
+    pub fn read_bytes(&self, addr: VirtAddr, dst: &mut [u8]) {
+        let mut cursor = addr;
+        let mut filled = 0usize;
+        while filled < dst.len() {
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(dst.len() - filled);
+            self.ensure(cursor, Access::Read);
+            self.shared
+                .space(self.node.get())
+                .lock()
+                .read(cursor, &mut dst[filled..filled + chunk]);
+            filled += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+    }
+
+    /// Writes `src` at `addr` through the consistency protocol.
+    pub fn write_bytes(&self, addr: VirtAddr, src: &[u8]) {
+        let mut cursor = addr;
+        let mut written = 0usize;
+        while written < src.len() {
+            let offset = cursor.page_offset();
+            let chunk = (PAGE_SIZE - offset).min(src.len() - written);
+            self.ensure(cursor, Access::Write);
+            self.shared
+                .space(self.node.get())
+                .lock()
+                .write(cursor, &src[written..written + chunk]);
+            written += chunk;
+            cursor = cursor.add(chunk as u64);
+        }
+    }
+
+    /// Reads a `u32` at `addr`.
+    pub fn read_u32(&self, addr: VirtAddr) -> u32 {
+        let mut buf = [0u8; 4];
+        self.read_bytes(addr, &mut buf);
+        u32::from_le_bytes(buf)
+    }
+
+    /// Writes a `u32` at `addr`.
+    pub fn write_u32(&self, addr: VirtAddr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Atomically read-modify-writes up to one page at `addr`. The update
+    /// closure runs with exclusive page ownership held and no intervening
+    /// simulation yield, which is exactly how an x86 atomic behaves on a
+    /// page the node owns exclusively — cluster-wide atomicity follows
+    /// from the single-writer protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range crosses a page boundary (hardware atomics do
+    /// not either).
+    pub fn rmw_bytes(&self, addr: VirtAddr, len: usize, f: impl FnOnce(&mut [u8])) {
+        assert!(
+            addr.page_offset() + len <= PAGE_SIZE,
+            "atomic access must not straddle a page boundary"
+        );
+        self.ensure(addr, Access::Write);
+        let mut space = self.shared.space(self.node.get()).lock();
+        let mut buf = vec![0u8; len];
+        space.read(addr, &mut buf);
+        f(&mut buf);
+        space.write(addr, &buf);
+    }
+
+    /// Atomic compare-and-swap on a `u32`; returns the previous value.
+    pub fn cas_u32(&self, addr: VirtAddr, expected: u32, new: u32) -> u32 {
+        let mut old = 0u32;
+        self.rmw_bytes(addr, 4, |b| {
+            old = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+            if old == expected {
+                b.copy_from_slice(&new.to_le_bytes());
+            }
+        });
+        old
+    }
+
+    /// Atomic fetch-add on a `u32`; returns the previous value.
+    pub fn fetch_add_u32(&self, addr: VirtAddr, delta: u32) -> u32 {
+        let mut old = 0u32;
+        self.rmw_bytes(addr, 4, |b| {
+            old = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+            b.copy_from_slice(&old.wrapping_add(delta).to_le_bytes());
+        });
+        old
+    }
+
+    /// Atomic swap on a `u32`; returns the previous value.
+    pub fn swap_u32(&self, addr: VirtAddr, new: u32) -> u32 {
+        let mut old = 0u32;
+        self.rmw_bytes(addr, 4, |b| {
+            old = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+            b.copy_from_slice(&new.to_le_bytes());
+        });
+        old
+    }
+
+    // ---- the fault path ----
+
+    /// Ensures an access of kind `access` at `addr` can proceed locally,
+    /// running VMA synchronization and the consistency protocol as needed.
+    pub(crate) fn ensure(&self, addr: VirtAddr, access: Access) {
+        loop {
+            let node = self.node.get();
+            let check = self.shared.space(node).lock().check(addr, access);
+            match check {
+                Ok(()) => return,
+                Err(MemFault::VmaMiss { .. }) => self.vma_fault(addr, access),
+                Err(MemFault::Protocol { vpn, .. }) => self.page_fault(vpn, access, addr),
+            }
+        }
+    }
+
+    fn vma_fault(&self, addr: VirtAddr, access: Access) {
+        let shared = &self.shared;
+        let node = self.node.get();
+        if node == shared.origin {
+            // The origin's VMAs are authoritative: this is a real illegal
+            // access.
+            panic!(
+                "segmentation fault: {} {access} at {addr} (site {})",
+                self.tid,
+                self.site.get()
+            );
+        }
+        shared.stats.counters.incr("vma.syncs");
+        let req_id = shared.new_req_id();
+        let slot = shared.register_pending(self.sim, node, req_id);
+        self.endpoint(node).send(
+            self.sim,
+            shared.origin,
+            DexMsg::VmaRequest {
+                pid: shared.pid,
+                addr,
+                req_id,
+            },
+        );
+        match shared.wait_reply(self.sim, &slot) {
+            Reply::Vma(Some(vma)) => {
+                // Check the authoritative protection before installing:
+                // a permission mismatch is a real fault, not staleness.
+                let ok = match access {
+                    Access::Read => vma.prot.read,
+                    Access::Write => vma.prot.write,
+                };
+                if !ok {
+                    panic!(
+                        "segmentation fault: {} {access} at {addr} (protection) (site {})",
+                        self.tid,
+                        self.site.get()
+                    );
+                }
+                shared.space(node).lock().vmas.install(vma);
+            }
+            Reply::Vma(None) => panic!(
+                "segmentation fault: {} {access} at {addr} (no mapping) (site {})",
+                self.tid,
+                self.site.get()
+            ),
+            other => unreachable!("vma request answered with {other:?}"),
+        }
+    }
+
+    fn page_fault(&self, vpn: Vpn, access: Access, addr: VirtAddr) {
+        let shared = Arc::clone(&self.shared);
+        let node = self.node.get();
+        let is_write = access.is_write();
+        let ctx = self.sim;
+
+        ctx.advance(shared.cost.fault_entry);
+
+        // Leader–follower coalescing: the first thread to fault on this
+        // (page, access-type) pair leads; the rest park until it finishes.
+        // (Disabled only for the ablation study: every thread then runs
+        // the full protocol itself.)
+        let coalesce = shared.cost.coalesce_faults;
+        let is_leader = !coalesce || {
+            let mut table = shared.fault_tables[node.0 as usize].lock();
+            match table.entries.entry((vpn, is_write)) {
+                Entry::Occupied(mut e) => {
+                    e.get_mut().followers.push(ctx.id());
+                    false
+                }
+                Entry::Vacant(v) => {
+                    v.insert(Default::default());
+                    true
+                }
+            }
+        };
+        if !is_leader {
+            shared.stats.counters.incr("faults.coalesced");
+            ctx.park();
+            return; // the outer ensure() loop re-checks the updated PTE
+        }
+
+        let t0 = ctx.now();
+        let mut rounds = 0u64;
+        let mut origin_inline = false;
+        loop {
+            rounds += 1;
+            let granted = if node == shared.origin {
+                let (granted, inline) = self.origin_fault_round(vpn, access);
+                origin_inline = inline;
+                granted
+            } else {
+                self.remote_fault_round(vpn, access)
+            };
+            if granted {
+                break;
+            }
+            shared.stats.counters.incr("faults.retried");
+            // Deterministic per-thread jitter keeps retrying threads from
+            // re-colliding in lockstep (the kernel's backoff has natural
+            // jitter from scheduling).
+            let jitter = (self.tid.0 * 7_000 + rounds * 13_000) % 60_000;
+            ctx.advance(shared.cost.retry_backoff + dex_sim::SimDuration::from_nanos(jitter));
+        }
+        ctx.advance(shared.cost.fault_fixup);
+
+        // An origin fault resolved inline on the first try involved no
+        // other node: it is an ordinary minor fault (demand-zero paging),
+        // not a consistency-protocol fault, and is reported separately.
+        let minor = origin_inline && rounds == 1;
+        if minor {
+            shared.stats.counters.incr("faults.minor");
+        } else {
+            shared.stats.counters.incr(if is_write {
+                "faults.write"
+            } else {
+                "faults.read"
+            });
+            shared.stats.fault_hist.record(ctx.now() - t0);
+            if shared.trace.is_enabled() {
+                shared.trace.record(FaultEvent {
+                    time: t0,
+                    node,
+                    task: self.tid,
+                    kind: if is_write {
+                        FaultKind::Write
+                    } else {
+                        FaultKind::Read
+                    },
+                    site: self.site.get(),
+                    addr,
+                    tag: shared.tag_for(node, addr),
+                });
+            }
+        }
+
+        if coalesce {
+            let followers = {
+                let mut table = shared.fault_tables[node.0 as usize].lock();
+                table
+                    .entries
+                    .remove(&(vpn, is_write))
+                    .expect("leader owns the entry")
+                    .followers
+            };
+            for f in followers {
+                ctx.unpark(f);
+            }
+        }
+    }
+
+    /// One protocol round for a fault at the origin; returns
+    /// `(granted, inline)` where `inline` means the directory granted
+    /// immediately with no remote involvement (a minor fault).
+    fn origin_fault_round(&self, vpn: Vpn, access: Access) -> (bool, bool) {
+        let shared = &self.shared;
+        let ctx = self.sim;
+        let node = shared.origin;
+        let req_id = shared.new_req_id();
+        let actions = shared
+            .directory
+            .lock()
+            .request(vpn, access, Requester::Local { req_id });
+
+        // Apply local actions and gather sends *without yielding*, so the
+        // directory transition and the PTE changes are atomic with respect
+        // to other simulated threads.
+        let mut sends: Vec<(NodeId, DexMsg)> = Vec::new();
+        let mut granted = false;
+        let mut retry = false;
+        let mut opened_txn = false;
+        {
+            let mut space = shared.space(node).lock();
+            for action in &actions {
+                match action {
+                    DirAction::Grant { access, .. } => {
+                        space.page_table.set(
+                            vpn,
+                            if access.is_write() {
+                                dex_os::Pte::READ_WRITE
+                            } else {
+                                dex_os::Pte::READ_ONLY
+                            },
+                        );
+                        // Touch the frame so reads observe the page even
+                        // if it was never written.
+                        let _ = space.frame_mut(vpn);
+                        granted = true;
+                    }
+                    DirAction::Retry { .. } => retry = true,
+                    DirAction::ClearOriginPte => space.page_table.clear(vpn),
+                    DirAction::DowngradeOriginPte => space.page_table.downgrade(vpn),
+                    DirAction::SendFlush { to } => {
+                        opened_txn = true;
+                        sends.push((
+                            *to,
+                            DexMsg::Flush {
+                                pid: shared.pid,
+                                vpn,
+                            },
+                        ));
+                    }
+                    DirAction::SendInvalidate { to, needs_data } => {
+                        opened_txn = true;
+                        sends.push((
+                            *to,
+                            DexMsg::Invalidate {
+                                pid: shared.pid,
+                                vpn,
+                                needs_data: *needs_data,
+                            },
+                        ));
+                    }
+                    DirAction::SetOriginPteRo | DirAction::InstallOriginData => {
+                        unreachable!("ack-only action out of request()")
+                    }
+                }
+            }
+        }
+        if granted {
+            return (true, true);
+        }
+        if retry {
+            return (false, false);
+        }
+        assert!(opened_txn, "request must grant, retry, or open a transaction");
+        let slot = shared.register_pending(ctx, node, req_id);
+        let endpoint = self.endpoint(node);
+        for (to, msg) in sends {
+            endpoint.send(ctx, to, msg);
+        }
+        match shared.wait_reply(ctx, &slot) {
+            Reply::PageGrant { retry } => (!retry, false),
+            other => unreachable!("page fault answered with {other:?}"),
+        }
+    }
+
+    /// One protocol round for a fault at a remote node.
+    fn remote_fault_round(&self, vpn: Vpn, access: Access) -> bool {
+        let shared = &self.shared;
+        let ctx = self.sim;
+        let node = self.node.get();
+        let req_id = shared.new_req_id();
+        let slot = shared.register_pending(ctx, node, req_id);
+        self.endpoint(node).send(
+            ctx,
+            shared.origin,
+            DexMsg::PageRequest {
+                pid: shared.pid,
+                vpn,
+                access,
+                req_id,
+            },
+        );
+        match shared.wait_reply(ctx, &slot) {
+            Reply::PageGrant { retry } => !retry,
+            other => unreachable!("page fault answered with {other:?}"),
+        }
+    }
+
+    // ---- futexes ----
+
+    /// `FUTEX_WAIT`: blocks while the word at `addr` equals `expected`.
+    /// Returns `0` when woken, [`FUTEX_EAGAIN`] when the word had already
+    /// changed. Remote threads delegate this to their original thread at
+    /// the origin (§III-A).
+    pub fn futex_wait(&self, addr: VirtAddr, expected: u32) -> i64 {
+        let shared = &self.shared;
+        shared.stats.counters.incr("futex.waits");
+        let node = self.node.get();
+        if node == shared.origin {
+            let req_id = shared.new_req_id();
+            match futex_wait_at_origin(
+                self, addr, expected, node, req_id,
+            ) {
+                FutexWaitOutcome::ValueMismatch => FUTEX_EAGAIN,
+                FutexWaitOutcome::Enqueued(slot) => {
+                    match shared.wait_reply(self.sim, &slot) {
+                        Reply::FutexWoken => 0,
+                        other => unreachable!("futex wait answered with {other:?}"),
+                    }
+                }
+            }
+        } else {
+            shared.stats.counters.incr("delegations");
+            let req_id = shared.new_req_id();
+            let slot = shared.register_pending(self.sim, node, req_id);
+            self.endpoint(node).send(
+                self.sim,
+                shared.origin,
+                DexMsg::Delegate {
+                    pid: shared.pid,
+                    tid: self.tid,
+                    op: DelegatedOp::FutexWait { addr, expected },
+                    req_id,
+                },
+            );
+            match shared.wait_reply(self.sim, &slot) {
+                Reply::Delegate(result) => result,
+                Reply::FutexWoken => 0,
+                other => unreachable!("futex wait answered with {other:?}"),
+            }
+        }
+    }
+
+    /// `FUTEX_WAKE`: wakes up to `count` waiters of the word at `addr`.
+    /// Returns the number woken.
+    pub fn futex_wake(&self, addr: VirtAddr, count: u32) -> i64 {
+        let shared = &self.shared;
+        shared.stats.counters.incr("futex.wakes");
+        let node = self.node.get();
+        if node == shared.origin {
+            futex_wake_at_origin(self.sim, shared, addr, count)
+        } else {
+            shared.stats.counters.incr("delegations");
+            let req_id = shared.new_req_id();
+            let slot = shared.register_pending(self.sim, node, req_id);
+            self.endpoint(node).send(
+                self.sim,
+                shared.origin,
+                DexMsg::Delegate {
+                    pid: shared.pid,
+                    tid: self.tid,
+                    op: DelegatedOp::FutexWake { addr, count },
+                    req_id,
+                },
+            );
+            match shared.wait_reply(self.sim, &slot) {
+                Reply::Delegate(result) => result,
+                other => unreachable!("futex wake answered with {other:?}"),
+            }
+        }
+    }
+
+    // ---- migration ----
+
+    /// Relocates this thread to `dst`. A no-op when already there; a
+    /// remote→remote move goes home first (backward) and then forward.
+    ///
+    /// # Errors
+    ///
+    /// [`MigrateError::NoSuchNode`] if `dst` is outside the cluster.
+    pub fn migrate(&self, dst: impl Into<NodeId>) -> Result<(), MigrateError> {
+        let dst = dst.into();
+        let shared = Arc::clone(&self.shared);
+        if (dst.0 as usize) >= shared.nodes {
+            return Err(MigrateError::NoSuchNode {
+                requested: dst,
+                nodes: shared.nodes,
+            });
+        }
+        if dst == self.node.get() {
+            return Ok(());
+        }
+        if self.node.get() != shared.origin {
+            self.migrate_back_inner();
+        }
+        if dst == shared.origin {
+            return Ok(());
+        }
+        self.migrate_forward(dst);
+        Ok(())
+    }
+
+    /// Brings the thread back to its origin node (backward migration).
+    /// No-op when already home.
+    pub fn migrate_back(&self) -> Result<(), MigrateError> {
+        if self.node.get() != self.shared.origin {
+            self.migrate_back_inner();
+        }
+        Ok(())
+    }
+
+    /// The node currently holding the page of `addr` exclusively (the
+    /// origin when the page is shared or untouched). At the origin this
+    /// reads the directory; remote threads delegate the query to their
+    /// original thread, like any stateful kernel feature.
+    pub fn data_home(&self, addr: VirtAddr) -> NodeId {
+        let shared = &self.shared;
+        if self.node.get() == shared.origin {
+            shared
+                .directory
+                .lock()
+                .current_writer(addr.vpn())
+                .unwrap_or(shared.origin)
+        } else {
+            let node = self.delegate(DelegatedOp::QueryOwner { addr });
+            NodeId(u16::try_from(node).expect("node id fits"))
+        }
+    }
+
+    /// Relocates this thread to the node that owns the data at `addr` —
+    /// the "relocating the computation near data" scenario of the paper's
+    /// conclusion (§VII). Returns the destination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MigrateError`] from the underlying migration.
+    pub fn migrate_to_data(&self, addr: VirtAddr) -> Result<NodeId, MigrateError> {
+        let target = self.data_home(addr);
+        self.migrate(target)?;
+        Ok(target)
+    }
+
+    /// Relocates this thread to the node currently running the fewest
+    /// application threads (itself excluded) — the simple load-balancing
+    /// policy §III-A says schedulers or user-space libraries could drive.
+    /// Returns the destination (possibly the current node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MigrateError`] from the underlying migration.
+    pub fn migrate_least_loaded(&self) -> Result<NodeId, MigrateError> {
+        let here = self.node.get();
+        let target = {
+            let loads = self.shared.thread_counts();
+            let mut best = here;
+            let mut best_load = loads[here.0 as usize] - 1; // exclude self
+            for (n, &load) in loads.iter().enumerate() {
+                let node = NodeId(n as u16);
+                if node != here && load < best_load {
+                    best = node;
+                    best_load = load;
+                }
+            }
+            best
+        };
+        self.migrate(target)?;
+        Ok(target)
+    }
+
+    /// Requests read or write ownership of every page covering
+    /// `[addr, addr + len)` in one pipelined batch — the data-access-hint
+    /// mechanism of §IV-A, which amortizes protocol round trips that a
+    /// faulting loop would pay one at a time. Advisory: pages that cannot
+    /// be granted immediately (conflicting transactions) are simply left
+    /// for the regular fault path.
+    pub fn prefetch(&self, addr: VirtAddr, len: u64, access: Access) {
+        let shared = &self.shared;
+        let node = self.node.get();
+        if node == shared.origin {
+            return; // the origin serves itself through the fault path
+        }
+        // Make sure the VMA is known first (one on-demand sync at most).
+        self.ensure(addr, access);
+        let missing: Vec<Vpn> = {
+            let space = shared.space(node).lock();
+            dex_os::pages_covering(addr, len)
+                .filter(|vpn| !space.page_table.entry(*vpn).permits(access))
+                .collect()
+        };
+        if missing.is_empty() {
+            return;
+        }
+        shared.stats.counters.add("prefetch.pages", missing.len() as u64);
+        let endpoint = self.endpoint(node);
+        let mut slots = Vec::with_capacity(missing.len());
+        for vpn in &missing {
+            let req_id = shared.new_req_id();
+            let slot = shared.register_pending(self.sim, node, req_id);
+            endpoint.send(
+                self.sim,
+                shared.origin,
+                DexMsg::PageRequest {
+                    pid: shared.pid,
+                    vpn: *vpn,
+                    access,
+                    req_id,
+                },
+            );
+            slots.push(slot);
+        }
+        for slot in slots {
+            match shared.wait_reply(self.sim, &slot) {
+                // Granted pages were installed by the dispatcher; retries
+                // are left to the normal fault path on first touch.
+                Reply::PageGrant { .. } => {}
+                other => unreachable!("prefetch answered with {other:?}"),
+            }
+        }
+    }
+
+    fn migrate_forward(&self, dst: NodeId) {
+        let shared = &self.shared;
+        let ctx = self.sim;
+        let t0 = ctx.now();
+        shared.stats.counters.incr("migrations.forward");
+
+        // Origin side: capture the execution context; the first migration
+        // of a thread also builds its per-thread migration structures.
+        let origin_cost = if self.has_migrated.get() {
+            shared.cost.context_capture_next
+        } else {
+            shared.cost.context_capture_first
+        };
+        ctx.advance(origin_cost);
+
+        let context = self.synthesize_context();
+        let req_id = shared.new_req_id();
+        let node = self.node.get();
+        let slot = shared.register_pending(ctx, node, req_id);
+        self.endpoint(node).send(
+            ctx,
+            dst,
+            DexMsg::MigrateRequest {
+                pid: shared.pid,
+                tid: self.tid,
+                context,
+                req_id,
+            },
+        );
+        let phases = match shared.wait_reply(ctx, &slot) {
+            Reply::MigrateAck(phases) => phases,
+            other => unreachable!("migration answered with {other:?}"),
+        };
+        shared.adjust_load(self.node.get(), -1);
+        shared.adjust_load(dst, 1);
+        self.node.set(dst);
+        self.has_migrated.set(true);
+        self.ensure_pair_thread();
+
+        let remote_side: SimDuration = phases.iter().map(|(_, d)| *d).sum();
+        let first_on_node = phases.iter().any(|(name, _)| *name == "remote_worker");
+        shared.stats.migrations.lock().push(MigrationSample {
+            forward: true,
+            first_on_node,
+            origin_side: origin_cost,
+            remote_side,
+            total: ctx.now() - t0,
+            phases,
+        });
+    }
+
+    fn migrate_back_inner(&self) {
+        let shared = &self.shared;
+        let ctx = self.sim;
+        let t0 = ctx.now();
+        shared.stats.counters.incr("migrations.backward");
+        ctx.advance(shared.cost.backward_capture);
+
+        let node = self.node.get();
+        let req_id = shared.new_req_id();
+        let slot = shared.register_pending(ctx, node, req_id);
+        self.endpoint(node).send(
+            ctx,
+            shared.origin,
+            DexMsg::MigrateBack {
+                pid: shared.pid,
+                tid: self.tid,
+                context: self.synthesize_context(),
+                req_id,
+            },
+        );
+        match shared.wait_reply(ctx, &slot) {
+            Reply::MigrateBackAck => {}
+            other => unreachable!("backward migration answered with {other:?}"),
+        }
+        shared.adjust_load(self.node.get(), -1);
+        shared.adjust_load(shared.origin, 1);
+        self.node.set(shared.origin);
+        shared.stats.migrations.lock().push(MigrationSample {
+            forward: false,
+            first_on_node: false,
+            origin_side: shared.cost.backward_update,
+            remote_side: shared.cost.backward_capture,
+            total: ctx.now() - t0,
+            phases: vec![("capture", shared.cost.backward_capture)],
+        });
+    }
+
+    /// Builds a deterministic register file for the context transfer so
+    /// its integrity is testable end to end.
+    fn synthesize_context(&self) -> ExecutionContext {
+        let mut context = ExecutionContext::default();
+        for (i, r) in context.regs.iter_mut().enumerate() {
+            *r = self.tid.0.wrapping_mul(0x9E3779B9).wrapping_add(i as u64);
+        }
+        context.ip = 0x400000 + self.tid.0 * 0x10;
+        context.sp = 0x7fff_0000_0000 - self.tid.0 * 0x100000;
+        context
+    }
+
+    fn ensure_pair_thread(&self) {
+        if self.pair_started.get() {
+            return;
+        }
+        self.pair_started.set(true);
+        let chan: SimChannel<DelegationJob> = SimChannel::unbounded();
+        self.shared
+            .delegation
+            .lock()
+            .insert(self.tid, chan.clone());
+        let shared = Arc::clone(&self.shared);
+        let tid = self.tid;
+        self.sim.spawn_daemon(format!("pair-{tid}"), move |ctx| {
+            pair_thread_loop(ctx, shared, tid, chan);
+        });
+    }
+
+    // ---- address-space system calls ----
+
+    /// `mmap`: creates an anonymous mapping (performed at the origin via
+    /// delegation when the thread is remote; permissive, so not eagerly
+    /// broadcast).
+    pub fn mmap(&self, len: u64, prot: Prot) -> VirtAddr {
+        let shared = &self.shared;
+        if self.node.get() == shared.origin {
+            shared
+                .space(shared.origin)
+                .lock()
+                .vmas
+                .mmap(len, prot, VmaKind::Anon, None)
+        } else {
+            let result = self.delegate(DelegatedOp::Mmap { len, prot });
+            assert!(result >= 0, "delegated mmap failed: {result}");
+            VirtAddr::new(result as u64)
+        }
+    }
+
+    /// `munmap`: removes mappings. Shrinking operations are broadcast
+    /// eagerly to every node (§III-D).
+    pub fn munmap(&self, addr: VirtAddr, len: u64) {
+        let shared = &self.shared;
+        if self.node.get() == shared.origin {
+            munmap_at_origin(self.sim, shared, addr, len);
+        } else {
+            let result = self.delegate(DelegatedOp::Munmap { addr, len });
+            assert!(result >= 0, "delegated munmap failed: {result}");
+        }
+    }
+
+    /// `mprotect`: changes protection; downgrades are broadcast eagerly.
+    pub fn mprotect(&self, addr: VirtAddr, len: u64, prot: Prot) {
+        let shared = &self.shared;
+        if self.node.get() == shared.origin {
+            mprotect_at_origin(self.sim, shared, addr, len, prot);
+        } else {
+            let result = self.delegate(DelegatedOp::Mprotect { addr, len, prot });
+            assert!(result >= 0, "delegated mprotect failed: {result}");
+        }
+    }
+
+    /// Performs a stateful system call at the origin (file I/O stand-in),
+    /// keeping the original thread busy for `busy`.
+    pub fn syscall(&self, busy: SimDuration) {
+        if self.node.get() == self.shared.origin {
+            self.sim.advance(busy);
+        } else {
+            let result = self.delegate(DelegatedOp::Syscall { busy });
+            assert_eq!(result, 0);
+        }
+    }
+
+    fn delegate(&self, op: DelegatedOp) -> i64 {
+        let shared = &self.shared;
+        shared.stats.counters.incr("delegations");
+        let node = self.node.get();
+        let req_id = shared.new_req_id();
+        let slot = shared.register_pending(self.sim, node, req_id);
+        self.endpoint(node).send(
+            self.sim,
+            shared.origin,
+            DexMsg::Delegate {
+                pid: shared.pid,
+                tid: self.tid,
+                op,
+                req_id,
+            },
+        );
+        match shared.wait_reply(self.sim, &slot) {
+            Reply::Delegate(result) => result,
+            other => unreachable!("delegation answered with {other:?}"),
+        }
+    }
+
+    // ---- synchronization primitive constructors ----
+
+    /// Creates a cluster-wide mutex (threads may create primitives at any
+    /// time, like `pthread_mutex_init`).
+    pub fn new_mutex(&self, tag: &str) -> crate::sync::DexMutex {
+        crate::sync::new_mutex(self, tag)
+    }
+
+    /// Creates a cluster-wide barrier for `parties` threads.
+    pub fn new_barrier(&self, parties: u32, tag: &str) -> crate::sync::DexBarrier {
+        crate::sync::new_barrier(self, parties, tag)
+    }
+
+    /// Creates a cluster-wide condition variable.
+    pub fn new_condvar(&self, tag: &str) -> crate::sync::DexCondvar {
+        crate::sync::new_condvar(self, tag)
+    }
+
+    /// Creates a cluster-wide readers-writer lock.
+    pub fn new_rwlock(&self, tag: &str) -> crate::sync::DexRwLock {
+        crate::sync::new_rwlock(self, tag)
+    }
+
+    // ---- thread management ----
+
+    /// Spawns a sibling application thread (created at the origin, like
+    /// every thread of the process), returning a joinable handle.
+    pub fn spawn_thread<F>(&self, name: impl Into<String>, f: F) -> DexThread
+    where
+        F: FnOnce(&ThreadCtx<'_>) + Send + 'static,
+    {
+        let shared = Arc::clone(&self.shared);
+        let handle = DexThread::new();
+        let handle2 = handle.clone();
+        let tid = shared.new_tid();
+        self.sim.spawn(name, move |ctx| {
+            shared.adjust_load(shared.origin, 1);
+            let tctx = ThreadCtx::new(ctx, shared, tid);
+            f(&tctx);
+            tctx.process().adjust_load(tctx.node(), -1);
+            handle2.mark_done(ctx);
+        });
+        handle
+    }
+
+    fn endpoint(&self, node: NodeId) -> crate::process::Endpoint {
+        self.shared.fabric.endpoint(node)
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("tid", &self.tid)
+            .field("node", &self.node.get())
+            .finish()
+    }
+}
+
+/// Outcome of the atomic check-and-enqueue half of `FUTEX_WAIT`.
+pub(crate) enum FutexWaitOutcome {
+    /// The word no longer matched; the caller returns `EAGAIN`.
+    ValueMismatch,
+    /// The waiter is queued; the slot resolves on `FUTEX_WAKE`.
+    Enqueued(Arc<Mutex<Option<Reply>>>),
+}
+
+/// The origin-side half of `FUTEX_WAIT`: runs in the context of a thread
+/// executing at the origin (an origin-resident app thread, or a migrated
+/// thread's original thread servicing a delegation).
+///
+/// `waiter_node`/`waiter_req` identify where the eventual wake must be
+/// delivered. Reading the futex word may itself fault through the DSM —
+/// exactly what happens on Linux when the futex syscall touches the word.
+pub(crate) fn futex_wait_at_origin(
+    tctx: &ThreadCtx<'_>,
+    addr: VirtAddr,
+    expected: u32,
+    waiter_node: NodeId,
+    waiter_req: u64,
+) -> FutexWaitOutcome {
+    let shared = &tctx.shared;
+    tctx.ensure(addr, Access::Read);
+    // Value check and enqueue must be atomic: no yields below.
+    let space = shared.space(shared.origin).lock();
+    let mut buf = [0u8; 4];
+    space.read(addr, &mut buf);
+    let value = u32::from_le_bytes(buf);
+    if value != expected {
+        return FutexWaitOutcome::ValueMismatch;
+    }
+    let mut futex = shared.futex.lock();
+    futex.enqueue(addr, ThreadId(waiter_req));
+    shared.futex_nodes.lock().insert(waiter_req, waiter_node);
+    drop(futex);
+    drop(space);
+    // For a local waiter the pending entry is registered by the caller
+    // before parking; for a remote waiter the pending entry lives at the
+    // remote node and resolves via FutexWoken.
+    let slot = if waiter_node == shared.origin {
+        shared.register_pending(tctx.sim, shared.origin, waiter_req)
+    } else {
+        Arc::new(Mutex::new(None))
+    };
+    FutexWaitOutcome::Enqueued(slot)
+}
+
+/// The origin-side half of `FUTEX_WAKE`. Returns the number woken.
+pub(crate) fn futex_wake_at_origin(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    addr: VirtAddr,
+    count: u32,
+) -> i64 {
+    let woken: Vec<u64> = shared
+        .futex
+        .lock()
+        .wake(addr, count as usize)
+        .into_iter()
+        .map(|t| t.0)
+        .collect();
+    let mut remote: Vec<(NodeId, u64)> = Vec::new();
+    {
+        let mut nodes = shared.futex_nodes.lock();
+        for req in &woken {
+            let node = nodes.remove(req).expect("waiter node recorded");
+            remote.push((node, *req));
+        }
+    }
+    let n = woken.len() as i64;
+    let endpoint = shared.fabric.endpoint(shared.origin);
+    for (node, req) in remote {
+        if node == shared.origin {
+            shared.complete_pending(ctx, node, req, Reply::FutexWoken);
+        } else {
+            endpoint.send(
+                ctx,
+                node,
+                DexMsg::FutexWoken {
+                    pid: shared.pid,
+                    req_id: req,
+                },
+            );
+        }
+    }
+    n
+}
+
+/// `munmap` executed at the origin: updates the authoritative VMAs, drops
+/// directory state, and eagerly broadcasts the shrink to every node.
+pub(crate) fn munmap_at_origin(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    addr: VirtAddr,
+    len: u64,
+) {
+    let pages = {
+        let mut space = shared.space(shared.origin).lock();
+        let pages = space
+            .vmas
+            .munmap(addr, len)
+            .expect("munmap with bad range");
+        for vpn in &pages {
+            space.page_table.clear(*vpn);
+            space.evict_frame(*vpn);
+        }
+        pages
+    };
+    let _ = shared.directory.lock().drop_pages(&pages);
+    broadcast_vma_op(ctx, shared, VmaOp::Unmap { addr, len });
+}
+
+/// `mprotect` executed at the origin; downgrades broadcast eagerly,
+/// permissive changes propagate lazily through on-demand synchronization.
+pub(crate) fn mprotect_at_origin(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    addr: VirtAddr,
+    len: u64,
+    prot: Prot,
+) {
+    let downgraded = shared
+        .space(shared.origin)
+        .lock()
+        .vmas
+        .mprotect(addr, len, prot)
+        .expect("mprotect with bad range");
+    if downgraded {
+        broadcast_vma_op(ctx, shared, VmaOp::Protect { addr, len, prot });
+    }
+}
+
+fn broadcast_vma_op(ctx: &SimCtx, shared: &Arc<ProcessShared>, op: VmaOp) {
+    let peers: Vec<NodeId> = (0..shared.nodes as u16)
+        .map(NodeId)
+        .filter(|n| *n != shared.origin)
+        .collect();
+    if peers.is_empty() {
+        return;
+    }
+    shared.stats.counters.incr("vma.broadcasts");
+    let req_id = shared.new_req_id();
+    let slot =
+        shared.register_pending_counted(ctx, shared.origin, req_id, peers.len() as u32);
+    let endpoint = shared.fabric.endpoint(shared.origin);
+    for peer in peers {
+        endpoint.send(
+            ctx,
+            peer,
+            DexMsg::VmaUpdate {
+                pid: shared.pid,
+                op: op.clone(),
+                req_id,
+            },
+        );
+    }
+    match shared.wait_reply(ctx, &slot) {
+        Reply::BroadcastDone => {}
+        other => unreachable!("vma broadcast answered with {other:?}"),
+    }
+}
+
+/// Service loop of a migrated thread's original thread at the origin: it
+/// sleeps until a work request arrives, performs it in the origin context,
+/// and replies (§III-A).
+fn pair_thread_loop(
+    ctx: &SimCtx,
+    shared: Arc<ProcessShared>,
+    tid: Tid,
+    chan: SimChannel<DelegationJob>,
+) {
+    let tctx = ThreadCtx::new(ctx, Arc::clone(&shared), tid);
+    let endpoint = shared.fabric.endpoint(shared.origin);
+    while let Some(job) = chan.recv(ctx) {
+        let reply = match job.op {
+            DelegatedOp::FutexWait { addr, expected } => {
+                match futex_wait_at_origin(&tctx, addr, expected, job.from, job.req_id) {
+                    FutexWaitOutcome::ValueMismatch => Some(FUTEX_EAGAIN),
+                    // The waiter stays parked until FUTEX_WAKE reaches it.
+                    FutexWaitOutcome::Enqueued(_slot) => None,
+                }
+            }
+            DelegatedOp::FutexWake { addr, count } => {
+                Some(futex_wake_at_origin(ctx, &shared, addr, count))
+            }
+            DelegatedOp::Mmap { len, prot } => {
+                let addr = shared
+                    .space(shared.origin)
+                    .lock()
+                    .vmas
+                    .mmap(len, prot, VmaKind::Anon, None);
+                Some(addr.as_u64() as i64)
+            }
+            DelegatedOp::Munmap { addr, len } => {
+                munmap_at_origin(ctx, &shared, addr, len);
+                Some(0)
+            }
+            DelegatedOp::Mprotect { addr, len, prot } => {
+                mprotect_at_origin(ctx, &shared, addr, len, prot);
+                Some(0)
+            }
+            DelegatedOp::QueryOwner { addr } => {
+                let node = shared
+                    .directory
+                    .lock()
+                    .current_writer(addr.vpn())
+                    .unwrap_or(shared.origin);
+                Some(node.0 as i64)
+            }
+            DelegatedOp::Syscall { busy } => {
+                ctx.advance(busy);
+                Some(0)
+            }
+        };
+        if let Some(result) = reply {
+            endpoint.send(
+                ctx,
+                job.from,
+                DexMsg::DelegateReply {
+                    pid: shared.pid,
+                    result,
+                    req_id: job.req_id,
+                },
+            );
+        }
+    }
+}

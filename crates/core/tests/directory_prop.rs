@@ -1,0 +1,174 @@
+//! Property tests for the ownership-directory state machine: random
+//! request/ack schedules must preserve the protocol invariants and give
+//! every request exactly one resolution.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use dex_core::{DirAction, Directory, NodeSet, Requester};
+use dex_net::NodeId;
+use dex_os::{Access, Vpn};
+
+const ORIGIN: NodeId = NodeId(0);
+
+/// An in-flight remote transaction the harness must acknowledge.
+#[derive(Debug)]
+enum PendingAck {
+    Flush { vpn: Vpn, from: NodeId },
+    Invalidate { vpn: Vpn, from: NodeId, needs_data: bool },
+}
+
+#[derive(Debug, Default)]
+struct Harness {
+    dir: Option<Directory>,
+    acks: VecDeque<PendingAck>,
+    grants: u64,
+    retries: u64,
+    requests: u64,
+}
+
+impl Harness {
+    fn new() -> Self {
+        Harness {
+            dir: Some(Directory::new(ORIGIN)),
+            ..Default::default()
+        }
+    }
+
+    fn dir(&mut self) -> &mut Directory {
+        self.dir.as_mut().expect("directory present")
+    }
+
+    fn absorb(&mut self, actions: Vec<DirAction>, vpn: Vpn) {
+        for action in actions {
+            match action {
+                DirAction::Grant { .. } => self.grants += 1,
+                DirAction::Retry { .. } => self.retries += 1,
+                DirAction::SendFlush { to } => {
+                    self.acks.push_back(PendingAck::Flush { vpn, from: to })
+                }
+                DirAction::SendInvalidate { to, needs_data } => self.acks.push_back(
+                    PendingAck::Invalidate {
+                        vpn,
+                        from: to,
+                        needs_data,
+                    },
+                ),
+                DirAction::ClearOriginPte
+                | DirAction::DowngradeOriginPte
+                | DirAction::SetOriginPteRo
+                | DirAction::InstallOriginData => {}
+            }
+        }
+    }
+
+    fn request(&mut self, vpn: Vpn, access: Access, node: NodeId, req: u64) {
+        self.requests += 1;
+        let requester = if node == ORIGIN {
+            Requester::Local { req_id: req }
+        } else {
+            Requester::Remote { node, req_id: req }
+        };
+        let actions = self.dir().request(vpn, access, requester);
+        self.absorb(actions, vpn);
+    }
+
+    fn deliver_one_ack(&mut self, index: usize) {
+        if self.acks.is_empty() {
+            return;
+        }
+        let ack = self.acks.remove(index % self.acks.len()).expect("bounded");
+        let actions = match ack {
+            PendingAck::Flush { vpn, from } => {
+                let a = self.dir().flush_ack(vpn, from);
+                (a, vpn)
+            }
+            PendingAck::Invalidate {
+                vpn,
+                from,
+                needs_data,
+            } => {
+                let a = self.dir().invalidate_ack(vpn, from, needs_data);
+                (a, vpn)
+            }
+        };
+        self.absorb(actions.0, actions.1);
+    }
+
+    fn drain(&mut self) {
+        while !self.acks.is_empty() {
+            self.deliver_one_ack(0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of requests (from up to 6 nodes over 4 pages) and
+    /// ack deliveries keeps the directory invariants intact, resolves
+    /// every request exactly once, and quiesces cleanly.
+    #[test]
+    fn random_schedules_preserve_invariants(
+        steps in proptest::collection::vec(
+            (0u8..2, 0u64..4, 0u16..6, any::<bool>(), 0usize..8), 1..200
+        )
+    ) {
+        let mut h = Harness::new();
+        let mut req_id = 0u64;
+        for (kind, page, node, write, ack_index) in steps {
+            match kind {
+                0 => {
+                    req_id += 1;
+                    h.request(
+                        Vpn::new(page),
+                        if write { Access::Write } else { Access::Read },
+                        NodeId(node),
+                        req_id,
+                    );
+                }
+                _ => h.deliver_one_ack(ack_index),
+            }
+            // Invariants may be relaxed only inside an open transaction;
+            // the checker accounts for that itself.
+            prop_assert!(h.dir.as_ref().unwrap().check_invariants().is_ok());
+        }
+        h.drain();
+        let dir = h.dir.take().unwrap();
+        prop_assert!(dir.check_invariants().is_ok(), "{:?}", dir.check_invariants());
+        // Exactly one resolution (grant or retry) per request.
+        prop_assert_eq!(h.grants + h.retries, h.requests);
+    }
+
+    /// After quiescence, the recorded owner sets always include whoever
+    /// was last granted exclusivity.
+    #[test]
+    fn writer_is_always_sole_owner_at_quiescence(
+        writes in proptest::collection::vec((0u64..3, 1u16..5), 1..60)
+    ) {
+        let mut h = Harness::new();
+        let mut req = 0u64;
+        let mut last_writer = vec![ORIGIN; 3];
+        for (page, node) in writes {
+            req += 1;
+            h.request(Vpn::new(page), Access::Write, NodeId(node), req);
+            h.drain();
+            last_writer[page as usize] = NodeId(node);
+        }
+        let dir = h.dir.take().unwrap();
+        prop_assert!(dir.check_invariants().is_ok());
+        for (page, expected) in last_writer.iter().enumerate() {
+            let vpn = Vpn::new(page as u64);
+            if dir.tracked_pages() > 0 && dir.current_writer(vpn) != Some(ORIGIN) {
+                prop_assert_eq!(
+                    dir.current_writer(vpn),
+                    Some(*expected),
+                    "page {} writer", page
+                );
+                prop_assert_eq!(dir.owners(vpn), NodeSet::single(*expected));
+            }
+        }
+        prop_assert_eq!(h.grants + h.retries, h.requests);
+    }
+}

@@ -1,0 +1,202 @@
+//! Network cost-model configuration.
+//!
+//! All timing constants of the simulated fabric live here, calibrated
+//! against the paper's testbed (Mellanox ConnectX-4 VPI HCAs behind an
+//! SX6012 switch, 56 Gb/s InfiniBand) and its measured micro-benchmarks
+//! (13.6 µs to retrieve one 4 KiB page end-to-end, §V-D).
+
+use serde::{Deserialize, Serialize};
+
+use dex_sim::SimDuration;
+
+/// How page-sized payloads are moved between nodes (§III-E discusses why
+/// DEX settles on the hybrid sink-and-copy scheme).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RdmaStrategy {
+    /// The paper's hybrid: RDMA-write into a pre-registered *RDMA sink*
+    /// chunk at the receiver, then one memcpy to the final destination.
+    /// Pays a copy but no per-page registration.
+    SinkCopy,
+    /// RDMA directly into the final page, paying a memory-region
+    /// registration for every transfer (what domain-specific systems with
+    /// static footprints can avoid, but DEX cannot).
+    PerPageRegistration,
+    /// Send page data as an ordinary VERB message (copy on both sides,
+    /// no RDMA) — the naive baseline.
+    VerbOnly,
+}
+
+/// Cost model and sizing of the simulated InfiniBand fabric.
+///
+/// # Examples
+///
+/// ```
+/// use dex_net::NetConfig;
+///
+/// let cfg = NetConfig::default();
+/// // 4 KiB at 56 Gb/s is well under a microsecond on the wire.
+/// let wire = cfg.wire_time(4096);
+/// assert!(wire.as_micros_f64() < 1.0);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// One-way latency of a small VERB send/recv (switch + HCA + PCIe).
+    pub verb_latency: SimDuration,
+    /// Extra one-way latency of an RDMA write over a VERB message
+    /// (completion control path).
+    pub rdma_extra_latency: SimDuration,
+    /// Link bandwidth in bytes per second (56 Gb/s FDR InfiniBand).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Host memcpy bandwidth in bytes per second (sink-to-page copies).
+    pub memcpy_bytes_per_sec: u64,
+    /// Cost of mapping a buffer for DMA (avoided by the buffer pools).
+    pub dma_map_cost: SimDuration,
+    /// Cost of registering an RDMA memory region with the HCA (avoided by
+    /// the pre-registered sink).
+    pub mr_register_cost: SimDuration,
+    /// Chunks in each connection's send buffer pool.
+    pub send_pool_chunks: usize,
+    /// Receive work requests posted per connection (recv buffer pool).
+    pub recv_pool_chunks: usize,
+    /// Chunks in each connection's RDMA sink.
+    pub rdma_sink_chunks: usize,
+    /// Strategy for page-sized payloads.
+    pub rdma_strategy: RdmaStrategy,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            verb_latency: SimDuration::from_nanos(3_000),
+            rdma_extra_latency: SimDuration::from_nanos(2_000),
+            bandwidth_bytes_per_sec: 56_000_000_000 / 8,
+            memcpy_bytes_per_sec: 10_000_000_000,
+            dma_map_cost: SimDuration::from_nanos(900),
+            mr_register_cost: SimDuration::from_micros(5),
+            send_pool_chunks: 256,
+            recv_pool_chunks: 1024,
+            rdma_sink_chunks: 256,
+            rdma_strategy: RdmaStrategy::SinkCopy,
+        }
+    }
+}
+
+impl NetConfig {
+    /// The paper's testbed: 56 Gb/s FDR InfiniBand (same as `default()`).
+    pub fn infiniband_56g() -> Self {
+        NetConfig::default()
+    }
+
+    /// A 1990s-DSM-era fabric: 100 Mb/s switched Ethernet with a kernel
+    /// TCP/IP stack — several orders of magnitude slower than local
+    /// memory, the regime §II blames for classic DSM's failure.
+    pub fn ethernet_100m() -> Self {
+        NetConfig {
+            verb_latency: SimDuration::from_micros(300),
+            rdma_extra_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: 100_000_000 / 8,
+            rdma_strategy: RdmaStrategy::VerbOnly,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Commodity 10 Gb/s Ethernet with a tuned kernel stack (no RDMA).
+    pub fn ethernet_10g() -> Self {
+        NetConfig {
+            verb_latency: SimDuration::from_micros(25),
+            rdma_extra_latency: SimDuration::ZERO,
+            bandwidth_bytes_per_sec: 10_000_000_000 / 8,
+            rdma_strategy: RdmaStrategy::VerbOnly,
+            ..NetConfig::default()
+        }
+    }
+
+    /// The interconnects §II cites as closing the gap to inter-socket
+    /// links (Gen-Z class: 400 Gb/s, ~300 ns).
+    pub fn next_gen_400g() -> Self {
+        NetConfig {
+            verb_latency: SimDuration::from_nanos(300),
+            rdma_extra_latency: SimDuration::from_nanos(200),
+            bandwidth_bytes_per_sec: 400_000_000_000 / 8,
+            ..NetConfig::default()
+        }
+    }
+
+    /// Serialization time of `bytes` on the link.
+    pub fn wire_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            (bytes as f64 * 1e9 / self.bandwidth_bytes_per_sec as f64).ceil() as u64,
+        )
+    }
+
+    /// Host copy time for `bytes` (sink drain, VERB compose).
+    pub fn memcpy_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            (bytes as f64 * 1e9 / self.memcpy_bytes_per_sec as f64).ceil() as u64,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_wire_time_for_page_is_sub_microsecond() {
+        let cfg = NetConfig::default();
+        let t = cfg.wire_time(4096);
+        // 4096 B / 7 GB/s = ~585 ns.
+        assert!(t.as_nanos() > 500 && t.as_nanos() < 700, "{t}");
+    }
+
+    #[test]
+    fn memcpy_time_scales_linearly() {
+        let cfg = NetConfig::default();
+        assert_eq!(
+            cfg.memcpy_time(8192).as_nanos(),
+            2 * cfg.memcpy_time(4096).as_nanos()
+        );
+    }
+
+    #[test]
+    fn zero_bytes_cost_nothing_on_the_wire() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.wire_time(0), SimDuration::ZERO);
+        assert_eq!(cfg.memcpy_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.bandwidth_bytes_per_sec, 7_000_000_000); // 56 Gb/s
+        assert_eq!(cfg.rdma_strategy, RdmaStrategy::SinkCopy);
+    }
+
+    #[test]
+    fn fabric_generations_are_ordered() {
+        // Each generation strictly improves page-transfer time — the §II
+        // trend the motivation rests on.
+        let page = |cfg: &NetConfig| {
+            (cfg.verb_latency + cfg.rdma_extra_latency + cfg.wire_time(4096)).as_nanos()
+        };
+        let old = page(&NetConfig::ethernet_100m());
+        let tcp = page(&NetConfig::ethernet_10g());
+        let ib = page(&NetConfig::infiniband_56g());
+        let next = page(&NetConfig::next_gen_400g());
+        assert!(old > 10 * tcp, "100M {old} vs 10G {tcp}");
+        assert!(tcp > 3 * ib, "10G {tcp} vs IB {ib}");
+        assert!(ib > 3 * next, "IB {ib} vs 400G {next}");
+    }
+
+    #[test]
+    fn legacy_fabrics_have_no_rdma() {
+        assert_eq!(
+            NetConfig::ethernet_100m().rdma_strategy,
+            RdmaStrategy::VerbOnly
+        );
+        assert_eq!(
+            NetConfig::ethernet_10g().rdma_strategy,
+            RdmaStrategy::VerbOnly
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! DMA-ready buffer pools.
+//!
+//! DMA-mapping a buffer per message is expensive, so DEX pre-maps pools of
+//! physically-contiguous chunks at connection setup and recycles them
+//! (§III-E). Two pool flavors model the two recycling disciplines:
+//!
+//! * [`TimedPool`] — send buffers: a chunk is busy from allocation until
+//!   the HCA signals send completion, a time known when the message is
+//!   posted. Allocation blocks (in virtual time) while every chunk is
+//!   busy.
+//! * [`CreditPool`] — receive work requests and RDMA sink chunks: a chunk
+//!   is busy until the *consumer* explicitly recycles it (reposts the
+//!   receive work request / drains the sink), which is not known in
+//!   advance.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_sim::{SimCtx, SimTime, ThreadId};
+
+/// A pool of chunks that become free at known times (send buffer pool).
+///
+/// # Examples
+///
+/// ```
+/// use dex_net::TimedPool;
+/// use dex_sim::{Engine, SimDuration, SimTime};
+///
+/// let engine = Engine::new();
+/// let pool = TimedPool::new(1);
+/// engine.spawn("sender", move |ctx| {
+///     // First allocation is immediate; the chunk is busy for 10 us.
+///     pool.acquire_until(ctx, ctx.now() + SimDuration::from_micros(10));
+///     // Second allocation must wait for the chunk to free.
+///     pool.acquire_until(ctx, ctx.now() + SimDuration::from_micros(1));
+///     assert_eq!(ctx.now().as_nanos(), 10_000);
+/// });
+/// engine.run().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct TimedPool {
+    chunks: Arc<Mutex<Vec<SimTime>>>,
+}
+
+/// A chunk handed out by [`TimedPool::acquire`], pending its release time.
+#[derive(Debug)]
+#[must_use = "a granted chunk stays busy forever unless hold() sets its release time"]
+pub struct ChunkGrant {
+    index: usize,
+}
+
+impl TimedPool {
+    /// Creates a pool of `chunks` chunks, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    pub fn new(chunks: usize) -> Self {
+        assert!(chunks > 0, "buffer pool must have at least one chunk");
+        TimedPool {
+            chunks: Arc::new(Mutex::new(vec![SimTime::ZERO; chunks])),
+        }
+    }
+
+    /// Allocates the earliest-free chunk, blocking in virtual time until
+    /// one frees; the chunk then stays busy until `busy_until`.
+    pub fn acquire_until(&self, ctx: &SimCtx, busy_until: SimTime) {
+        let grant = self.acquire(ctx);
+        self.hold(grant, busy_until);
+    }
+
+    /// Allocates the earliest-free chunk (blocking in virtual time) and
+    /// returns a grant; the chunk is busy until [`TimedPool::hold`] sets
+    /// its release time.
+    pub fn acquire(&self, ctx: &SimCtx) -> ChunkGrant {
+        let (index, wait_until) = {
+            let mut chunks = self.chunks.lock();
+            let (index, slot) = chunks
+                .iter_mut()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .expect("pool is non-empty");
+            let grant = (*slot).max(ctx.now());
+            *slot = SimTime::MAX; // in use until hold() is called
+            (index, grant)
+        };
+        ctx.sleep_until(wait_until);
+        ChunkGrant { index }
+    }
+
+    /// Marks the granted chunk free again at `busy_until`.
+    pub fn hold(&self, grant: ChunkGrant, busy_until: SimTime) {
+        self.chunks.lock()[grant.index] = busy_until;
+    }
+
+    /// Number of chunks free at `now`.
+    pub fn free_at(&self, now: SimTime) -> usize {
+        self.chunks.lock().iter().filter(|t| **t <= now).count()
+    }
+}
+
+impl std::fmt::Debug for TimedPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedPool")
+            .field("chunks", &self.chunks.lock().len())
+            .finish()
+    }
+}
+
+/// A pool of chunks recycled by explicit release (receive pool, RDMA
+/// sink).
+///
+/// # Examples
+///
+/// ```
+/// use dex_net::CreditPool;
+/// use dex_sim::{Engine, SimDuration};
+///
+/// let engine = Engine::new();
+/// let pool = CreditPool::new(2);
+/// let consumer_pool = pool.clone();
+/// engine.spawn("producer", move |ctx| {
+///     pool.acquire(ctx);
+///     pool.acquire(ctx);
+///     pool.acquire(ctx); // blocks until the consumer releases
+///     assert_eq!(ctx.now().as_nanos(), 5_000);
+/// });
+/// engine.spawn("consumer", move |ctx| {
+///     ctx.advance(SimDuration::from_micros(5));
+///     consumer_pool.release(ctx);
+/// });
+/// engine.run().unwrap();
+/// ```
+#[derive(Clone)]
+pub struct CreditPool {
+    inner: Arc<Mutex<CreditInner>>,
+}
+
+struct CreditInner {
+    free: usize,
+    capacity: usize,
+    waiters: VecDeque<ThreadId>,
+}
+
+impl CreditPool {
+    /// Creates a pool with `chunks` free chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks` is zero.
+    pub fn new(chunks: usize) -> Self {
+        assert!(chunks > 0, "credit pool must have at least one chunk");
+        CreditPool {
+            inner: Arc::new(Mutex::new(CreditInner {
+                free: chunks,
+                capacity: chunks,
+                waiters: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Takes one chunk, parking in virtual time while none are free.
+    pub fn acquire(&self, ctx: &SimCtx) {
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                if inner.free > 0 {
+                    inner.free -= 1;
+                    return;
+                }
+                inner.waiters.push_back(ctx.id());
+            }
+            ctx.park();
+        }
+    }
+
+    /// Takes one chunk without blocking; `false` if none free.
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.free > 0 {
+            inner.free -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one chunk and wakes the longest-waiting acquirer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if released more times than acquired.
+    pub fn release(&self, ctx: &SimCtx) {
+        let waiter = {
+            let mut inner = self.inner.lock();
+            assert!(
+                inner.free < inner.capacity,
+                "credit pool released more chunks than it holds"
+            );
+            inner.free += 1;
+            inner.waiters.pop_front()
+        };
+        if let Some(w) = waiter {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Currently-free chunks.
+    pub fn free(&self) -> usize {
+        self.inner.lock().free
+    }
+}
+
+impl std::fmt::Debug for CreditPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("CreditPool")
+            .field("free", &inner.free)
+            .field("capacity", &inner.capacity)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dex_sim::{Engine, SimDuration};
+
+    #[test]
+    fn timed_pool_grants_immediately_when_free() {
+        let engine = Engine::new();
+        let pool = TimedPool::new(4);
+        engine.spawn("t", move |ctx| {
+            for _ in 0..4 {
+                pool.acquire_until(ctx, ctx.now() + SimDuration::from_micros(100));
+            }
+            assert_eq!(ctx.now(), SimTime::ZERO, "4 chunks, 4 grants, no wait");
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn timed_pool_blocks_when_exhausted() {
+        let engine = Engine::new();
+        let pool = TimedPool::new(2);
+        engine.spawn("t", move |ctx| {
+            pool.acquire_until(ctx, SimTime::from_nanos(5_000));
+            pool.acquire_until(ctx, SimTime::from_nanos(9_000));
+            pool.acquire_until(ctx, SimTime::from_nanos(20_000));
+            assert_eq!(ctx.now().as_nanos(), 5_000, "waits for earliest free");
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn timed_pool_free_count() {
+        let engine = Engine::new();
+        let pool = TimedPool::new(3);
+        engine.spawn("t", move |ctx| {
+            pool.acquire_until(ctx, SimTime::from_nanos(100));
+            assert_eq!(pool.free_at(ctx.now()), 2);
+            assert_eq!(pool.free_at(SimTime::from_nanos(101)), 3);
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn credit_pool_blocks_and_wakes_fifo() {
+        let engine = Engine::new();
+        let pool = CreditPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let pool = pool.clone();
+            let order = Arc::clone(&order);
+            engine.spawn(format!("acquirer-{i}"), move |ctx| {
+                pool.acquire(ctx);
+                order.lock().push(i);
+                ctx.advance(SimDuration::from_micros(10));
+                pool.release(ctx);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let engine = Engine::new();
+        let pool = CreditPool::new(1);
+        engine.spawn("t", move |ctx| {
+            assert!(pool.try_acquire());
+            assert!(!pool.try_acquire());
+            pool.release(ctx);
+            assert!(pool.try_acquire());
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "more chunks")]
+    fn over_release_panics() {
+        let engine = Engine::new();
+        let pool = CreditPool::new(1);
+        engine.spawn("t", move |ctx| {
+            pool.release(ctx);
+        });
+        let _ = engine.run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_chunk_pool_rejected() {
+        let _ = TimedPool::new(0);
+    }
+}

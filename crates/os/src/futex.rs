@@ -1,0 +1,184 @@
+//! Futex wait queues.
+//!
+//! Futexes ("fast user-space mutexes") are the kernel mechanism under every
+//! Linux thread-synchronization primitive. DEX forwards futex system calls
+//! from remote threads to the origin via work delegation (§III-A), where
+//! they are handled by the unmodified futex implementation — this module is
+//! that implementation: per-address FIFO wait queues.
+//!
+//! The compare-and-block step of `FUTEX_WAIT` must be atomic with respect
+//! to other simulated threads; in the simulator this holds as long as the
+//! caller does not advance virtual time between reading the futex word and
+//! calling [`FutexTable::enqueue`] (the DES runs one simulated thread at a
+//! time).
+
+use std::collections::{HashMap, VecDeque};
+
+use dex_sim::ThreadId;
+
+use crate::page::VirtAddr;
+
+/// FIFO wait queues keyed by futex word address.
+///
+/// # Examples
+///
+/// ```
+/// use dex_os::FutexTable;
+/// use dex_os::VirtAddr;
+/// use dex_sim::ThreadId;
+///
+/// let mut table = FutexTable::new();
+/// let addr = VirtAddr::new(0x1000);
+/// table.enqueue(addr, ThreadId(1));
+/// table.enqueue(addr, ThreadId(2));
+/// assert_eq!(table.wake(addr, 1), vec![ThreadId(1)]); // FIFO order
+/// assert_eq!(table.waiters(addr), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct FutexTable {
+    queues: HashMap<u64, VecDeque<ThreadId>>,
+}
+
+impl FutexTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends `waiter` to the wait queue of `addr`. The caller parks the
+    /// simulated thread afterwards.
+    pub fn enqueue(&mut self, addr: VirtAddr, waiter: ThreadId) {
+        self.queues.entry(addr.as_u64()).or_default().push_back(waiter);
+    }
+
+    /// Dequeues up to `n` waiters of `addr` in FIFO order. The caller
+    /// unparks the returned threads.
+    pub fn wake(&mut self, addr: VirtAddr, n: usize) -> Vec<ThreadId> {
+        let Some(queue) = self.queues.get_mut(&addr.as_u64()) else {
+            return Vec::new();
+        };
+        let take = n.min(queue.len());
+        let woken: Vec<ThreadId> = queue.drain(..take).collect();
+        if queue.is_empty() {
+            self.queues.remove(&addr.as_u64());
+        }
+        woken
+    }
+
+    /// Moves up to `n` waiters from `from` to the queue of `to` without
+    /// waking them (`FUTEX_REQUEUE`). Returns how many moved.
+    pub fn requeue(&mut self, from: VirtAddr, to: VirtAddr, n: usize) -> usize {
+        if from == to || n == 0 {
+            return 0;
+        }
+        let moved: Vec<ThreadId> = {
+            let Some(queue) = self.queues.get_mut(&from.as_u64()) else {
+                return 0;
+            };
+            let take = n.min(queue.len());
+            let moved = queue.drain(..take).collect();
+            if queue.is_empty() {
+                self.queues.remove(&from.as_u64());
+            }
+            moved
+        };
+        let count = moved.len();
+        self.queues.entry(to.as_u64()).or_default().extend(moved);
+        count
+    }
+
+    /// Removes `waiter` from the queue of `addr` (timeout / interruption
+    /// path). Returns `true` if it was queued.
+    pub fn cancel(&mut self, addr: VirtAddr, waiter: ThreadId) -> bool {
+        let Some(queue) = self.queues.get_mut(&addr.as_u64()) else {
+            return false;
+        };
+        let before = queue.len();
+        queue.retain(|w| *w != waiter);
+        let removed = queue.len() != before;
+        if queue.is_empty() {
+            self.queues.remove(&addr.as_u64());
+        }
+        removed
+    }
+
+    /// Number of threads waiting on `addr`.
+    pub fn waiters(&self, addr: VirtAddr) -> usize {
+        self.queues.get(&addr.as_u64()).map_or(0, |q| q.len())
+    }
+
+    /// Total number of waiting threads across all addresses.
+    pub fn total_waiters(&self) -> usize {
+        self.queues.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> ThreadId {
+        ThreadId(n)
+    }
+
+    fn a(n: u64) -> VirtAddr {
+        VirtAddr::new(n)
+    }
+
+    #[test]
+    fn wake_on_empty_queue_returns_nothing() {
+        let mut f = FutexTable::new();
+        assert_eq!(f.wake(a(0x10), 5), vec![]);
+    }
+
+    #[test]
+    fn wake_is_fifo() {
+        let mut f = FutexTable::new();
+        for i in 0..4 {
+            f.enqueue(a(0x10), t(i));
+        }
+        assert_eq!(f.wake(a(0x10), 2), vec![t(0), t(1)]);
+        assert_eq!(f.wake(a(0x10), 10), vec![t(2), t(3)]);
+        assert_eq!(f.waiters(a(0x10)), 0);
+    }
+
+    #[test]
+    fn queues_are_per_address() {
+        let mut f = FutexTable::new();
+        f.enqueue(a(0x10), t(1));
+        f.enqueue(a(0x20), t(2));
+        assert_eq!(f.wake(a(0x10), 10), vec![t(1)]);
+        assert_eq!(f.waiters(a(0x20)), 1);
+        assert_eq!(f.total_waiters(), 1);
+    }
+
+    #[test]
+    fn requeue_moves_without_waking() {
+        let mut f = FutexTable::new();
+        for i in 0..3 {
+            f.enqueue(a(0x10), t(i));
+        }
+        assert_eq!(f.requeue(a(0x10), a(0x20), 2), 2);
+        assert_eq!(f.waiters(a(0x10)), 1);
+        assert_eq!(f.waiters(a(0x20)), 2);
+        assert_eq!(f.wake(a(0x20), 10), vec![t(0), t(1)]);
+    }
+
+    #[test]
+    fn requeue_to_self_is_noop() {
+        let mut f = FutexTable::new();
+        f.enqueue(a(0x10), t(1));
+        assert_eq!(f.requeue(a(0x10), a(0x10), 5), 0);
+        assert_eq!(f.waiters(a(0x10)), 1);
+    }
+
+    #[test]
+    fn cancel_removes_specific_waiter() {
+        let mut f = FutexTable::new();
+        f.enqueue(a(0x10), t(1));
+        f.enqueue(a(0x10), t(2));
+        assert!(f.cancel(a(0x10), t(1)));
+        assert!(!f.cancel(a(0x10), t(1)));
+        assert_eq!(f.wake(a(0x10), 10), vec![t(2)]);
+    }
+}

@@ -1,0 +1,59 @@
+//! # dex-os — simulated per-node operating-system substrate
+//!
+//! The DEX paper modifies the Linux kernel's virtual-memory subsystem; this
+//! crate is the simulated stand-in: everything a node-local kernel provides
+//! that the DEX protocol builds on.
+//!
+//! * [`VirtAddr`] / [`Vpn`] / [`PageFrame`] — pages with real bytes.
+//! * [`RadixTree`] — the per-process index structure used for both page
+//!   tables and the ownership directory (as in the paper, §III-B).
+//! * [`PageTable`] / [`Pte`] / [`Access`] — per-replica permission state;
+//!   the consistency protocol is armed through PTE permissions.
+//! * [`VmaSet`] / [`Vma`] / [`Prot`] — address-space ranges with
+//!   `mmap`/`munmap`/`mprotect` (including splitting) and a generation
+//!   counter for on-demand synchronization.
+//! * [`AddressSpace`] — one node's replica: VMAs + page table + frames,
+//!   with the fault classification ([`MemFault`]) DEX dispatches on.
+//! * [`FutexTable`] — futex wait queues (the substrate for delegated
+//!   synchronization).
+//! * [`Tcb`] / [`ExecutionContext`] — thread control blocks and the
+//!   architectural state captured at migration.
+//!
+//! # Examples
+//!
+//! Classifying an access the way DEX's fault handler does:
+//!
+//! ```
+//! use dex_os::{Access, AddressSpace, MemFault, Prot, Pte, VmaKind};
+//!
+//! let mut space = AddressSpace::new();
+//! let addr = space.vmas.mmap(4096, Prot::RW, VmaKind::Heap, None);
+//!
+//! // Mapped but not owned: protocol fault (fetch page from owner).
+//! assert!(matches!(
+//!     space.check(addr, Access::Write),
+//!     Err(MemFault::Protocol { .. })
+//! ));
+//!
+//! // Ownership granted: the access proceeds with plain loads/stores.
+//! space.page_table.set(addr.vpn(), Pte::READ_WRITE);
+//! assert!(space.check(addr, Access::Write).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+mod futex;
+mod mm;
+mod page;
+mod pte;
+mod radix;
+mod task;
+mod vma;
+
+pub use futex::FutexTable;
+pub use mm::{AddressSpace, MemFault};
+pub use page::{pages_covering, PageFrame, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use pte::{Access, PageTable, Pte};
+pub use radix::{Iter as RadixIter, RadixTree};
+pub use task::{ExecutionContext, Pid, TaskState, Tcb, Tid, CONTEXT_BYTES, GP_REGS};
+pub use vma::{Prot, Vma, VmaError, VmaKind, VmaSet, MMAP_BASE};

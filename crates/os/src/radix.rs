@@ -1,0 +1,473 @@
+//! A dynamic-height radix tree keyed by `u64`.
+//!
+//! The paper tracks page ownership "in a per-process radix tree which
+//! indexes the information by the virtual page address" (§III-B) — the
+//! same structure the Linux kernel uses for its page cache. This module
+//! implements that structure: 64-way fanout (6 bits per level), height
+//! grown on demand, in-order iteration.
+//!
+//! Compared to a `BTreeMap`, lookups cost a fixed number of pointer hops
+//! proportional to the key width actually in use, and densely-clustered
+//! keys (page numbers of adjacent pages) share interior nodes.
+
+const FANOUT_BITS: u32 = 6;
+const FANOUT: usize = 1 << FANOUT_BITS; // 64
+
+enum Slot<V> {
+    Node(Box<Node<V>>),
+    Value(V),
+}
+
+struct Node<V> {
+    slots: [Option<Slot<V>>; FANOUT],
+    occupied: u32,
+}
+
+impl<V> Node<V> {
+    fn new() -> Box<Self> {
+        Box::new(Node {
+            slots: std::array::from_fn(|_| None),
+            occupied: 0,
+        })
+    }
+}
+
+/// A radix tree mapping `u64` keys to values, with Linux-pagecache-style
+/// 64-way fanout and on-demand height growth.
+///
+/// # Examples
+///
+/// ```
+/// use dex_os::RadixTree;
+///
+/// let mut tree = RadixTree::new();
+/// assert_eq!(tree.insert(0x1000, "a"), None);
+/// assert_eq!(tree.insert(0x1000, "b"), Some("a"));
+/// assert_eq!(tree.get(0x1000), Some(&"b"));
+/// assert_eq!(tree.remove(0x1000), Some("b"));
+/// assert!(tree.is_empty());
+/// ```
+pub struct RadixTree<V> {
+    root: Option<Box<Node<V>>>,
+    /// Number of levels below the root; a height-1 tree holds keys < 64.
+    height: u32,
+    len: usize,
+}
+
+impl<V> Default for RadixTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> RadixTree<V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RadixTree {
+            root: None,
+            height: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest key representable at the current height.
+    fn max_key(&self) -> u64 {
+        if self.height == 0 {
+            return 0;
+        }
+        let bits = (self.height * FANOUT_BITS).min(64);
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+
+    fn grow_to_fit(&mut self, key: u64) {
+        if self.root.is_none() {
+            self.height = 1;
+            self.root = Some(Node::new());
+        }
+        while key > self.max_key() {
+            // Wrap the current root as slot 0 of a taller root.
+            let old = self.root.take().expect("root exists while growing");
+            let mut new_root = Node::new();
+            if old.occupied > 0 {
+                new_root.slots[0] = Some(Slot::Node(old));
+                new_root.occupied = 1;
+            }
+            self.root = Some(new_root);
+            self.height += 1;
+        }
+    }
+
+    fn slot_index(key: u64, level_from_leaf: u32) -> usize {
+        let shift = level_from_leaf * FANOUT_BITS;
+        if shift >= 64 {
+            0
+        } else {
+            ((key >> shift) & (FANOUT as u64 - 1)) as usize
+        }
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        self.grow_to_fit(key);
+        let height = self.height;
+        let mut node = self.root.as_mut().expect("root grown");
+        for level in (1..height).rev() {
+            let idx = Self::slot_index(key, level);
+            if node.slots[idx].is_none() {
+                node.slots[idx] = Some(Slot::Node(Node::new()));
+                node.occupied += 1;
+            }
+            node = match node.slots[idx].as_mut() {
+                Some(Slot::Node(n)) => n,
+                _ => unreachable!("interior slot holds a value"),
+            };
+        }
+        let idx = Self::slot_index(key, 0);
+        let old = node.slots[idx].replace(Slot::Value(value));
+        match old {
+            Some(Slot::Value(v)) => Some(v),
+            Some(Slot::Node(_)) => unreachable!("leaf slot holds a node"),
+            None => {
+                node.occupied += 1;
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns a reference to the value at `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        if self.root.is_none() || key > self.max_key() {
+            return None;
+        }
+        let mut node = self.root.as_ref().expect("checked above");
+        for level in (1..self.height).rev() {
+            let idx = Self::slot_index(key, level);
+            node = match node.slots[idx].as_ref()? {
+                Slot::Node(n) => n,
+                Slot::Value(_) => unreachable!("interior slot holds a value"),
+            };
+        }
+        match node.slots[Self::slot_index(key, 0)].as_ref()? {
+            Slot::Value(v) => Some(v),
+            Slot::Node(_) => unreachable!("leaf slot holds a node"),
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        if self.root.is_none() || key > self.max_key() {
+            return None;
+        }
+        let height = self.height;
+        let mut node = self.root.as_mut().expect("checked above");
+        for level in (1..height).rev() {
+            let idx = Self::slot_index(key, level);
+            node = match node.slots[idx].as_mut()? {
+                Slot::Node(n) => n,
+                Slot::Value(_) => unreachable!("interior slot holds a value"),
+            };
+        }
+        match node.slots[Self::slot_index(key, 0)].as_mut()? {
+            Slot::Value(v) => Some(v),
+            Slot::Node(_) => unreachable!("leaf slot holds a node"),
+        }
+    }
+
+    /// Returns a mutable reference to the value at `key`, inserting the
+    /// result of `default` first if absent.
+    pub fn get_or_insert_with(&mut self, key: u64, default: impl FnOnce() -> V) -> &mut V {
+        if self.get(key).is_none() {
+            self.insert(key, default());
+        }
+        self.get_mut(key).expect("just inserted")
+    }
+
+    /// Removes and returns the value at `key`. Empty interior nodes are
+    /// pruned on the way back up.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        if self.root.is_none() || key > self.max_key() {
+            return None;
+        }
+        let height = self.height;
+        let root = self.root.as_mut().expect("checked above");
+        let (removed, _empty) = Self::remove_rec(root, key, height - 1);
+        if removed.is_some() {
+            self.len -= 1;
+            if self.len == 0 {
+                self.root = None;
+                self.height = 0;
+            }
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<V>, key: u64, level: u32) -> (Option<V>, bool) {
+        let idx = Self::slot_index(key, level);
+        let removed = if level == 0 {
+            match node.slots[idx].take() {
+                Some(Slot::Value(v)) => {
+                    node.occupied -= 1;
+                    Some(v)
+                }
+                Some(other) => {
+                    node.slots[idx] = Some(other);
+                    None
+                }
+                None => None,
+            }
+        } else {
+            match node.slots[idx].as_mut() {
+                Some(Slot::Node(child)) => {
+                    let (removed, child_empty) = Self::remove_rec(child, key, level - 1);
+                    if child_empty {
+                        node.slots[idx] = None;
+                        node.occupied -= 1;
+                    }
+                    removed
+                }
+                _ => None,
+            }
+        };
+        (removed, node.occupied == 0)
+    }
+
+    /// Iterates `(key, &value)` pairs in ascending key order.
+    pub fn iter(&self) -> Iter<'_, V> {
+        let mut stack = Vec::new();
+        if let Some(root) = self.root.as_deref() {
+            stack.push(Frame {
+                node: root,
+                next_slot: 0,
+                prefix: 0,
+                level: self.height - 1,
+            });
+        }
+        Iter { stack }
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+}
+
+impl<V: std::fmt::Debug> std::fmt::Debug for RadixTree<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<V> FromIterator<(u64, V)> for RadixTree<V> {
+    fn from_iter<I: IntoIterator<Item = (u64, V)>>(iter: I) -> Self {
+        let mut tree = RadixTree::new();
+        for (k, v) in iter {
+            tree.insert(k, v);
+        }
+        tree
+    }
+}
+
+impl<V> Extend<(u64, V)> for RadixTree<V> {
+    fn extend<I: IntoIterator<Item = (u64, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.insert(k, v);
+        }
+    }
+}
+
+struct Frame<'a, V> {
+    node: &'a Node<V>,
+    next_slot: usize,
+    prefix: u64,
+    level: u32,
+}
+
+/// In-order iterator over a [`RadixTree`]; created by [`RadixTree::iter`].
+pub struct Iter<'a, V> {
+    stack: Vec<Frame<'a, V>>,
+}
+
+impl<'a, V> Iterator for Iter<'a, V> {
+    type Item = (u64, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let frame = self.stack.last_mut()?;
+            if frame.next_slot >= FANOUT {
+                self.stack.pop();
+                continue;
+            }
+            let idx = frame.next_slot;
+            frame.next_slot += 1;
+            let key_part = (frame.prefix << FANOUT_BITS) | idx as u64;
+            match frame.node.slots[idx].as_ref() {
+                None => continue,
+                Some(Slot::Value(v)) => return Some((key_part, v)),
+                Some(Slot::Node(child)) => {
+                    let level = frame.level - 1;
+                    self.stack.push(Frame {
+                        node: child,
+                        next_slot: 0,
+                        prefix: key_part,
+                        level,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree_behaves() {
+        let tree: RadixTree<u32> = RadixTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.get(0), None);
+        assert_eq!(tree.get(u64::MAX), None);
+        assert_eq!(tree.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut tree = RadixTree::new();
+        assert_eq!(tree.insert(5, "five"), None);
+        assert_eq!(tree.insert(5, "FIVE"), Some("five"));
+        assert_eq!(tree.get(5), Some(&"FIVE"));
+        assert_eq!(tree.remove(5), Some("FIVE"));
+        assert_eq!(tree.remove(5), None);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn height_grows_for_large_keys() {
+        let mut tree = RadixTree::new();
+        tree.insert(1, 1u32);
+        tree.insert(1 << 30, 2);
+        tree.insert(u64::MAX, 3);
+        assert_eq!(tree.get(1), Some(&1));
+        assert_eq!(tree.get(1 << 30), Some(&2));
+        assert_eq!(tree.get(u64::MAX), Some(&3));
+        assert_eq!(tree.len(), 3);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut tree = RadixTree::new();
+        tree.insert(77, vec![1]);
+        tree.get_mut(77).unwrap().push(2);
+        assert_eq!(tree.get(77), Some(&vec![1, 2]));
+    }
+
+    #[test]
+    fn get_or_insert_with_inserts_once() {
+        let mut tree = RadixTree::new();
+        *tree.get_or_insert_with(9, || 10) += 1;
+        *tree.get_or_insert_with(9, || 99) += 1;
+        assert_eq!(tree.get(9), Some(&12));
+    }
+
+    #[test]
+    fn iter_is_in_key_order() {
+        let mut tree = RadixTree::new();
+        for k in [900u64, 3, 70_000, 1, 64, 65, 4096] {
+            tree.insert(k, k * 2);
+        }
+        let got: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, 2),
+                (3, 6),
+                (64, 128),
+                (65, 130),
+                (900, 1800),
+                (4096, 8192),
+                (70_000, 140_000)
+            ]
+        );
+    }
+
+    #[test]
+    fn dense_page_range_like_workload() {
+        let mut tree = RadixTree::new();
+        for vpn in 0x400u64..0x800 {
+            tree.insert(vpn, vpn as u32);
+        }
+        assert_eq!(tree.len(), 0x400);
+        for vpn in 0x400u64..0x800 {
+            assert_eq!(tree.get(vpn), Some(&(vpn as u32)));
+        }
+        assert_eq!(tree.get(0x3ff), None);
+        assert_eq!(tree.get(0x800), None);
+    }
+
+    #[test]
+    fn remove_prunes_and_reuses() {
+        let mut tree = RadixTree::new();
+        for k in 0..1000u64 {
+            tree.insert(k * 131, k);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(tree.remove(k * 131), Some(k));
+        }
+        assert!(tree.is_empty());
+        // Tree is usable after full drain.
+        tree.insert(42, 42);
+        assert_eq!(tree.get(42), Some(&42));
+    }
+
+    #[test]
+    fn matches_btreemap_on_mixed_ops() {
+        let mut tree = RadixTree::new();
+        let mut model = BTreeMap::new();
+        let mut state = 0x12345678u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..10_000 {
+            let key = rand() % 512 * 97;
+            match rand() % 3 {
+                0 => {
+                    let v = rand();
+                    assert_eq!(tree.insert(key, v), model.insert(key, v));
+                }
+                1 => assert_eq!(tree.get(key), model.get(&key)),
+                _ => assert_eq!(tree.remove(key), model.remove(&key)),
+            }
+            assert_eq!(tree.len(), model.len());
+        }
+        let tree_items: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let model_items: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(tree_items, model_items);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut tree: RadixTree<u8> = [(1u64, 1u8), (2, 2)].into_iter().collect();
+        tree.extend([(3u64, 3u8)]);
+        assert_eq!(tree.len(), 3);
+        assert_eq!(tree.keys().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Task control blocks and execution contexts.
+//!
+//! To migrate a thread, DEX captures "the execution context that describes
+//! the current state of the thread" — on Linux, `struct pt_regs` plus the
+//! address-space identity (§III-A). The simulated analogue is
+//! [`ExecutionContext`]: a register file, instruction and stack pointers,
+//! and FP state, which serializes to the same order of magnitude of bytes
+//! that a real context transfer moves. Migration correctness tests verify
+//! the context round-trips bit-exactly through the messaging layer.
+
+use crate::page::VirtAddr;
+
+/// Number of general-purpose registers captured (x86-64: rax..r15).
+pub const GP_REGS: usize = 16;
+
+/// The architectural state captured when a thread migrates.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ExecutionContext {
+    /// General-purpose registers.
+    pub regs: [u64; GP_REGS],
+    /// Instruction pointer.
+    pub ip: u64,
+    /// Stack pointer.
+    pub sp: u64,
+    /// Flags register.
+    pub flags: u64,
+    /// FS base (thread-local storage pointer).
+    pub fs_base: u64,
+}
+
+/// Size in bytes of a serialized [`ExecutionContext`].
+pub const CONTEXT_BYTES: usize = (GP_REGS + 4) * 8;
+
+impl ExecutionContext {
+    /// Serializes to a fixed little-endian layout for transfer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(CONTEXT_BYTES);
+        for r in self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        for v in [self.ip, self.sp, self.flags, self.fs_base] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a context previously produced by
+    /// [`ExecutionContext::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if `bytes` has the wrong length.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != CONTEXT_BYTES {
+            return None;
+        }
+        let mut words = bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        let mut regs = [0u64; GP_REGS];
+        for r in regs.iter_mut() {
+            *r = words.next().expect("length checked");
+        }
+        Some(ExecutionContext {
+            regs,
+            ip: words.next().expect("length checked"),
+            sp: words.next().expect("length checked"),
+            flags: words.next().expect("length checked"),
+            fs_base: words.next().expect("length checked"),
+        })
+    }
+}
+
+/// Identifies a process in the cluster. Processes are created at their
+/// *origin* node; the id is cluster-unique.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid-{}", self.0)
+    }
+}
+
+/// Identifies an application thread within a process (the paper's "task
+/// ID" in fault traces).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tid(pub u64);
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tid-{}", self.0)
+    }
+}
+
+/// Lifecycle state of a thread control block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TaskState {
+    /// Executing locally at its current node.
+    Running,
+    /// At the origin, parked while its remote pair executes (servicing
+    /// delegated work).
+    WaitingForRemote,
+    /// Parked in a futex wait queue.
+    FutexWait,
+    /// Exited.
+    Dead,
+}
+
+/// A thread control block: the kernel-side identity of one application
+/// thread.
+#[derive(Clone, Debug)]
+pub struct Tcb {
+    /// Thread id within the process.
+    pub tid: Tid,
+    /// Owning process.
+    pub pid: Pid,
+    /// Captured architectural state (valid while not running).
+    pub context: ExecutionContext,
+    /// Lifecycle state.
+    pub state: TaskState,
+    /// Base of this thread's stack VMA (threads fault on each other's
+    /// stacks only through false sharing — the profiler flags that).
+    pub stack_base: VirtAddr,
+}
+
+impl Tcb {
+    /// Creates a runnable TCB with a zeroed context.
+    pub fn new(pid: Pid, tid: Tid, stack_base: VirtAddr) -> Self {
+        Tcb {
+            tid,
+            pid,
+            context: ExecutionContext::default(),
+            state: TaskState::Running,
+            stack_base,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_roundtrips_through_bytes() {
+        let mut ctx = ExecutionContext::default();
+        for (i, r) in ctx.regs.iter_mut().enumerate() {
+            *r = (i as u64 + 1) * 0x0101_0101_0101_0101;
+        }
+        ctx.ip = 0xdead_beef;
+        ctx.sp = 0x7fff_f000;
+        ctx.flags = 0x246;
+        ctx.fs_base = 0x7f00_0000;
+        let bytes = ctx.to_bytes();
+        assert_eq!(bytes.len(), CONTEXT_BYTES);
+        assert_eq!(ExecutionContext::from_bytes(&bytes), Some(ctx));
+    }
+
+    #[test]
+    fn context_from_wrong_length_fails() {
+        assert_eq!(ExecutionContext::from_bytes(&[0u8; 7]), None);
+        assert_eq!(ExecutionContext::from_bytes(&[]), None);
+    }
+
+    #[test]
+    fn context_size_matches_pt_regs_scale() {
+        // Linux x86-64 pt_regs is 168 bytes; ours is 160 — same scale, so
+        // migration message sizing is realistic.
+        assert_eq!(CONTEXT_BYTES, 160);
+    }
+
+    #[test]
+    fn tcb_starts_runnable() {
+        let tcb = Tcb::new(Pid(1), Tid(2), VirtAddr::new(0x7000_0000));
+        assert_eq!(tcb.state, TaskState::Running);
+        assert_eq!(tcb.context, ExecutionContext::default());
+    }
+}

@@ -1,0 +1,47 @@
+//! # dex-prof — the DEX page-fault profiling toolchain
+//!
+//! The paper's §IV workflow made applications scale: run under tracing,
+//! find the pages and code sites causing cross-node traffic, separate
+//! falsely-shared objects onto their own pages, and stage updates to
+//! truly-shared objects locally. This crate is the offline half of that
+//! toolchain:
+//!
+//! * [`Profile`] — aggregates a six-tuple fault trace into hot pages, hot
+//!   code sites, per-thread patterns, and a fault timeline.
+//! * [`Profile::false_sharing_suspects`] — pages carrying multiple objects
+//!   with conflicting cross-node access (fix: pad / page-align).
+//! * [`Profile::contended_objects`] — single objects under true sharing
+//!   (fix: stage updates locally, merge per iteration).
+//! * [`render_report`] — the human-readable report.
+//!
+//! # Examples
+//!
+//! Profile a run and render the report:
+//!
+//! ```
+//! use dex_core::{Cluster, ClusterConfig};
+//! use dex_prof::{render_report, Profile, ReportOptions};
+//!
+//! let cluster = Cluster::new(ClusterConfig::new(2).with_trace());
+//! let report = cluster.run(|p| {
+//!     let hot = p.alloc_cell_tagged::<u64>(0, "hot_flag");
+//!     p.spawn(move |ctx| {
+//!         ctx.set_site("example.loop");
+//!         ctx.migrate(1).unwrap();
+//!         for _ in 0..10 {
+//!             hot.rmw(ctx, |v| v + 1);
+//!         }
+//!     });
+//! });
+//! let profile = Profile::from_trace(&report.trace);
+//! let text = render_report(&profile, &ReportOptions::default());
+//! assert!(text.contains("hot_flag"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyze;
+mod report;
+
+pub use analyze::{FalseSharingSuspect, NodeTraffic, PageStat, Profile, SiteStat};
+pub use report::{render_report, ReportOptions};

@@ -1,0 +1,789 @@
+//! The discrete-event simulation engine.
+//!
+//! # Execution model
+//!
+//! Simulated threads are real OS threads that run **one at a time** under a
+//! strict handshake with the engine's driver loop: the driver resumes a
+//! thread, then blocks until that thread yields back (by advancing virtual
+//! time, parking, or exiting). All inter-thread ordering is decided by a
+//! single event queue ordered by `(virtual time, sequence number)`, so a
+//! simulation is fully deterministic regardless of host scheduling.
+//!
+//! Because exactly one simulated thread runs at any moment (and the driver
+//! is blocked while it does), simulated threads may freely share state via
+//! ordinary `Mutex`es — the locks are never contended.
+//!
+//! # Thread lifecycle
+//!
+//! * [`Engine::spawn`] / [`SimCtx::spawn`] create a thread; it first runs at
+//!   the virtual instant it was spawned.
+//! * [`SimCtx::advance`] moves the thread forward in virtual time.
+//! * [`SimCtx::park`] blocks until another thread calls [`SimCtx::unpark`].
+//! * Returning from the closure exits the thread.
+//!
+//! When the event queue drains, the engine shuts down remaining *daemon*
+//! threads (infrastructure loops such as message handlers) by unwinding
+//! them; a remaining parked **non-daemon** thread is reported as a
+//! deadlock.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a simulated thread within one [`Engine`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ThreadId(pub u64);
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sim-thread-{}", self.0)
+    }
+}
+
+/// Error returned by [`Engine::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while non-daemon threads were still parked;
+    /// the named threads can never run again.
+    Deadlock {
+        /// Names of the parked non-daemon threads.
+        parked: Vec<String>,
+    },
+    /// The configured event budget was exhausted, which usually indicates a
+    /// livelock in the simulated system.
+    EventBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock { parked } => {
+                write!(f, "simulation deadlock: threads parked forever: {parked:?}")
+            }
+            SimError::EventBudgetExhausted { budget } => {
+                write!(f, "simulation exceeded event budget of {budget} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Token unwound through a simulated thread when the engine shuts it down.
+///
+/// Library code never needs to touch this: the per-thread wrapper catches
+/// it. It is public only so that `catch_unwind`-using callers can
+/// distinguish engine shutdown from a genuine panic.
+pub struct ShutdownToken;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ParkState {
+    /// Running or scheduled to run; not waiting for an unpark.
+    Running,
+    /// An unpark arrived while running; the next `park()` returns at once.
+    Notified,
+    /// Blocked in `park()`, no resume scheduled yet.
+    Parked,
+    /// Blocked in `park()` with a resume event already queued.
+    ParkedScheduled,
+}
+
+enum Resume {
+    Go,
+    Shutdown,
+}
+
+enum YieldMsg {
+    /// The thread scheduled its own resume (via `advance`).
+    Scheduled,
+    /// The thread parked and must be woken via `unpark`.
+    Parked,
+    /// The thread's closure returned (or it was shut down).
+    Exited,
+    /// The thread's closure panicked with this message.
+    Panicked(String),
+}
+
+struct ThreadSlot {
+    name: String,
+    daemon: bool,
+    resume_tx: mpsc::Sender<Resume>,
+    park: ParkState,
+    exited: bool,
+    join: Option<JoinHandle<()>>,
+}
+
+#[derive(PartialEq, Eq)]
+struct EventKey {
+    time: SimTime,
+    seq: u64,
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct State {
+    clock: SimTime,
+    next_seq: u64,
+    next_tid: u64,
+    queue: BinaryHeap<Reverse<(EventKey, ThreadId)>>,
+    threads: HashMap<ThreadId, ThreadSlot>,
+    yield_tx: mpsc::Sender<(ThreadId, YieldMsg)>,
+    events_processed: u64,
+}
+
+impl State {
+    fn schedule(&mut self, at: SimTime, tid: ThreadId) {
+        let key = EventKey {
+            time: at,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.queue.push(Reverse((key, tid)));
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+}
+
+/// The discrete-event simulation engine. See the crate-level docs for
+/// the execution model.
+///
+/// # Examples
+///
+/// ```
+/// use dex_sim::{Engine, SimDuration, SimTime};
+/// use std::sync::Arc;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let engine = Engine::new();
+/// let hits = Arc::new(AtomicU64::new(0));
+/// for i in 0..4 {
+///     let hits = Arc::clone(&hits);
+///     engine.spawn(format!("worker-{i}"), move |ctx| {
+///         ctx.advance(SimDuration::from_micros(i + 1));
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     });
+/// }
+/// let end = engine.run().expect("no deadlock");
+/// assert_eq!(hits.load(Ordering::Relaxed), 4);
+/// assert_eq!(end, SimTime::ZERO + SimDuration::from_micros(4));
+/// ```
+pub struct Engine {
+    shared: Arc<Shared>,
+    yield_rx: mpsc::Receiver<(ThreadId, YieldMsg)>,
+    event_budget: u64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an effectively unlimited event budget.
+    pub fn new() -> Self {
+        Self::with_event_budget(u64::MAX)
+    }
+
+    /// Creates an engine that aborts with
+    /// [`SimError::EventBudgetExhausted`] after processing `budget` events —
+    /// a guard against livelocked simulations.
+    pub fn with_event_budget(budget: u64) -> Self {
+        let (yield_tx, yield_rx) = mpsc::channel();
+        Engine {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State {
+                    clock: SimTime::ZERO,
+                    next_seq: 0,
+                    next_tid: 0,
+                    queue: BinaryHeap::new(),
+                    threads: HashMap::new(),
+                    yield_tx,
+                    events_processed: 0,
+                }),
+            }),
+            yield_rx,
+            event_budget: budget,
+        }
+    }
+
+    /// Spawns a non-daemon simulated thread that first runs at the current
+    /// virtual time. The engine reports a deadlock if it can never finish.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_thread(&self.shared, name.into(), false, f)
+    }
+
+    /// Spawns a *daemon* thread: an infrastructure loop (e.g. a message
+    /// handler) that the engine silently shuts down once the event queue
+    /// drains.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_thread(&self.shared, name.into(), true, f)
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// Returns the final virtual time.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Deadlock`] if non-daemon threads remain parked when no
+    ///   events are left.
+    /// * [`SimError::EventBudgetExhausted`] if the event budget runs out.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a simulated thread (so `assert!` inside
+    /// simulated code fails the enclosing test).
+    pub fn run(self) -> Result<SimTime, SimError> {
+        let mut deadlocked: Vec<String> = Vec::new();
+        let mut budget_hit = false;
+        let mut panic_msg: Option<String> = None;
+
+        loop {
+            let next = {
+                let mut st = self.shared.state.lock();
+                if st.events_processed >= self.event_budget {
+                    budget_hit = true;
+                    None
+                } else {
+                    st.queue.pop().map(|Reverse((key, tid))| {
+                        st.events_processed += 1;
+                        st.clock = key.time;
+                        (key.time, tid)
+                    })
+                }
+            };
+            let Some((_, tid)) = next else { break };
+
+            // Resume the thread and wait for it to yield back.
+            {
+                let mut st = self.shared.state.lock();
+                let slot = st.threads.get_mut(&tid).expect("event for unknown thread");
+                if slot.exited {
+                    continue;
+                }
+                slot.park = ParkState::Running;
+                // Thread may not be at its receiver yet only on the very
+                // first resume; mpsc buffers the message either way.
+                let _ = slot.resume_tx.send(Resume::Go);
+            }
+            match self.yield_rx.recv() {
+                Ok((ytid, msg)) => {
+                    debug_assert_eq!(ytid, tid, "yield from unexpected thread");
+                    match msg {
+                        YieldMsg::Scheduled | YieldMsg::Parked => {}
+                        YieldMsg::Exited => {
+                            let mut st = self.shared.state.lock();
+                            if let Some(slot) = st.threads.get_mut(&tid) {
+                                slot.exited = true;
+                            }
+                        }
+                        YieldMsg::Panicked(msg) => {
+                            let mut st = self.shared.state.lock();
+                            if let Some(slot) = st.threads.get_mut(&tid) {
+                                slot.exited = true;
+                            }
+                            panic_msg = Some(msg);
+                            break;
+                        }
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+
+        // The queue is drained (or we aborted). Shut down every thread that
+        // is still alive; collect non-daemon ones as deadlocked unless we
+        // are aborting for another reason.
+        let alive: Vec<ThreadId> = {
+            let st = self.shared.state.lock();
+            st.threads
+                .iter()
+                .filter(|(_, s)| !s.exited)
+                .map(|(tid, _)| *tid)
+                .collect()
+        };
+        for tid in alive {
+            let (is_daemon, name) = {
+                let mut st = self.shared.state.lock();
+                let slot = match st.threads.get_mut(&tid) {
+                    Some(s) if !s.exited => s,
+                    _ => continue,
+                };
+                let info = (slot.daemon, slot.name.clone());
+                let _ = slot.resume_tx.send(Resume::Shutdown);
+                info
+            };
+            if !is_daemon && panic_msg.is_none() && !budget_hit {
+                deadlocked.push(name);
+            }
+            // Wait for the Exited acknowledgment so joins cannot hang.
+            loop {
+                match self.yield_rx.recv() {
+                    Ok((ytid, YieldMsg::Exited)) if ytid == tid => break,
+                    Ok((ytid, YieldMsg::Panicked(m))) if ytid == tid => {
+                        if panic_msg.is_none() {
+                            panic_msg = Some(m);
+                        }
+                        break;
+                    }
+                    Ok(_) => continue,
+                    Err(_) => break,
+                }
+            }
+            let mut st = self.shared.state.lock();
+            if let Some(slot) = st.threads.get_mut(&tid) {
+                slot.exited = true;
+            }
+        }
+
+        // Join all real threads.
+        let joins: Vec<JoinHandle<()>> = {
+            let mut st = self.shared.state.lock();
+            st.threads
+                .values_mut()
+                .filter_map(|s| s.join.take())
+                .collect()
+        };
+        for j in joins {
+            let _ = j.join();
+        }
+
+        if let Some(msg) = panic_msg {
+            panic!("simulated thread panicked: {msg}");
+        }
+        if budget_hit {
+            return Err(SimError::EventBudgetExhausted {
+                budget: self.event_budget,
+            });
+        }
+        if !deadlocked.is_empty() {
+            deadlocked.sort();
+            return Err(SimError::Deadlock { parked: deadlocked });
+        }
+        let clock = self.shared.state.lock().clock;
+        Ok(clock)
+    }
+}
+
+fn spawn_thread<F>(shared: &Arc<Shared>, name: String, daemon: bool, f: F) -> ThreadId
+where
+    F: FnOnce(&SimCtx) + Send + 'static,
+{
+    let (resume_tx, resume_rx) = mpsc::channel();
+    let mut st = shared.state.lock();
+    let tid = ThreadId(st.next_tid);
+    st.next_tid += 1;
+    let yield_tx = st.yield_tx.clone();
+    let ctx = SimCtx {
+        tid,
+        shared: Arc::clone(shared),
+        resume_rx,
+        yield_tx: yield_tx.clone(),
+    };
+    let tname = name.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("{tname}#{}", tid.0))
+        .stack_size(512 * 1024)
+        .spawn(move || {
+            // Wait for the first resume before touching anything.
+            match ctx.resume_rx.recv() {
+                Ok(Resume::Go) => {}
+                Ok(Resume::Shutdown) | Err(_) => {
+                    let _ = ctx.yield_tx.send((tid, YieldMsg::Exited));
+                    return;
+                }
+            }
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(&ctx)));
+            let msg = match result {
+                Ok(()) => YieldMsg::Exited,
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownToken>().is_some() {
+                        YieldMsg::Exited
+                    } else if let Some(s) = payload.downcast_ref::<&str>() {
+                        YieldMsg::Panicked((*s).to_string())
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        YieldMsg::Panicked(s.clone())
+                    } else {
+                        YieldMsg::Panicked("non-string panic payload".to_string())
+                    }
+                }
+            };
+            let _ = ctx.yield_tx.send((tid, msg));
+        })
+        .expect("failed to spawn simulated thread");
+    st.threads.insert(
+        tid,
+        ThreadSlot {
+            name,
+            daemon,
+            resume_tx,
+            park: ParkState::Running,
+            exited: false,
+            join: Some(join),
+        },
+    );
+    // First run at the current virtual instant.
+    let now = st.clock;
+    st.schedule(now, tid);
+    tid
+}
+
+/// Handle through which a simulated thread interacts with virtual time and
+/// other simulated threads. Each thread receives a `&SimCtx` for its whole
+/// lifetime; the context is bound to that thread and is not `Sync`.
+pub struct SimCtx {
+    tid: ThreadId,
+    shared: Arc<Shared>,
+    resume_rx: mpsc::Receiver<Resume>,
+    yield_tx: mpsc::Sender<(ThreadId, YieldMsg)>,
+}
+
+impl SimCtx {
+    /// The identifier of this simulated thread.
+    pub fn id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.state.lock().clock
+    }
+
+    /// Number of events the engine has processed so far (a monotone,
+    /// deterministic activity measure).
+    pub fn events_processed(&self) -> u64 {
+        self.shared.state.lock().events_processed
+    }
+
+    /// Advances this thread's virtual time by `d`, letting other threads run
+    /// in the meantime. `advance(ZERO)` yields the (virtual) CPU without
+    /// moving the clock.
+    pub fn advance(&self, d: SimDuration) {
+        {
+            let mut st = self.shared.state.lock();
+            let at = st.clock + d;
+            st.schedule(at, self.tid);
+        }
+        self.yield_and_wait(YieldMsg::Scheduled);
+    }
+
+    /// Advances this thread to the absolute instant `t` (no-op if `t` is in
+    /// the past).
+    pub fn sleep_until(&self, t: SimTime) {
+        let now = self.now();
+        self.advance(t.saturating_since(now));
+    }
+
+    /// Blocks this thread until another thread calls [`SimCtx::unpark`] with
+    /// its id. If an unpark was already delivered since the last `park`,
+    /// returns immediately (token semantics, like [`std::thread::park`]).
+    pub fn park(&self) {
+        {
+            let mut st = self.shared.state.lock();
+            let slot = st.threads.get_mut(&self.tid).expect("own slot missing");
+            match slot.park {
+                ParkState::Notified => {
+                    slot.park = ParkState::Running;
+                    return;
+                }
+                ParkState::Running => slot.park = ParkState::Parked,
+                ParkState::Parked | ParkState::ParkedScheduled => {
+                    unreachable!("thread parked while already parked")
+                }
+            }
+        }
+        self.yield_and_wait(YieldMsg::Parked);
+    }
+
+    /// Wakes the thread `target`. If it is parked, it resumes at the current
+    /// virtual time; otherwise its next `park()` returns immediately.
+    pub fn unpark(&self, target: ThreadId) {
+        let mut st = self.shared.state.lock();
+        let now = st.clock;
+        let Some(slot) = st.threads.get_mut(&target) else {
+            return;
+        };
+        if slot.exited {
+            return;
+        }
+        match slot.park {
+            ParkState::Running => slot.park = ParkState::Notified,
+            ParkState::Notified | ParkState::ParkedScheduled => {}
+            ParkState::Parked => {
+                slot.park = ParkState::ParkedScheduled;
+                st.schedule(now, target);
+            }
+        }
+    }
+
+    /// Spawns a new non-daemon simulated thread starting at the current
+    /// virtual time.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_thread(&self.shared, name.into(), false, f)
+    }
+
+    /// Spawns a daemon (infrastructure) thread; see [`Engine::spawn_daemon`].
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&SimCtx) + Send + 'static,
+    {
+        spawn_thread(&self.shared, name.into(), true, f)
+    }
+
+    fn yield_and_wait(&self, msg: YieldMsg) {
+        self.yield_tx
+            .send((self.tid, msg))
+            .expect("engine dropped yield channel");
+        match self.resume_rx.recv() {
+            Ok(Resume::Go) => {}
+            Ok(Resume::Shutdown) | Err(_) => {
+                panic::resume_unwind(Box::new(ShutdownToken));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SimCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCtx").field("tid", &self.tid).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn empty_engine_finishes_at_zero() {
+        let engine = Engine::new();
+        assert_eq!(engine.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn single_thread_advances_clock() {
+        let engine = Engine::new();
+        engine.spawn("t", |ctx| {
+            assert_eq!(ctx.now(), SimTime::ZERO);
+            ctx.advance(SimDuration::from_micros(5));
+            assert_eq!(ctx.now(), SimTime::from_nanos(5_000));
+        });
+        assert_eq!(engine.run().unwrap(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn threads_interleave_in_time_order() {
+        let engine = Engine::new();
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        for (name, delay) in [("late", 30u64), ("early", 10), ("mid", 20)] {
+            let log = StdArc::clone(&log);
+            engine.spawn(name, move |ctx| {
+                ctx.advance(SimDuration::from_nanos(delay));
+                log.lock().push(name);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*log.lock(), vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn same_time_events_run_in_schedule_order() {
+        let engine = Engine::new();
+        let log = StdArc::new(Mutex::new(Vec::new()));
+        for i in 0..8 {
+            let log = StdArc::clone(&log);
+            engine.spawn(format!("t{i}"), move |ctx| {
+                ctx.advance(SimDuration::from_nanos(7));
+                log.lock().push(i);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn park_unpark_roundtrip() {
+        let engine = Engine::new();
+        let waiter_tid = StdArc::new(Mutex::new(None));
+        let order = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            let order = StdArc::clone(&order);
+            let tid_holder = StdArc::clone(&waiter_tid);
+            engine.spawn("waiter", move |ctx| {
+                *tid_holder.lock() = Some(ctx.id());
+                order.lock().push("waiting");
+                ctx.park();
+                order.lock().push("woken");
+            });
+        }
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            let order = StdArc::clone(&order);
+            engine.spawn("waker", move |ctx| {
+                ctx.advance(SimDuration::from_micros(1));
+                order.lock().push("waking");
+                let tid = waiter_tid.lock().unwrap();
+                ctx.unpark(tid);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*order.lock(), vec!["waiting", "waking", "woken"]);
+    }
+
+    #[test]
+    fn unpark_before_park_is_not_lost() {
+        let engine = Engine::new();
+        engine.spawn("self-notify", |ctx| {
+            // Unpark self while running: next park returns immediately.
+            ctx.unpark(ctx.id());
+            ctx.park();
+            // A second park would block forever, proving the token was
+            // consumed; we don't test that here (it would deadlock).
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_thread_name() {
+        let engine = Engine::new();
+        engine.spawn("stuck-thread", |ctx| {
+            ctx.park();
+        });
+        match engine.run() {
+            Err(SimError::Deadlock { parked }) => {
+                assert_eq!(parked, vec!["stuck-thread".to_string()])
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemon_threads_do_not_deadlock() {
+        let engine = Engine::new();
+        let ran = StdArc::new(AtomicU64::new(0));
+        {
+            let ran = StdArc::clone(&ran);
+            engine.spawn_daemon("handler-loop", move |ctx| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                loop {
+                    ctx.park(); // shut down by the engine at drain
+                }
+            });
+        }
+        engine.spawn("work", |ctx| ctx.advance(SimDuration::from_micros(2)));
+        let end = engine.run().unwrap();
+        assert_eq!(end, SimTime::from_nanos(2_000));
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn spawn_from_sim_thread_starts_at_now() {
+        let engine = Engine::new();
+        let seen = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let seen = StdArc::clone(&seen);
+            engine.spawn("parent", move |ctx| {
+                ctx.advance(SimDuration::from_micros(3));
+                let seen2 = StdArc::clone(&seen);
+                ctx.spawn("child", move |ctx| {
+                    seen2.lock().push(ctx.now());
+                });
+                ctx.advance(SimDuration::from_micros(1));
+                seen.lock().push(ctx.now());
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(
+            *seen.lock(),
+            vec![SimTime::from_nanos(3_000), SimTime::from_nanos(4_000)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn panic_in_sim_thread_propagates() {
+        let engine = Engine::new();
+        engine.spawn("bomber", |_ctx| panic!("boom"));
+        let _ = engine.run();
+    }
+
+    #[test]
+    fn event_budget_detects_livelock() {
+        let engine = Engine::with_event_budget(100);
+        engine.spawn("spinner", |ctx| loop {
+            ctx.advance(SimDuration::ZERO);
+        });
+        match engine.run() {
+            Err(SimError::EventBudgetExhausted { budget }) => assert_eq!(budget, 100),
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn determinism_same_run_same_trace() {
+        fn run_once() -> Vec<(u64, u64)> {
+            let engine = Engine::new();
+            let log = StdArc::new(Mutex::new(Vec::new()));
+            for i in 0..10u64 {
+                let log = StdArc::clone(&log);
+                engine.spawn(format!("t{i}"), move |ctx| {
+                    for k in 0..5 {
+                        ctx.advance(SimDuration::from_nanos((i * 7 + k * 13) % 29 + 1));
+                        log.lock().push((i, ctx.now().as_nanos()));
+                    }
+                });
+            }
+            engine.run().unwrap();
+            let v = log.lock().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn sleep_until_past_is_noop() {
+        let engine = Engine::new();
+        engine.spawn("t", |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            ctx.sleep_until(SimTime::from_nanos(1)); // in the past
+            assert_eq!(ctx.now(), SimTime::from_nanos(10_000));
+            ctx.sleep_until(SimTime::from_nanos(20_000));
+            assert_eq!(ctx.now(), SimTime::from_nanos(20_000));
+        });
+        engine.run().unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic pseudo-random number generation for workloads.
+//!
+//! The simulator must be reproducible bit-for-bit across runs and Rust
+//! versions, so workload generators use a self-contained xoshiro256**
+//! generator seeded via SplitMix64 rather than an external RNG whose
+//! stream might change between releases.
+
+/// A small, fast, deterministic PRNG (xoshiro256** seeded with SplitMix64).
+///
+/// # Examples
+///
+/// ```
+/// use dex_sim::SimRng;
+///
+/// let mut a = SimRng::new(7);
+/// let mut b = SimRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// let x = a.gen_range(10..20);
+/// assert!((10..20).contains(&x));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives an independent child generator (for per-thread streams).
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ stream.wrapping_mul(0xA24BAED4963EE407))
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range on empty range");
+        let span = range.end - range.start;
+        // Lemire's multiply-shift rejection-free mapping is fine here: a
+        // tiny modulo bias is acceptable for workload generation.
+        range.start + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A normally-distributed value (Box–Muller).
+    pub fn gen_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        let u1 = self.gen_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.gen_f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..(i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SimRng::new(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(100..110);
+            assert!((100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = SimRng::new(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 8 buckets should be hit");
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut rng = SimRng::new(11);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = SimRng::new(13);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.gen_normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = SimRng::new(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(3);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SimRng::new(1);
+        let _ = rng.gen_range(5..5);
+    }
+}

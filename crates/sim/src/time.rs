@@ -1,0 +1,308 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulated latencies and timestamps are expressed in nanoseconds of
+//! *virtual* time. [`SimTime`] is an absolute instant on the simulation
+//! clock; [`SimDuration`] is a span between two instants. Both are thin
+//! newtypes over `u64` so they are free to copy and order, while keeping
+//! instants and spans statically distinct (you cannot add two instants).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the virtual simulation clock, in nanoseconds
+/// since the start of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dex_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_micros(3);
+/// assert_eq!(t.as_nanos(), 3_000);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_nanos(3_000));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use dex_sim::SimDuration;
+///
+/// let d = SimDuration::from_micros(2) + SimDuration::from_nanos(500);
+/// assert_eq!(d.as_nanos(), 2_500);
+/// assert_eq!(d * 4, SimDuration::from_micros(10));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The latest representable instant; used as an "infinitely far" bound.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `nanos` nanoseconds after simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Returns the number of nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this instant as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns this instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the span from `earlier` to `self`, saturating to zero if
+    /// `earlier` is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `nanos` nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration(nanos)
+    }
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// Creates a span from fractional microseconds, rounding to nanoseconds.
+    pub fn from_micros_f64(micros: f64) -> Self {
+        SimDuration((micros * 1_000.0).round().max(0.0) as u64)
+    }
+
+    /// Returns the span in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the span as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Saturating subtraction of spans.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        assert!(
+            self.0 >= rhs.0,
+            "SimTime subtraction underflow: {self:?} - {rhs:?}"
+        );
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        assert!(
+            self.0 >= rhs.0,
+            "SimDuration subtraction underflow: {self:?} - {rhs:?}"
+        );
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", format_nanos(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+fn format_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.3}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.3}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.3}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_roundtrips() {
+        let t = SimTime::from_nanos(1_000) + SimDuration::from_micros(2);
+        assert_eq!(t.as_nanos(), 3_000);
+        assert_eq!(t - SimTime::from_nanos(1_000), SimDuration::from_micros(2));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1_000)
+        );
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn duration_from_micros_f64_rounds() {
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
+        assert_eq!(SimDuration::from_micros_f64(0.0004).as_nanos(), 0);
+        assert_eq!(SimDuration::from_micros_f64(-3.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_underflow() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(50);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_nanos(40));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_subtraction_panics_on_underflow() {
+        let _ = SimTime::from_nanos(1) - SimTime::from_nanos(2);
+    }
+
+    #[test]
+    fn display_picks_readable_units() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(5)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
+        assert_eq!(total, SimDuration::from_micros(10));
+        assert_eq!(SimDuration::from_micros(3) * 3, SimDuration::from_micros(9));
+        assert_eq!(SimDuration::from_micros(9) / 3, SimDuration::from_micros(3));
+    }
+}

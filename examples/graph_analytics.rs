@@ -1,0 +1,51 @@
+//! Graph analytics beyond one machine: BFS and belief propagation.
+//!
+//! The paper's Polymer applications show the two faces of DEX: BP is
+//! memory-bandwidth bound and scales super-linearly once its working set
+//! spreads over more memory systems; BFS is dominated by fine-grained
+//! remote writes and stays below single-machine performance even after
+//! Polymer's NUMA-style optimization.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use dex::apps::{bfs, bp, reference_checksum, AppParams, Variant};
+
+fn main() {
+    println!("== BP: belief propagation (bandwidth-bound sweeps) ==\n");
+    let bp_base = bp::run(&AppParams::new(1, Variant::Baseline));
+    for nodes in [2, 4, 8] {
+        let params = AppParams::new(nodes, Variant::Initial);
+        let run = bp::run(&params);
+        assert_eq!(run.checksum, reference_checksum("BP", &params));
+        let speedup = bp_base.elapsed.as_secs_f64() / run.elapsed.as_secs_f64();
+        let marker = if speedup > nodes as f64 { "  <- super-linear" } else { "" };
+        println!(
+            "  {nodes} nodes: {} ({speedup:.2}x vs 1-node baseline){marker}",
+            run.elapsed
+        );
+    }
+    println!("\n  One node saturates its memory channels; spreading the sweep");
+    println!("  aggregates bandwidth and shrinks each node's working set");
+    println!("  toward its cache — the paper measured 3.84x from 1 to 2 nodes.\n");
+
+    println!("== BFS: breadth-first search (scattered discovery writes) ==\n");
+    let bfs_base = bfs::run(&AppParams::new(1, Variant::Baseline));
+    for variant in [Variant::Initial, Variant::Optimized] {
+        let params = AppParams::new(2, variant);
+        let run = bfs::run(&params);
+        assert_eq!(run.checksum, reference_checksum("BFS", &params));
+        let speedup = bfs_base.elapsed.as_secs_f64() / run.elapsed.as_secs_f64();
+        println!(
+            "  {variant:9} on 2 nodes: {} ({speedup:.2}x), {} invalidations",
+            run.elapsed, run.stats.invalidations
+        );
+    }
+    println!("\n  Partitioning edges by destination makes every discovery write");
+    println!("  node-local (fewer invalidations), but frontier reads still");
+    println!("  cross nodes every level — BFS improves yet stays below 1x,");
+    println!("  exactly the paper's outcome.");
+}

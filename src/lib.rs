@@ -1,0 +1,47 @@
+//! # DEX — Distributed eXecution environment (reproduction)
+//!
+//! This facade crate re-exports every layer of the DEX reproduction so that
+//! examples, integration tests, and downstream users can depend on a single
+//! crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation kernel (virtual time,
+//!   simulated threads, shared resources).
+//! * [`net`] — simulated InfiniBand messaging layer (VERB send/recv with
+//!   buffer pools, RDMA sink, latency/bandwidth cost model).
+//! * [`os`] — simulated per-node operating-system substrate (page tables,
+//!   VMAs, futexes, radix trees).
+//! * [`core`] — the DEX contribution itself: transparent thread migration,
+//!   work delegation, and the page-granularity sequential-consistency
+//!   protocol with leader–follower fault coalescing.
+//! * [`prof`] — the page-fault profiling toolchain used to find and remove
+//!   false page sharing.
+//! * [`apps`] — the eight evaluation applications (GRP, KMN, BT, EP, FT,
+//!   BLK, BFS, BP) in baseline / initial / optimized variants.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use dex::core::{Cluster, ClusterConfig};
+//!
+//! // Build a 2-node cluster, run one process whose single thread migrates
+//! // to node 1, increments a distributed counter, and comes home.
+//! let cluster = Cluster::new(ClusterConfig::new(2));
+//! let report = cluster.run(|proc_| {
+//!     let counter = proc_.alloc_cell::<u64>(0);
+//!     proc_.spawn(move |ctx| {
+//!         ctx.migrate(1).expect("migrate to node 1");
+//!         let v = counter.get(ctx);
+//!         counter.set(ctx, v + 1);
+//!         ctx.migrate_back().expect("return to origin");
+//!         assert_eq!(counter.get(ctx), 1);
+//!     });
+//! });
+//! assert!(report.stats.forward_migrations >= 1);
+//! ```
+
+pub use dex_apps as apps;
+pub use dex_core as core;
+pub use dex_net as net;
+pub use dex_os as os;
+pub use dex_prof as prof;
+pub use dex_sim as sim;

@@ -1,0 +1,141 @@
+//! Cross-crate integration tests through the `dex` facade: simulator +
+//! fabric + OS substrate + protocol + profiler + applications together.
+
+use dex::apps::{reference_checksum, run_app, AppParams, Variant, ALL_APPS};
+use dex::core::{Cluster, ClusterConfig, NodeId};
+use dex::prof::Profile;
+use dex::sim::SimDuration;
+
+#[test]
+fn every_application_is_correct_on_three_nodes() {
+    // The headline correctness claim: all eight applications compute the
+    // same answers distributed as the sequential reference, in both
+    // variants. (Test scale keeps this fast.)
+    for app in ALL_APPS {
+        for variant in [Variant::Initial, Variant::Optimized] {
+            let params = AppParams::test(3, variant);
+            let result = run_app(app, &params);
+            assert_eq!(
+                result.checksum,
+                reference_checksum(app, &params),
+                "{app} {variant} diverged from the sequential reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn applications_are_deterministic_across_runs() {
+    for app in ["GRP", "BP"] {
+        let params = AppParams::test(2, Variant::Optimized);
+        let a = run_app(app, &params);
+        let b = run_app(app, &params);
+        assert_eq!(a.elapsed, b.elapsed, "{app} virtual time must repeat");
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.stats, b.stats, "{app} protocol stats must repeat");
+    }
+}
+
+#[test]
+fn profiler_attributes_app_traffic_to_objects() {
+    let params = AppParams::test(2, Variant::Initial).with_trace();
+    let result = run_app("KMN", &params);
+    let profile = Profile::from_trace(&result.report.trace);
+    assert!(profile.events() > 0, "KMN initial must fault");
+    // The shared accumulators must surface in the hot pages.
+    let hot_tags: Vec<String> = profile
+        .hot_pages()
+        .into_iter()
+        .take(3)
+        .flat_map(|(_, s)| s.tags.iter().cloned().collect::<Vec<_>>())
+        .collect();
+    assert!(
+        hot_tags.iter().any(|t| t.contains("centroid") || t.contains("changed")),
+        "hot pages should name the accumulators: {hot_tags:?}"
+    );
+}
+
+#[test]
+fn migration_and_memory_compose_across_all_nodes() {
+    // One thread walks the whole rack, carrying a counter through every
+    // node's memory system.
+    let cluster = Cluster::new(ClusterConfig::new(8));
+    let mut cell = None;
+    let report = cluster.run(|p| {
+        let c = p.alloc_cell_tagged::<u64>(0, "walker");
+        cell = Some(c);
+        p.spawn(move |ctx| {
+            for hop in 0..8u16 {
+                ctx.migrate(hop).expect("node exists");
+                assert_eq!(ctx.node(), NodeId(hop));
+                c.rmw(ctx, |v| v + 1);
+            }
+            ctx.migrate_back().expect("home");
+        });
+    });
+    assert_eq!(cell.unwrap().snapshot(&report), 8);
+    // 7 forward hops (node 0 is home); remote-to-remote goes home first.
+    assert_eq!(report.stats.forward_migrations, 7);
+}
+
+#[test]
+fn delegated_synchronization_spans_the_facade() {
+    // Producer/consumer across nodes using only mutex + condvar.
+    let cluster = Cluster::new(ClusterConfig::new(3));
+    let mut out = None;
+    let report = cluster.run(|p| {
+        let queue = p.alloc_vec_aligned::<u64>(16, "queue");
+        let head = p.alloc_cell_tagged::<u32>(0, "head");
+        let consumed = p.alloc_cell_tagged::<u64>(0, "consumed_sum");
+        out = Some(consumed);
+        let mutex = p.new_mutex("queue_lock");
+        let cv = p.new_condvar("queue_cv");
+        p.spawn(move |ctx| {
+            ctx.migrate(1).expect("node 1");
+            for i in 0..16u64 {
+                mutex.lock(ctx);
+                let h = head.get(ctx);
+                queue.set(ctx, h as usize, i * i);
+                head.set(ctx, h + 1);
+                cv.notify_one(ctx);
+                mutex.unlock(ctx);
+                ctx.compute_ops(10_000);
+            }
+        });
+        p.spawn(move |ctx| {
+            ctx.migrate(2).expect("node 2");
+            let mut taken = 0u32;
+            let mut sum = 0u64;
+            while taken < 16 {
+                mutex.lock(ctx);
+                while head.get(ctx) <= taken {
+                    cv.wait(ctx, &mutex);
+                }
+                sum += queue.get(ctx, taken as usize);
+                taken += 1;
+                mutex.unlock(ctx);
+            }
+            consumed.set(ctx, sum);
+        });
+    });
+    let expected: u64 = (0..16u64).map(|i| i * i).sum();
+    assert_eq!(out.unwrap().snapshot(&report), expected);
+    assert!(report.stats.delegations > 0, "futexes were delegated");
+}
+
+#[test]
+fn fault_histogram_reaches_report_consumers() {
+    let cluster = Cluster::new(ClusterConfig::new(2));
+    let report = cluster.run(|p| {
+        let v = p.alloc_vec::<u64>(4096, "data");
+        p.spawn(move |ctx| {
+            ctx.migrate(1).expect("node 1");
+            for i in 0..v.len() {
+                v.set(ctx, i, 1);
+            }
+        });
+    });
+    assert!(report.fault_hist.count() >= 8, "one fault per page");
+    assert!(report.fault_hist.mean() > SimDuration::from_micros(5));
+    assert!(report.fault_hist.mean() < SimDuration::from_micros(60));
+}

@@ -1,0 +1,182 @@
+//! Property-based tests on the reproduction's core invariants.
+
+use proptest::prelude::*;
+
+use dex::core::{Cluster, ClusterConfig};
+use dex::os::{ExecutionContext, Prot, RadixTree, VirtAddr, VmaKind, VmaSet, PAGE_SIZE};
+
+// ---------------------------------------------------------------- radix --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The radix tree behaves exactly like a BTreeMap under arbitrary
+    /// insert/get/remove sequences over page-number-shaped keys.
+    #[test]
+    fn radix_tree_matches_btreemap(ops in proptest::collection::vec(
+        (0u8..3, 0u64..1 << 40), 1..300
+    )) {
+        let mut tree = RadixTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for (op, key) in ops {
+            match op {
+                0 => prop_assert_eq!(tree.insert(key, key), model.insert(key, key)),
+                1 => prop_assert_eq!(tree.get(key), model.get(&key)),
+                _ => prop_assert_eq!(tree.remove(key), model.remove(&key)),
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        let got: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
+        let want: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Execution contexts survive serialization bit-exactly for any
+    /// register contents.
+    #[test]
+    fn execution_context_roundtrips(regs in proptest::array::uniform16(any::<u64>()),
+                                    ip in any::<u64>(), sp in any::<u64>()) {
+        let ctx = ExecutionContext { regs, ip, sp, flags: 0x246, fs_base: 0 };
+        let decoded = ExecutionContext::from_bytes(&ctx.to_bytes());
+        prop_assert_eq!(decoded, Some(ctx));
+    }
+}
+
+// ----------------------------------------------------------------- vma --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any sequence of page-aligned mmap/munmap operations, `find`
+    /// agrees with a page-level model of what is mapped.
+    #[test]
+    fn vma_set_matches_page_model(ops in proptest::collection::vec(
+        (any::<bool>(), 0u64..64, 1u64..8), 1..60
+    )) {
+        let mut set = VmaSet::new();
+        let mut model = vec![false; 128];
+        for (map, page, len) in ops {
+            let addr = VirtAddr::new(page * PAGE_SIZE as u64);
+            let bytes = len * PAGE_SIZE as u64;
+            if map {
+                // mmap_fixed fails on overlap; only apply when free.
+                let free = (page..page + len).all(|p| !model[p as usize]);
+                let result = set.mmap_fixed(addr, bytes, Prot::RW, VmaKind::Anon, None);
+                prop_assert_eq!(result.is_ok(), free);
+                if free {
+                    for p in page..page + len {
+                        model[p as usize] = true;
+                    }
+                }
+            } else {
+                set.munmap(addr, bytes).expect("aligned munmap");
+                for p in page..page + len {
+                    model[p as usize] = false;
+                }
+            }
+            for (p, mapped) in model.iter().enumerate() {
+                let probe = VirtAddr::new(p as u64 * PAGE_SIZE as u64 + 17);
+                prop_assert_eq!(
+                    set.find(probe).is_some(),
+                    *mapped,
+                    "page {} mapping state diverged", p
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- dsm coherence --
+
+/// One thread hops nodes at random and performs random reads/writes; the
+/// observed values must match a flat byte-array model — sequential
+/// consistency for a single mover, end to end through migration, VMA
+/// sync, and the ownership protocol.
+#[derive(Clone, Debug)]
+enum DsmOp {
+    Write { offset: usize, value: u64 },
+    Read { offset: usize },
+    Migrate { node: u16 },
+}
+
+fn dsm_op() -> impl Strategy<Value = DsmOp> {
+    prop_oneof![
+        (0usize..4000, any::<u64>()).prop_map(|(offset, value)| DsmOp::Write {
+            offset: offset * 8,
+            value
+        }),
+        (0usize..4000).prop_map(|offset| DsmOp::Read { offset: offset * 8 }),
+        (0u16..4).prop_map(|node| DsmOp::Migrate { node }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn single_mover_sees_sequential_memory(ops in proptest::collection::vec(dsm_op(), 1..80)) {
+        let cluster = Cluster::new(ClusterConfig::new(4));
+        let ops2 = ops.clone();
+        cluster.run(|p| {
+            let region = p.alloc_vec::<u64>(4000, "region");
+            p.spawn(move |ctx| {
+                let mut model = vec![0u64; 4000];
+                for op in &ops2 {
+                    match op {
+                        DsmOp::Write { offset, value } => {
+                            region.set(ctx, offset / 8, *value);
+                            model[offset / 8] = *value;
+                        }
+                        DsmOp::Read { offset } => {
+                            let got = region.get(ctx, offset / 8);
+                            assert_eq!(
+                                got, model[offset / 8],
+                                "read at {offset} diverged from model"
+                            );
+                        }
+                        DsmOp::Migrate { node } => {
+                            ctx.migrate(*node).expect("node exists");
+                        }
+                    }
+                }
+            });
+        });
+    }
+
+    /// Two threads on different nodes alternate turns under a mutex; the
+    /// interleaved writes must linearize exactly like the sequential
+    /// model (multi-writer coherence).
+    #[test]
+    fn lock_step_writers_linearize(values in proptest::collection::vec(any::<u64>(), 2..40)) {
+        let cluster = Cluster::new(ClusterConfig::new(2));
+        let n = values.len();
+        let values2 = values.clone();
+        let mut log_handle = None;
+        let report = cluster.run(|p| {
+            let log = p.alloc_vec::<u64>(n, "log");
+            log_handle = Some(log);
+            let turn = p.alloc_cell_tagged::<u32>(0, "turn");
+            for me in 0..2u16 {
+                let values = values2.clone();
+                p.spawn(move |ctx| {
+                    ctx.migrate(me).expect("node exists");
+                    loop {
+                        let t = turn.get(ctx);
+                        if t as usize >= n {
+                            break;
+                        }
+                        if t % 2 != me as u32 {
+                            // Not my turn: wait for the flag to move.
+                            ctx.compute_ops(2_000);
+                            continue;
+                        }
+                        log.set(ctx, t as usize, values[t as usize]);
+                        turn.set(ctx, t + 1);
+                    }
+                });
+            }
+        });
+        let got = log_handle.unwrap().snapshot(&report);
+        prop_assert_eq!(got, values);
+    }
+}
