@@ -7,7 +7,9 @@
 //! array; the *optimized* port page-aligns each thread's result slab.
 
 use crate::workloads::{black_scholes, option_batch, OptionContract};
-use crate::{migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant};
+use crate::{
+    migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant,
+};
 
 /// Abstract ops per option: PARSEC evaluates the closed form NUM_RUNS=100
 /// times per option (logs, exp, polynomial CND each time).
@@ -104,7 +106,11 @@ pub fn run(params: &AppParams) -> AppResult {
         for (w, slab) in price_handles.iter().enumerate() {
             let first = w * per_worker;
             let last = (first + per_worker).min(n);
-            for v in slab.snapshot(&report).iter().take(last.saturating_sub(first)) {
+            for v in slab
+                .snapshot(&report)
+                .iter()
+                .take(last.saturating_sub(first))
+            {
                 sum = sum.wrapping_add(*v);
             }
         }

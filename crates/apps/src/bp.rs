@@ -13,7 +13,9 @@
 //! fits in the Xeon 4110's 11 MiB LLC, only a quarter of the bytes hit
 //! DRAM (documented in DESIGN.md).
 
-use crate::{migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant};
+use crate::{
+    migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant,
+};
 
 /// Effective per-node cache: 11 MiB L3 plus the eight cores' 1 MiB L2s.
 const LLC_BYTES: u64 = 16 * 1024 * 1024;

@@ -119,8 +119,7 @@ pub fn run(params: &AppParams) -> AppResult {
                 // Serial section: main prepares this timestep's region
                 // parameters (writes to the param page).
                 ctx.set_site("bt.serial_setup");
-                let values: Vec<u64> =
-                    (0..d.regions).map(|r| region_param(iter, r)).collect();
+                let values: Vec<u64> = (0..d.regions).map(|r| region_param(iter, r)).collect();
                 region_params.write_slice(ctx, 0, &values);
                 parent_stack.set(ctx, 0, iter as u64);
                 ctx.compute_ops(1_000);
@@ -157,8 +156,7 @@ pub fn run(params: &AppParams) -> AppResult {
                                     }
                                     grid.write_slice(ctx, r * d.cols, &row);
                                     ctx.compute_ops(d.cols as u64 * OPS_PER_ELEMENT);
-                                    let rnorm =
-                                        row.iter().fold(0u64, |a, v| a.wrapping_add(*v));
+                                    let rnorm = row.iter().fold(0u64, |a, v| a.wrapping_add(*v));
                                     if optimized {
                                         local_residual = local_residual.wrapping_add(rnorm);
                                     } else {
@@ -184,8 +182,11 @@ pub fn run(params: &AppParams) -> AppResult {
                                     ctx.set_site("bt.serial_tail");
                                     progress.rmw(ctx, |v| v + 1);
                                     if !optimized {
-                                        parent_stack
-                                            .set(ctx, 1, (iter * d.regions + region) as u64);
+                                        parent_stack.set(
+                                            ctx,
+                                            1,
+                                            (iter * d.regions + region) as u64,
+                                        );
                                     }
                                 }
                                 barrier.wait(ctx);

@@ -28,7 +28,10 @@ struct Dims {
 fn dims(scale: Scale) -> Dims {
     match scale {
         Scale::Test => Dims { side: 64, iters: 2 },
-        Scale::Evaluation => Dims { side: 192, iters: 3 },
+        Scale::Evaluation => Dims {
+            side: 192,
+            iters: 3,
+        },
     }
 }
 

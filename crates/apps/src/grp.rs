@@ -108,9 +108,7 @@ pub fn run(params: &AppParams) -> AppResult {
                             for occ in 0..*n {
                                 let addr = counts.addr_of(k);
                                 ctx.rmw_bytes(addr, 8, |b| {
-                                    let v = u64::from_le_bytes(
-                                        b.try_into().expect("8 bytes"),
-                                    );
+                                    let v = u64::from_le_bytes(b.try_into().expect("8 bytes"));
                                     b.copy_from_slice(&(v + 1).to_le_bytes());
                                 });
                                 // Record the match position in this

@@ -12,7 +12,9 @@
 //! sequential reference.
 
 use crate::workloads::gaussian_points;
-use crate::{migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant};
+use crate::{
+    migrate_home, migrate_worker, mix, quantize, run_cluster, AppParams, AppResult, Scale, Variant,
+};
 
 const FIXED: f64 = 1e6;
 
@@ -192,12 +194,9 @@ pub fn run(params: &AppParams) -> AppResult {
                                     });
                                     let addn = local_counts[c] as u64;
                                     ctx.rmw_bytes(counts.addr_of(c), 8, |b| {
-                                        let cur = u64::from_le_bytes(
-                                            b.try_into().expect("8 bytes"),
-                                        );
-                                        b.copy_from_slice(
-                                            &cur.wrapping_add(addn).to_le_bytes(),
-                                        );
+                                        let cur =
+                                            u64::from_le_bytes(b.try_into().expect("8 bytes"));
+                                        b.copy_from_slice(&cur.wrapping_add(addn).to_le_bytes());
                                     });
                                     local_sums[c] = [0; 3];
                                     local_counts[c] = 0;
@@ -245,8 +244,10 @@ pub fn run(params: &AppParams) -> AppResult {
                         let mut n = vec![0u64; k];
                         sums.read_slice(ctx, 0, &mut s);
                         counts.read_slice(ctx, 0, &mut n);
-                        let si: Vec<[i64; 3]> =
-                            s.iter().map(|a| std::array::from_fn(|d| a[d] as i64)).collect();
+                        let si: Vec<[i64; 3]> = s
+                            .iter()
+                            .map(|a| std::array::from_fn(|d| a[d] as i64))
+                            .collect();
                         let ni: Vec<i64> = n.iter().map(|v| *v as i64).collect();
                         let new_centroids = recompute(&si, &ni, &cbuf);
                         centroids.write_slice(ctx, 0, &new_centroids);

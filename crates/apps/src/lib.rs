@@ -94,6 +94,8 @@ pub struct AppParams {
     pub seed: u64,
     /// Collect a page-fault trace.
     pub trace: bool,
+    /// Record synchronization/access events for `dex-check races`.
+    pub race: bool,
 }
 
 impl AppParams {
@@ -107,6 +109,7 @@ impl AppParams {
             scale: Scale::Evaluation,
             seed: 42,
             trace: false,
+            race: false,
         }
     }
 
@@ -119,12 +122,19 @@ impl AppParams {
             scale: Scale::Test,
             seed: 42,
             trace: false,
+            race: false,
         }
     }
 
     /// Enables page-fault tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables synchronization/access event recording (race detection).
+    pub fn with_race_detection(mut self) -> Self {
+        self.race = true;
         self
     }
 
@@ -154,6 +164,9 @@ impl AppParams {
         let mut config = ClusterConfig::new(nodes);
         if self.trace {
             config = config.with_trace();
+        }
+        if self.race {
+            config = config.with_race_detection();
         }
         config
     }

@@ -111,7 +111,10 @@ impl Csr {
 ///
 /// Panics unless `vertices` is a power of two (R-MAT recursion).
 pub fn rmat_graph(seed: u64, vertices: usize, edges: usize) -> Csr {
-    assert!(vertices.is_power_of_two(), "R-MAT needs a power-of-two vertex count");
+    assert!(
+        vertices.is_power_of_two(),
+        "R-MAT needs a power-of-two vertex count"
+    );
     let (a, b, c) = (0.57, 0.19, 0.19);
     let mut rng = SimRng::new(seed ^ 0x524d);
     let levels = vertices.trailing_zeros();
@@ -308,7 +311,10 @@ mod tests {
         let price = black_scholes(&call);
         // Known value ~10.45 for these canonical parameters.
         assert!((10.0..11.0).contains(&price), "price {price}");
-        let put = OptionContract { call: false, ..call };
+        let put = OptionContract {
+            call: false,
+            ..call
+        };
         let put_price = black_scholes(&put);
         // Put-call parity: C - P = S - K e^{-rT}.
         let parity = price - put_price;

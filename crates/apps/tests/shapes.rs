@@ -36,7 +36,10 @@ fn bp_scales_superlinearly_at_two_nodes() {
     // Paper §V-B: BP increased 3.84x from 1 to 2 nodes (bandwidth/cache
     // bound); the reproduction must at least beat linear.
     let s = speedup("BP", 2, Variant::Initial);
-    assert!(s > 2.0, "BP initial at 2 nodes: {s:.2}x (expected superlinear)");
+    assert!(
+        s > 2.0,
+        "BP initial at 2 nodes: {s:.2}x (expected superlinear)"
+    );
 }
 
 #[test]
@@ -53,7 +56,10 @@ fn bfs_optimization_helps_but_does_not_win() {
     // single-machine performance.
     let initial = speedup("BFS", 2, Variant::Initial);
     let optimized = speedup("BFS", 2, Variant::Optimized);
-    assert!(optimized > initial, "optimization should help: {optimized:.2} vs {initial:.2}");
+    assert!(
+        optimized > initial,
+        "optimization should help: {optimized:.2} vs {initial:.2}"
+    );
     assert!(optimized < 1.0, "BFS stays below 1x: {optimized:.2}");
 }
 
@@ -63,7 +69,10 @@ fn kmn_optimization_turns_degradation_into_scaling() {
     let initial = speedup("KMN", 4, Variant::Initial);
     let optimized = speedup("KMN", 4, Variant::Optimized);
     assert!(initial < 1.2, "KMN initial should not scale: {initial:.2}x");
-    assert!(optimized > 2.0, "KMN optimized should scale: {optimized:.2}x");
+    assert!(
+        optimized > 2.0,
+        "KMN optimized should scale: {optimized:.2}x"
+    );
 }
 
 #[test]
@@ -74,7 +83,10 @@ fn grp_optimization_enables_scaling() {
         optimized > initial + 0.3,
         "GRP optimized {optimized:.2}x vs initial {initial:.2}x"
     );
-    assert!(optimized > 1.5, "GRP optimized should scale: {optimized:.2}x");
+    assert!(
+        optimized > 1.5,
+        "GRP optimized should scale: {optimized:.2}x"
+    );
 }
 
 #[test]
@@ -84,5 +96,8 @@ fn bt_optimization_crosses_single_machine() {
     let initial = speedup("BT", 4, Variant::Initial);
     let optimized = speedup("BT", 4, Variant::Optimized);
     assert!(initial < 1.1, "BT initial should not scale: {initial:.2}x");
-    assert!(optimized > 1.2, "BT optimized should cross 1x: {optimized:.2}x");
+    assert!(
+        optimized > 1.2,
+        "BT optimized should cross 1x: {optimized:.2}x"
+    );
 }

@@ -11,10 +11,10 @@ fn figure_harnesses(c: &mut Criterion) {
 
     // Figure 2, one representative cell per regime.
     for (app, nodes, variant) in [
-        ("EP", 2, Variant::Initial),      // scale-ready
-        ("KMN", 2, Variant::Optimized),   // optimized to scale
-        ("FT", 2, Variant::Optimized),    // communication-bound
-        ("BP", 2, Variant::Initial),      // bandwidth-bound
+        ("EP", 2, Variant::Initial),    // scale-ready
+        ("KMN", 2, Variant::Optimized), // optimized to scale
+        ("FT", 2, Variant::Optimized),  // communication-bound
+        ("BP", 2, Variant::Initial),    // bandwidth-bound
     ] {
         group.bench_function(format!("fig2_{app}_{nodes}n_{variant}"), |b| {
             b.iter(|| {

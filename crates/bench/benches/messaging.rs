@@ -4,7 +4,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dex_net::{Fabric, NetConfig, NodeId, WireMessage};
 use dex_sim::Engine;
 
-struct Ping(u64);
+struct Ping(#[allow(dead_code)] u64);
 
 impl WireMessage for Ping {
     fn control_bytes(&self) -> usize {

@@ -137,7 +137,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["app", "initial speedup", "optimized speedup", "initial wf", "optimized wf"],
+            &[
+                "app",
+                "initial speedup",
+                "optimized speedup",
+                "initial wf",
+                "optimized wf"
+            ],
             &rows
         )
     );
@@ -147,9 +153,17 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["zero-page optimization", "virtual time", "page payloads sent"],
             &[
-                vec!["off (stock kernel)".into(), format!("{t_zp_off}"), pages_off.to_string()],
+                "zero-page optimization",
+                "virtual time",
+                "page payloads sent"
+            ],
+            &[
+                vec![
+                    "off (stock kernel)".into(),
+                    format!("{t_zp_off}"),
+                    pages_off.to_string()
+                ],
                 vec!["on".into(), format!("{t_zp_on}"), pages_on.to_string()],
             ]
         )

@@ -20,8 +20,14 @@ fn main() {
     let fabrics: [(&str, NetConfig); 4] = [
         ("100 Mb Ethernet ('90s DSM era)", NetConfig::ethernet_100m()),
         ("10 Gb Ethernet (no RDMA)", NetConfig::ethernet_10g()),
-        ("56 Gb InfiniBand (paper testbed)", NetConfig::infiniband_56g()),
-        ("400 Gb Gen-Z class (\u{a7}II outlook)", NetConfig::next_gen_400g()),
+        (
+            "56 Gb InfiniBand (paper testbed)",
+            NetConfig::infiniband_56g(),
+        ),
+        (
+            "400 Gb Gen-Z class (\u{a7}II outlook)",
+            NetConfig::next_gen_400g(),
+        ),
     ];
 
     println!("Network-generation study: optimized apps, {nodes} nodes, speedup vs");

@@ -96,7 +96,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["mode", "faults", "share", "mean(us)", "paper(us)"], &rows3)
+        render_table(
+            &["mode", "faults", "share", "mean(us)", "paper(us)"],
+            &rows3
+        )
     );
     println!(
         "retried fault rounds: {} of {} faults",

@@ -84,8 +84,10 @@ fn conversion_lines(source: &str) -> usize {
         .filter(|l| {
             let l = l.trim();
             !l.starts_with("//")
-                && (l.contains("migrate_worker(") || l.contains("migrate_home(")
-                    || l.contains(".migrate(") || l.contains(".migrate_back("))
+                && (l.contains("migrate_worker(")
+                    || l.contains("migrate_home(")
+                    || l.contains(".migrate(")
+                    || l.contains(".migrate_back("))
         })
         .count()
 }

@@ -70,6 +70,12 @@ fn main() {
         "2nd/1st forward ratio {:.2} (paper: 0.29)",
         t2 / t1
     );
-    assert!(bwd[0].total.as_micros_f64() < 40.0, "backward stays tens of us");
-    println!("\nshape checks passed: 2nd/1st forward = {:.2} (paper 0.29)", t2 / t1);
+    assert!(
+        bwd[0].total.as_micros_f64() < 40.0,
+        "backward stays tens of us"
+    );
+    println!(
+        "\nshape checks passed: 2nd/1st forward = {:.2} (paper 0.29)",
+        t2 / t1
+    );
 }

@@ -1,0 +1,45 @@
+//! # dex-check — static and dynamic verification of the DEX protocol
+//!
+//! Three complementary passes over the reproduction:
+//!
+//! * [`model_check`] — exhaustive explicit-state exploration of the
+//!   directory protocol over a closed finite world (2–4 nodes, 1–2
+//!   pages, read/write/evict from every thread at any time). Checks
+//!   single-writer exclusivity, owner-set/PTE agreement, no lost
+//!   invalidations, leader-before-follower grant order, and quiescence
+//!   co-reachability (transactions drain; retry never livelocks under
+//!   fairness). Prints a *minimal* counterexample on violation and
+//!   writes it in the [`dex_sim::ScheduleLog`] replay format.
+//! * [`races`] — offline dynamic race and deadlock detection over the
+//!   synchronization/access event stream a run records under
+//!   [`dex_core::ClusterConfig::with_race_detection`]: vector-clock
+//!   happens-before (lock release → acquire, futex wake → wait-return,
+//!   barrier rounds, spawn), conflicting unordered accesses, and
+//!   lock-order-graph cycles.
+//! * [`lint`] — source-level invariant lints (raw `NodeSet`
+//!   construction, PTE mutation outside the protocol allowlist,
+//!   non-exhaustive `DirAction` consumers, `unwrap()` on fabric paths).
+//!
+//! The `dex-check` binary wires all three into CI:
+//!
+//! ```text
+//! dex-check model --nodes 3 --pages 1
+//! dex-check races
+//! dex-check lint
+//! dex-check all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod model_check;
+pub mod races;
+pub mod scenarios;
+
+pub use lint::{run_lint, LintHit};
+pub use model_check::{
+    check_model, counterexample_to_log, mutation_sweep, render_counterexample, replay_log,
+    CheckOptions, CheckOutcome, Counterexample, PassReport, ReplayOutcome,
+};
+pub use races::{analyze_races, render_race_report, Conflict, LockCycle, RaceReport};
+pub use scenarios::{run_scenario, scenario_names, Scenario, SCENARIOS};

@@ -1,0 +1,377 @@
+//! Source-level invariant lints.
+//!
+//! The protocol's correctness arguments lean on a few *encapsulation*
+//! properties that the type system cannot fully enforce. This pass scans
+//! the workspace sources (text-level, comment-aware, best-effort) and
+//! fails CI when one is broken:
+//!
+//! * **nodeset-raw** — `NodeSet` values must come from the directory's
+//!   own constructors; building one from a raw bitmask outside
+//!   `core/src/directory.rs` bypasses the ≤64-node width discipline.
+//! * **pte-mutation** — page-table entries may only be mutated by the
+//!   protocol engines (fault path, dispatcher, process setup, the
+//!   verification model) and the defining `dex-os` crate. A stray
+//!   `page_table.set(...)` elsewhere silently breaks owner-set/PTE
+//!   agreement.
+//! * **diraction-wildcard** — every `match` consuming [`DirAction`]
+//!   (`dex_core::DirAction`) must stay exhaustive. A `_ =>` wildcard
+//!   would silently ignore actions added to the protocol later.
+//! * **fabric-unwrap** — no `unwrap()` on the fabric send/receive paths
+//!   (`crates/net` non-test code); messaging errors must propagate.
+
+use std::path::{Path, PathBuf};
+
+/// One lint finding.
+#[derive(Clone, Debug)]
+pub struct LintHit {
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// File (workspace-relative).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending line, trimmed.
+    pub text: String,
+}
+
+impl std::fmt::Display for LintHit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.text
+        )
+    }
+}
+
+/// Files allowed to construct `NodeSet` from raw bits.
+const NODESET_ALLOWLIST: [&str; 1] = ["crates/core/src/directory.rs"];
+
+/// Files allowed to mutate page-table entries (the protocol engines and
+/// the defining crate; `crates/os/` as a whole is the definer).
+const PTE_ALLOWLIST: [&str; 4] = [
+    "crates/core/src/dispatch.rs",
+    "crates/core/src/thread.rs",
+    "crates/core/src/process.rs",
+    "crates/core/src/directory/model.rs",
+];
+
+/// Strips `//` comments (keeps string contents intact well enough for
+/// these lints — the sources do not hide the flagged tokens in strings).
+fn strip_line_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Lints one file's contents. `rel` is the workspace-relative path used
+/// for allowlisting and reporting.
+pub fn lint_source(rel: &str, content: &str) -> Vec<LintHit> {
+    let mut hits = Vec::new();
+    let in_os_crate = rel.starts_with("crates/os/");
+    let in_net_crate = rel.starts_with("crates/net/src/");
+    let mut in_tests = false;
+
+    for (idx, raw) in content.lines().enumerate() {
+        if raw.contains("#[cfg(test)]") {
+            // Everything below the test-module marker is test code (the
+            // workspace convention keeps test modules at the bottom).
+            in_tests = true;
+        }
+        let line = strip_line_comment(raw);
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str| {
+            hits.push(LintHit {
+                rule,
+                file: rel.to_string(),
+                line: lineno,
+                text: raw.trim().to_string(),
+            });
+        };
+
+        if !NODESET_ALLOWLIST.contains(&rel) && !in_tests {
+            // Tuple-struct construction `NodeSet(bits)` — not `NodeSet::`.
+            if let Some(pos) = line.find("NodeSet(") {
+                let after = &line[pos + "NodeSet(".len()..];
+                if !after.trim_start().starts_with(')') {
+                    push("nodeset-raw");
+                }
+            }
+        }
+
+        if !in_os_crate && !PTE_ALLOWLIST.contains(&rel) && !in_tests {
+            let mutates = ["\u{2e}set(", ".clear(", ".downgrade("].iter().any(|m| {
+                line.find(m).is_some_and(|pos| {
+                    let before = &line[..pos];
+                    before.contains("page_table") || before.contains("ptes[")
+                })
+            });
+            if mutates {
+                push("pte-mutation");
+            }
+        }
+
+        if in_net_crate && !in_tests && line.contains(".unwrap()") {
+            push("fabric-unwrap");
+        }
+    }
+
+    hits.extend(lint_diraction_matches(rel, content));
+    hits
+}
+
+/// Flags `_ =>` wildcards at the top level of any `match` whose arms
+/// consume `DirAction::` variants.
+fn lint_diraction_matches(rel: &str, content: &str) -> Vec<LintHit> {
+    let mut hits = Vec::new();
+    // Join with comment stripping while remembering line starts. Stop at
+    // the `#[cfg(test)]` marker — the exhaustiveness rule targets
+    // production consumers; test helpers may pattern-pick one variant.
+    let mut text = String::with_capacity(content.len());
+    let mut line_starts = vec![0usize];
+    for line in content.lines() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        text.push_str(strip_line_comment(line));
+        text.push('\n');
+        line_starts.push(text.len());
+    }
+    let line_of = |pos: usize| -> usize {
+        match line_starts.binary_search(&pos) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let bytes = text.as_bytes();
+    let mut search = 0usize;
+    while let Some(found) = text[search..].find("match ") {
+        let start = search + found;
+        search = start + 6;
+        // Word boundary on the left.
+        if start > 0 {
+            let prev = bytes[start - 1] as char;
+            if prev.is_alphanumeric() || prev == '_' || prev == '.' {
+                continue;
+            }
+        }
+        // Find the match-block body: first `{` at brace depth 0 relative
+        // to the scrutinee expression.
+        let mut i = start + 6;
+        let mut paren = 0i32;
+        let body_open = loop {
+            if i >= bytes.len() {
+                break None;
+            }
+            match bytes[i] as char {
+                '(' | '[' => paren += 1,
+                ')' | ']' => paren -= 1,
+                '{' if paren == 0 => break Some(i),
+                ';' if paren == 0 => break None, // not a match expression
+                _ => {}
+            }
+            i += 1;
+        };
+        let Some(open) = body_open else { continue };
+        // Scan the body, tracking depth; depth 1 = top-level arms.
+        let mut depth = 0i32;
+        let mut j = open;
+        let mut top_level: Vec<(usize, usize)> = Vec::new(); // spans at depth 1
+        let mut span_start = open + 1;
+        while j < bytes.len() {
+            match bytes[j] as char {
+                '{' | '(' | '[' => {
+                    if depth == 1 && j > span_start {
+                        top_level.push((span_start, j));
+                    }
+                    depth += 1;
+                }
+                '}' | ')' | ']' => {
+                    depth -= 1;
+                    if depth == 1 {
+                        span_start = j + 1;
+                    }
+                    if depth == 0 {
+                        if j > span_start {
+                            top_level.push((span_start, j));
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body_end = j.min(bytes.len());
+        let top_text: String = top_level
+            .iter()
+            .map(|&(a, b)| &text[a..b.min(body_end)])
+            .collect::<Vec<_>>()
+            .join("\u{0}");
+        if !top_text.contains("DirAction::") {
+            continue;
+        }
+        // A top-level wildcard arm?
+        for &(a, b) in &top_level {
+            let span = &text[a..b.min(body_end)];
+            let mut from = 0usize;
+            while let Some(p) = span[from..].find("_ =>") {
+                let abs = from + p;
+                let left_ok = span[..abs]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+                if left_ok {
+                    hits.push(LintHit {
+                        rule: "diraction-wildcard",
+                        file: rel.to_string(),
+                        line: line_of(a + abs),
+                        text: "`_ =>` in a match over DirAction".to_string(),
+                    });
+                    break;
+                }
+                from = abs + 4;
+            }
+        }
+    }
+    hits
+}
+
+/// Recursively collects the workspace `.rs` sources under `root/crates`
+/// (skipping `target/` and `vendor/`).
+fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && name != "vendor" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints every workspace source under `root`. Returns all findings.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading the tree.
+pub fn run_lint(root: &Path) -> std::io::Result<Vec<LintHit>> {
+    let mut hits = Vec::new();
+    for path in collect_sources(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(&path)?;
+        hits.extend(lint_source(&rel, &content));
+    }
+    Ok(hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_nodeset_is_flagged_outside_directory() {
+        let bad = "fn f() { let s = NodeSet(0b1011); }\n";
+        let hits = lint_source("crates/core/src/handle.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "nodeset-raw");
+        assert!(lint_source("crates/core/src/directory.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn nodeset_paths_and_comments_are_not_flagged() {
+        let ok = "// NodeSet(bits) is private\nlet s = NodeSet::empty();\n";
+        assert!(lint_source("crates/core/src/handle.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn pte_mutation_is_flagged_outside_the_allowlist() {
+        let bad = "fn f(s: &mut AddressSpace) { s.page_table.set(vpn, Pte::READ_WRITE); }\n";
+        let hits = lint_source("crates/core/src/handle.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "pte-mutation");
+        assert!(lint_source("crates/core/src/thread.rs", bad).is_empty());
+        assert!(lint_source("crates/os/src/mm.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn diraction_wildcard_is_flagged() {
+        let bad = r#"
+fn f(a: DirAction) {
+    match a {
+        DirAction::Grant { to, .. } => handle(to),
+        _ => {}
+    }
+}
+"#;
+        let hits = lint_source("crates/core/src/x.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "diraction-wildcard");
+    }
+
+    #[test]
+    fn exhaustive_diraction_match_passes_even_with_nested_wildcards() {
+        let ok = r#"
+fn f(a: DirAction) {
+    match a {
+        DirAction::Grant { to, .. } => match to {
+            Requester::Local { .. } => local(),
+            _ => remote(),
+        },
+        DirAction::Retry { to } => retry(to),
+    }
+}
+"#;
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn wildcards_in_non_diraction_matches_pass() {
+        let ok = "fn f(x: u32) { match x { 0 => a(), _ => b(), } }\n";
+        assert!(lint_source("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn fabric_unwrap_flagged_outside_tests_only() {
+        let bad = "fn send() { chan.send(m).unwrap(); }\n";
+        assert_eq!(lint_source("crates/net/src/fabric.rs", bad).len(), 1);
+        assert!(lint_source("crates/core/src/thread.rs", bad).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source("crates/net/src/fabric.rs", test_code).is_empty());
+    }
+
+    #[test]
+    fn the_workspace_is_lint_clean() {
+        // The crate's own CI invariant: the real tree has no violations.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let hits = run_lint(root).expect("lint walks the tree");
+        assert!(
+            hits.is_empty(),
+            "workspace lint violations:\n{}",
+            hits.iter()
+                .map(|h| h.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

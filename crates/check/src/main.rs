@@ -1,0 +1,369 @@
+//! `dex-check` — the verification driver for the DEX reproduction.
+//!
+//! ```text
+//! dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
+//!                  [--max-states N] [--write-trace FILE]
+//! dex-check replay FILE
+//! dex-check races  [--scenario NAME]
+//! dex-check lint   [--root DIR]
+//! dex-check all
+//! ```
+//!
+//! Exit status: `0` when every requested check passes, `1` when a check
+//! finds a violation (or a mutation sweep misses one), `2` on usage or
+//! I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use dex_check::{
+    check_model, counterexample_to_log, mutation_sweep, render_counterexample, render_race_report,
+    replay_log, run_lint, run_scenario, CheckOptions, CheckOutcome, SCENARIOS,
+};
+use dex_core::model::{ModelConfig, Mutation};
+
+/// One-line description of a model world for status output.
+fn describe_world(config: &ModelConfig) -> String {
+    format!(
+        "nodes={} pages={} threads={:?} mutation={}",
+        config.nodes,
+        config.pages,
+        config.threads,
+        config.mutation.name()
+    )
+}
+
+const USAGE: &str = "\
+dex-check — protocol model checker, race/deadlock analysis, and lints
+
+USAGE:
+  dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
+                   [--max-states N] [--write-trace FILE]
+  dex-check replay FILE
+  dex-check races  [--scenario NAME]
+  dex-check lint   [--root DIR]
+  dex-check all
+
+SUBCOMMANDS:
+  model    exhaustively explore the directory protocol over a closed
+           finite world and check its safety and liveness invariants
+  replay   re-execute a counterexample trace written by `model`
+  races    run the built-in workloads and analyze their recorded event
+           streams for data races and lock-order cycles
+  lint     run the source-level invariant lints over the workspace
+  all      lint + races + model (2 nodes x 2 pages, and the 3-node
+           coalescing world, with a full mutation sweep)
+
+MODEL OPTIONS:
+  --nodes N          number of nodes, 2..=4 (default 2)
+  --pages P          number of pages, 1..=2 (default 1)
+  --coalesce         add a second thread on node 1 (leader-follower paths)
+  --mutation NAME    inject a protocol bug; `all` sweeps every mutation
+                     and expects each to be caught (default none)
+  --max-states N     state-count safety valve (default 4000000)
+  --write-trace F    on violation, write the counterexample replay log to F
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "model" => cmd_model(rest),
+        "replay" => cmd_replay(rest),
+        "races" => cmd_races(rest),
+        "lint" => cmd_lint(rest),
+        "all" => cmd_all(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("dex-check: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed `model` arguments.
+struct ModelArgs {
+    nodes: u16,
+    pages: u64,
+    coalesce: bool,
+    mutation: Option<String>,
+    max_states: usize,
+    write_trace: Option<PathBuf>,
+}
+
+fn parse_model_args(args: &[String]) -> Result<ModelArgs, String> {
+    let mut parsed = ModelArgs {
+        nodes: 2,
+        pages: 1,
+        coalesce: false,
+        mutation: None,
+        max_states: CheckOptions::default().max_states,
+        write_trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--nodes" => parsed.nodes = parse_num(value("--nodes")?, 2, 4)? as u16,
+            "--pages" => parsed.pages = parse_num(value("--pages")?, 1, 2)?,
+            "--coalesce" => parsed.coalesce = true,
+            "--mutation" => parsed.mutation = Some(value("--mutation")?.clone()),
+            "--max-states" => {
+                parsed.max_states = parse_num(value("--max-states")?, 1, u64::MAX)? as usize
+            }
+            "--write-trace" => parsed.write_trace = Some(PathBuf::from(value("--write-trace")?)),
+            other => return Err(format!("unknown flag `{other}` for `model`\n\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn parse_num(text: &str, min: u64, max: u64) -> Result<u64, String> {
+    let n: u64 = text
+        .parse()
+        .map_err(|_| format!("`{text}` is not a number"))?;
+    if n < min || n > max {
+        return Err(format!("`{text}` out of range {min}..={max}"));
+    }
+    Ok(n)
+}
+
+fn cmd_model(args: &[String]) -> Result<bool, String> {
+    let parsed = parse_model_args(args)?;
+    let mut config = ModelConfig::new(parsed.nodes, parsed.pages);
+    if parsed.coalesce {
+        config = config.with_extra_thread(1);
+    }
+    let opts = CheckOptions {
+        max_states: parsed.max_states,
+    };
+
+    if parsed.mutation.as_deref() == Some("all") {
+        let started = std::time::Instant::now();
+        let (lines, all_ok) = mutation_sweep(&config, &opts)?;
+        for line in &lines {
+            println!("{line}");
+        }
+        println!(
+            "mutation sweep: {} in {:.2?}",
+            if all_ok { "PASS" } else { "FAIL" },
+            started.elapsed()
+        );
+        return Ok(all_ok);
+    }
+
+    if let Some(name) = &parsed.mutation {
+        let mutation = Mutation::parse(name)
+            .ok_or_else(|| format!("unknown mutation `{name}` (try `--mutation all`)"))?;
+        config = config.with_mutation(mutation);
+    }
+
+    let started = std::time::Instant::now();
+    let outcome = check_model(&config, &opts)?;
+    match outcome {
+        CheckOutcome::Pass(report) => {
+            println!(
+                "model PASS ({}): {} states, {} transitions, {} quiescent, {:.2?}",
+                describe_world(&config),
+                report.states,
+                report.transitions,
+                report.quiescent,
+                started.elapsed()
+            );
+            Ok(true)
+        }
+        CheckOutcome::Fail(cex) => {
+            println!("{}", render_counterexample(&cex));
+            if let Some(path) = &parsed.write_trace {
+                let log = counterexample_to_log(&cex);
+                std::fs::write(path, log.to_text())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("counterexample trace written to {}", path.display());
+            }
+            Ok(false)
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) -> Result<bool, String> {
+    let [path] = args else {
+        return Err(format!("`replay` takes exactly one trace file\n\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let outcome = replay_log(&text)?;
+    println!(
+        "replayed {} steps ({})",
+        outcome.steps,
+        describe_world(&outcome.config)
+    );
+    println!("final state:\n{}", outcome.final_state);
+    if outcome.violations.is_empty() {
+        println!("replay reproduced no safety violation (liveness trace ends stuck-but-clean)");
+    } else {
+        for v in &outcome.violations {
+            println!("violated: {v}");
+        }
+    }
+    // Replaying a counterexample *successfully reproduces* it; the replay
+    // itself succeeds either way.
+    Ok(true)
+}
+
+fn cmd_races(args: &[String]) -> Result<bool, String> {
+    let mut scenario_filter: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => {
+                scenario_filter = Some(
+                    it.next()
+                        .ok_or_else(|| "--scenario needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` for `races`\n\n{USAGE}")),
+        }
+    }
+
+    let names: Vec<&str> = match &scenario_filter {
+        Some(name) if name != "all" => vec![name.as_str()],
+        _ => SCENARIOS.iter().map(|s| s.name).collect(),
+    };
+
+    let mut all_ok = true;
+    for name in names {
+        let (scenario, events) = run_scenario(name).ok_or_else(|| {
+            let known: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+            format!("unknown scenario `{name}` (expected one of {known:?})")
+        })?;
+        let report = dex_check::analyze_races(&events);
+        let clean = report.is_clean();
+        let ok = clean == scenario.expect_clean;
+        all_ok &= ok;
+        println!(
+            "races {:<10} {:>6} events  {} conflicts  {} lock cycles  {}",
+            scenario.name,
+            report.events,
+            report.conflicts.len(),
+            report.cycles.len(),
+            match (ok, scenario.expect_clean) {
+                (true, true) => "clean (as expected)",
+                (true, false) => "caught (as expected)",
+                (false, true) => "** UNEXPECTED VIOLATIONS **",
+                (false, false) => "** FIXTURE NOT CAUGHT **",
+            }
+        );
+        if !clean {
+            for line in render_race_report(&report).lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    Ok(all_ok)
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                ))
+            }
+            other => return Err(format!("unknown flag `{other}` for `lint`\n\n{USAGE}")),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => workspace_root()?,
+    };
+    let hits = run_lint(&root).map_err(|e| format!("linting {}: {e}", root.display()))?;
+    if hits.is_empty() {
+        println!("lint PASS ({})", root.display());
+        return Ok(true);
+    }
+    for hit in &hits {
+        println!("{hit}");
+    }
+    println!("lint FAIL: {} violation(s)", hits.len());
+    Ok(false)
+}
+
+fn cmd_all(args: &[String]) -> Result<bool, String> {
+    if !args.is_empty() {
+        return Err(format!("`all` takes no flags\n\n{USAGE}"));
+    }
+    let mut ok = true;
+
+    println!("== lint ==");
+    ok &= cmd_lint(&[])?;
+
+    println!("\n== races ==");
+    ok &= cmd_races(&[])?;
+
+    println!("\n== model: 2 nodes x 2 pages, mutation sweep ==");
+    ok &= cmd_model(&[
+        "--nodes".into(),
+        "2".into(),
+        "--pages".into(),
+        "2".into(),
+        "--mutation".into(),
+        "all".into(),
+    ])?;
+
+    println!("\n== model: 3 nodes x 1 page with coalescing, mutation sweep ==");
+    ok &= cmd_model(&[
+        "--nodes".into(),
+        "3".into(),
+        "--pages".into(),
+        "1".into(),
+        "--coalesce".into(),
+        "--mutation".into(),
+        "all".into(),
+    ])?;
+
+    println!("\noverall: {}", if ok { "PASS" } else { "FAIL" });
+    Ok(ok)
+}
+
+/// Locates the workspace root: walk up from the current directory to the
+/// first `Cargo.toml` containing a `[workspace]` table, falling back to
+/// the manifest directory baked in at compile time.
+fn workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    let fallback = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf);
+    fallback.ok_or_else(|| "cannot locate the workspace root (use --root)".to_string())
+}

@@ -17,7 +17,10 @@ use crate::cost::CostModel;
 use crate::dispatch::{dispatcher_loop, ProcessRegistry};
 use crate::handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
 use crate::process::{MigrationSample, ProcessShared};
-use crate::sync::{new_barrier, new_condvar, new_mutex, new_rwlock, DexBarrier, DexCondvar, DexMutex, DexRwLock};
+use crate::race::{RaceEvent, RaceTrace};
+use crate::sync::{
+    new_barrier, new_condvar, new_mutex, new_rwlock, DexBarrier, DexCondvar, DexMutex, DexRwLock,
+};
 use crate::thread::{DexThread, ThreadCtx};
 use crate::trace::{FaultEvent, TraceBuffer};
 
@@ -46,6 +49,8 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Collect the page-fault trace (profiling mode).
     pub trace: bool,
+    /// Record synchronization/access events for `dex-check races`.
+    pub race: bool,
     /// Abort the run after this many simulation events (livelock guard).
     pub event_budget: u64,
     /// Pages in the process's shared heap VMA.
@@ -66,6 +71,7 @@ impl ClusterConfig {
             net: NetConfig::default(),
             cost: CostModel::default(),
             trace: false,
+            race: false,
             event_budget: u64::MAX,
             heap_pages: 1 << 18, // 1 GiB of address space; frames on demand
         }
@@ -74,6 +80,13 @@ impl ClusterConfig {
     /// Enables page-fault tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables synchronization/access event recording so the run can be
+    /// analyzed offline by `dex-check races` (dynamic race detection).
+    pub fn with_race_detection(mut self) -> Self {
+        self.race = true;
         self
     }
 
@@ -175,7 +188,10 @@ impl Cluster {
         };
         setup(&handle);
         let created = handle.created.into_inner();
-        assert!(!created.is_empty(), "setup must create at least one process");
+        assert!(
+            !created.is_empty(),
+            "setup must create at least one process"
+        );
 
         let end: SimTime = match engine.run() {
             Ok(end) => end,
@@ -189,12 +205,14 @@ impl Cluster {
                 let fault_hist = shared.stats.fault_hist.clone();
                 let migrations = shared.stats.migrations.lock().clone();
                 let trace = shared.trace.snapshot();
+                let race_events = shared.race.snapshot();
                 RunReport {
                     virtual_time: end.saturating_since(SimTime::ZERO),
                     stats,
                     fault_hist,
                     migrations,
                     trace,
+                    race_events,
                     shared,
                 }
             })
@@ -228,6 +246,11 @@ impl<'e> ClusterHandle<'e> {
         } else {
             TraceBuffer::disabled()
         };
+        let race = if self.config.race {
+            RaceTrace::enabled()
+        } else {
+            RaceTrace::disabled()
+        };
         let pid = Pid(self.created.borrow().len() as u64 + 1);
         let shared = ProcessShared::new(
             pid,
@@ -236,6 +259,7 @@ impl<'e> ClusterHandle<'e> {
             self.config.cost.clone(),
             Arc::clone(&self.fabric),
             trace,
+            race,
             self.config.heap_pages,
         );
         self.registry.insert(Arc::clone(&shared));
@@ -307,9 +331,11 @@ impl DexProcess<'_> {
     /// Allocates a typed vector, packed at element alignment (objects
     /// share pages — the paper's false-sharing hazard).
     pub fn alloc_vec<T: DsmScalar>(&self, len: usize, tag: &str) -> DsmVec<T> {
-        let addr = self
-            .shared
-            .alloc_raw((len * T::BYTES) as u64, T::BYTES.next_power_of_two().min(4096) as u64, Some(tag));
+        let addr = self.shared.alloc_raw(
+            (len * T::BYTES) as u64,
+            T::BYTES.next_power_of_two().min(4096) as u64,
+            Some(tag),
+        );
         DsmVec::from_raw(addr, len)
     }
 
@@ -331,9 +357,11 @@ impl DexProcess<'_> {
 
     /// Allocates and initializes a tagged cell (packed).
     pub fn alloc_cell_tagged<T: DsmScalar>(&self, init: T, tag: &str) -> DsmCell<T> {
-        let addr = self
-            .shared
-            .alloc_raw(T::BYTES as u64, T::BYTES.next_power_of_two().min(4096) as u64, Some(tag));
+        let addr = self.shared.alloc_raw(
+            T::BYTES as u64,
+            T::BYTES.next_power_of_two().min(4096) as u64,
+            Some(tag),
+        );
         let cell = DsmCell::from_raw(addr);
         cell.init(self, init);
         cell
@@ -489,6 +517,9 @@ pub struct RunReport {
     pub migrations: Vec<MigrationSample>,
     /// The page-fault trace (empty unless tracing was enabled).
     pub trace: Vec<FaultEvent>,
+    /// Synchronization/access events (empty unless race detection was
+    /// enabled via [`ClusterConfig::with_race_detection`]).
+    pub race_events: Vec<RaceEvent>,
     shared: Arc<ProcessShared>,
 }
 

@@ -7,8 +7,6 @@
 //! relative behaviour that emerges from them (which applications scale,
 //! where the bimodality comes from, what dominates first-migration cost).
 
-use serde::{Deserialize, Serialize};
-
 use dex_sim::SimDuration;
 
 /// Calibrated timing constants for DEX kernel paths.
@@ -22,7 +20,7 @@ use dex_sim::SimDuration;
 /// // First forward migration is dominated by remote-worker creation.
 /// assert!(cost.remote_worker_setup > cost.thread_fork * 3);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// Nanoseconds of virtual time per abstract compute operation
     /// (≈ 1 / (2.1 GHz · IPC)).

@@ -20,6 +20,8 @@
 //! machine unit-testable without the simulator, and the invariants
 //! machine-checkable (see the property tests).
 
+pub mod model;
+
 use dex_net::NodeId;
 use dex_os::{Access, RadixTree, Vpn};
 
@@ -44,9 +46,13 @@ impl NodeSet {
         self.0 |= 1 << node.0;
     }
 
-    /// Removes `node`.
+    /// Removes `node`. A no-op for out-of-range ids (>= 64): clamping the
+    /// shift would silently clear node 63's bit instead.
     pub fn remove(&mut self, node: NodeId) {
-        self.0 &= !(1 << node.0.min(63));
+        debug_assert!(node.0 < 64, "NodeSet supports up to 64 nodes");
+        if node.0 < 64 {
+            self.0 &= !(1 << node.0);
+        }
     }
 
     /// Membership test.
@@ -66,7 +72,9 @@ impl NodeSet {
 
     /// Iterates members in ascending node order.
     pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        (0..64u16).filter(move |i| self.0 & (1 << i) != 0).map(NodeId)
+        (0..64u16)
+            .filter(move |i| self.0 & (1 << i) != 0)
+            .map(NodeId)
     }
 }
 
@@ -217,7 +225,7 @@ pub struct DirStats {
 ///     with_data: true,
 /// }));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Directory {
     origin: NodeId,
     pages: RadixTree<PageInfo>,
@@ -445,7 +453,10 @@ impl Directory {
             .pages
             .get_mut(vpn.index())
             .expect("invalidate ack for untracked page");
-        let txn = info.txn.as_mut().expect("invalidate ack without transaction");
+        let txn = info
+            .txn
+            .as_mut()
+            .expect("invalidate ack without transaction");
         assert!(
             txn.pending.contains(from),
             "invalidate ack from unexpected node"
@@ -465,7 +476,8 @@ impl Directory {
         let node = txn.requester.node(origin);
         info.owners = NodeSet::single(node);
         info.writer = Some(node);
-        let with_data = !txn.requester_had_copy && !matches!(txn.requester, Requester::Local { .. });
+        let with_data =
+            !txn.requester_had_copy && !matches!(txn.requester, Requester::Local { .. });
         if txn.requester_had_copy {
             self.stats.data_skips += 1;
         }
@@ -544,6 +556,31 @@ mod tests {
         }
     }
 
+    #[test]
+    fn nodeset_remove_out_of_range_is_a_noop() {
+        // Regression: `remove` used to clamp the shift (`node.0.min(63)`),
+        // which silently cleared node 63's bit for any out-of-range id.
+        let mut s = NodeSet::single(NodeId(63));
+        s.insert(NodeId(7));
+        if cfg!(debug_assertions) {
+            // In debug builds the out-of-range remove is a programming error.
+            let r = std::panic::catch_unwind(move || {
+                let mut s2 = s;
+                s2.remove(NodeId(64));
+            });
+            assert!(r.is_err(), "debug_assert should fire for node id 64");
+        } else {
+            s.remove(NodeId(64));
+            s.remove(NodeId(200));
+            assert!(s.contains(NodeId(63)), "node 63 must survive");
+            assert_eq!(s.len(), 2);
+        }
+        // In-range removes still work.
+        let mut t = NodeSet::single(NodeId(63));
+        t.remove(NodeId(63));
+        assert!(t.is_empty());
+    }
+
     fn grant_of(actions: &[DirAction]) -> Option<(Requester, Access, bool)> {
         actions.iter().find_map(|a| match a {
             DirAction::Grant {
@@ -561,10 +598,7 @@ mod tests {
         let actions = dir.request(Vpn::new(1), Access::Read, remote(1, 1));
         // Origin was exclusive writer: it downgrades itself and grants.
         assert!(actions.contains(&DirAction::DowngradeOriginPte));
-        assert_eq!(
-            grant_of(&actions),
-            Some((remote(1, 1), Access::Read, true))
-        );
+        assert_eq!(grant_of(&actions), Some((remote(1, 1), Access::Read, true)));
         dir.check_invariants().unwrap();
     }
 
@@ -573,11 +607,12 @@ mod tests {
         let mut dir = Directory::new(O);
         dir.request(Vpn::new(1), Access::Read, remote(1, 1));
         let actions = dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        assert_eq!(grant_of(&actions), Some((remote(2, 2), Access::Read, true)));
         assert_eq!(
-            grant_of(&actions),
-            Some((remote(2, 2), Access::Read, true))
+            actions.len(),
+            1,
+            "second reader needs no PTE change at origin"
         );
-        assert_eq!(actions.len(), 1, "second reader needs no PTE change at origin");
         dir.check_invariants().unwrap();
     }
 
@@ -602,10 +637,7 @@ mod tests {
         // Acks complete the transaction; data comes from the origin frame.
         assert_eq!(dir.invalidate_ack(Vpn::new(1), NodeId(1), false), vec![]);
         let done = dir.invalidate_ack(Vpn::new(1), NodeId(2), false);
-        assert_eq!(
-            grant_of(&done),
-            Some((remote(3, 3), Access::Write, true))
-        );
+        assert_eq!(grant_of(&done), Some((remote(3, 3), Access::Write, true)));
         dir.check_invariants().unwrap();
     }
 
@@ -618,10 +650,7 @@ mod tests {
         assert!(grant_of(&actions).is_none());
         let done = dir.invalidate_ack(Vpn::new(1), NodeId(2), false);
         // Node 1 already had the up-to-date copy: no data transfer.
-        assert_eq!(
-            grant_of(&done),
-            Some((remote(1, 3), Access::Write, false))
-        );
+        assert_eq!(grant_of(&done), Some((remote(1, 3), Access::Write, false)));
         assert_eq!(dir.stats().data_skips, 1);
         dir.check_invariants().unwrap();
     }

@@ -1,0 +1,1316 @@
+//! A closed, finite-state model of the DEX ownership protocol.
+//!
+//! This module turns the pure directory logic in [`super`] into an
+//! *executable world model*: one origin-side [`Directory`], one simulated
+//! page table per node, a multiset of in-flight protocol messages, and a
+//! small set of client threads that may, at any moment, fault on any page
+//! (read or write) or unmap it. Exploring every interleaving of the
+//! enabled [`ModelEvent`]s enumerates every behavior the protocol can
+//! exhibit for a small configuration — exactly what the `dex-check`
+//! model checker does by breadth-first search over canonicalized states.
+//!
+//! Why a closed model instead of fixed per-thread programs: the protocol
+//! state (owner sets, writers, transactions, PTEs, in-flight messages)
+//! is finite, so letting idle threads issue *any* operation at *any*
+//! time yields a finite transition system whose reachable set covers
+//! every interleaving of every operation sequence at once. Liveness is
+//! then co-reachability of quiescent states ("from every reachable
+//! state some fair schedule drains all in-flight work"), which detects
+//! both lost-message deadlocks and retry livelocks without modeling
+//! retry counters.
+//!
+//! The model also reproduces the two mechanisms layered over the raw
+//! directory in `thread.rs`:
+//!
+//! * **leader–follower fault coalescing** (§III-C): a thread faulting on
+//!   a `(page, access-class)` that a same-node sibling is already
+//!   negotiating becomes a *follower* and completes only when its leader
+//!   does;
+//! * **retry-on-busy** (§III-B): a `Retry` answer parks the requester in
+//!   a back-off state from which it re-issues the same request.
+//!
+//! [`Mutation`]s inject protocol bugs (skipped invalidation, dropped
+//! ack, skipped downgrade, lost wakeup, follower bypass) so the checker
+//! can prove its own teeth: each mutation must produce a printed,
+//! minimal counterexample.
+
+use super::{DirAction, Directory, NodeSet, Requester};
+use dex_net::NodeId;
+use dex_os::{Access, PageTable, Pte, Vpn};
+
+/// A point-in-time view of one page's directory record (untracked pages
+/// report the origin-exclusive default).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageModel {
+    /// Nodes the directory believes hold a valid copy.
+    pub owners: NodeSet,
+    /// The exclusive writer, if any.
+    pub writer: Option<NodeId>,
+    /// The in-flight transaction, if any.
+    pub txn: Option<TxnModel>,
+}
+
+/// A point-in-time view of an in-flight directory transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnModel {
+    /// Access the requester asked for.
+    pub access: Access,
+    /// Who is waiting for the transaction to complete.
+    pub requester: Requester,
+    /// Owners that have not yet acknowledged revocation/flush.
+    pub pending: NodeSet,
+    /// The requester already held a valid copy (data transfer skipped).
+    pub requester_had_copy: bool,
+}
+
+impl Directory {
+    /// Introspects the directory record for `vpn` (model/checker hook).
+    pub fn page_model(&self, vpn: Vpn) -> PageModel {
+        match self.pages.get(vpn.index()) {
+            Some(info) => PageModel {
+                owners: info.owners,
+                writer: info.writer,
+                txn: info.txn.as_ref().map(|t| TxnModel {
+                    access: t.access,
+                    requester: t.requester,
+                    pending: t.pending,
+                    requester_had_copy: t.requester_had_copy,
+                }),
+            },
+            None => PageModel {
+                owners: NodeSet::single(self.origin),
+                writer: Some(self.origin),
+                txn: None,
+            },
+        }
+    }
+
+    /// Whether `vpn` has an in-flight transaction.
+    pub fn has_txn(&self, vpn: Vpn) -> bool {
+        self.pages
+            .get(vpn.index())
+            .is_some_and(|info| info.txn.is_some())
+    }
+
+    /// A canonical, order-independent encoding of the full directory
+    /// state, suitable for seen-set keys in explicit-state exploration.
+    pub fn canonical(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.pages.len() * 4);
+        for (key, info) in self.pages.iter() {
+            out.push(key);
+            out.push(info.owners.0);
+            out.push(match info.writer {
+                Some(w) => w.0 as u64 + 1,
+                None => 0,
+            });
+            out.push(match &info.txn {
+                None => 0,
+                Some(t) => {
+                    // Pack: bit0 = present, bit1 = write, bit2 = had_copy,
+                    // bits 3..5 = requester kind, then node/req id bytes.
+                    let mut word = 1u64;
+                    if t.access.is_write() {
+                        word |= 2;
+                    }
+                    if t.requester_had_copy {
+                        word |= 4;
+                    }
+                    match t.requester {
+                        Requester::Remote { node, req_id } => {
+                            word |= (node.0 as u64 + 1) << 8;
+                            word |= (req_id & 0xffff) << 24;
+                        }
+                        Requester::Local { req_id } => {
+                            word |= (req_id & 0xffff) << 24;
+                            word |= 1 << 40;
+                        }
+                    }
+                    word | (t.pending.0 << 41)
+                }
+            });
+        }
+        out
+    }
+}
+
+/// One client operation a modeled thread can attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Op {
+    /// Fault the page for reading.
+    Read(Vpn),
+    /// Fault the page for writing.
+    Write(Vpn),
+    /// Unmap the page at the origin (synchronous VMA broadcast).
+    Evict(Vpn),
+}
+
+impl Op {
+    /// The page this operation touches.
+    pub fn vpn(self) -> Vpn {
+        match self {
+            Op::Read(v) | Op::Write(v) | Op::Evict(v) => v,
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Read(v) => write!(f, "read page {}", v.index()),
+            Op::Write(v) => write!(f, "write page {}", v.index()),
+            Op::Evict(v) => write!(f, "evict page {}", v.index()),
+        }
+    }
+}
+
+/// What a modeled thread is currently doing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ThreadState {
+    /// Ready to issue any operation.
+    Idle,
+    /// Request sent; waiting for `Grant` or `Retry`.
+    Waiting {
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+    },
+    /// Told to retry; will re-issue the same request.
+    Backoff {
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+    },
+    /// Coalesced behind a same-node leader negotiating the same fault.
+    Follower {
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+        /// Index of the leader thread.
+        leader: usize,
+    },
+}
+
+/// An in-flight protocol message.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Msg {
+    /// A page request traveling to the origin directory.
+    Request {
+        /// Issuing thread.
+        thread: usize,
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+    },
+    /// Revocation traveling to an owner.
+    Invalidate {
+        /// Target owner.
+        to: NodeId,
+        /// Page being revoked.
+        vpn: Vpn,
+        /// Target must ship page contents back.
+        needs_data: bool,
+    },
+    /// Revocation acknowledgment traveling back to the origin.
+    InvAck {
+        /// Acknowledged page.
+        vpn: Vpn,
+        /// Acknowledging node.
+        from: NodeId,
+        /// Ack carries the only up-to-date copy.
+        carried_data: bool,
+    },
+    /// Downgrade-and-flush traveling to the exclusive writer.
+    Flush {
+        /// The writer node.
+        to: NodeId,
+        /// Page to flush.
+        vpn: Vpn,
+    },
+    /// Flush acknowledgment traveling back to the origin.
+    FlushAck {
+        /// Flushed page.
+        vpn: Vpn,
+        /// The downgraded writer.
+        from: NodeId,
+    },
+    /// A grant traveling to a remote requester.
+    Grant {
+        /// Thread being granted.
+        thread: usize,
+        /// Granted page.
+        vpn: Vpn,
+        /// Granted access.
+        access: Access,
+        /// Page contents accompany the grant.
+        with_data: bool,
+    },
+    /// A retry notice traveling to a remote requester.
+    Retry {
+        /// Thread being bounced.
+        thread: usize,
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+    },
+}
+
+impl Msg {
+    /// The page this message concerns.
+    pub fn vpn(self) -> Vpn {
+        match self {
+            Msg::Request { vpn, .. }
+            | Msg::Invalidate { vpn, .. }
+            | Msg::InvAck { vpn, .. }
+            | Msg::Flush { vpn, .. }
+            | Msg::FlushAck { vpn, .. }
+            | Msg::Grant { vpn, .. }
+            | Msg::Retry { vpn, .. } => vpn,
+        }
+    }
+
+    fn canonical(self) -> [u64; 4] {
+        match self {
+            Msg::Request {
+                thread,
+                vpn,
+                access,
+            } => [1, thread as u64, vpn.index(), access.is_write() as u64],
+            Msg::Invalidate {
+                to,
+                vpn,
+                needs_data,
+            } => [2, to.0 as u64, vpn.index(), needs_data as u64],
+            Msg::InvAck {
+                vpn,
+                from,
+                carried_data,
+            } => [3, from.0 as u64, vpn.index(), carried_data as u64],
+            Msg::Flush { to, vpn } => [4, to.0 as u64, vpn.index(), 0],
+            Msg::FlushAck { vpn, from } => [5, from.0 as u64, vpn.index(), 0],
+            Msg::Grant {
+                thread,
+                vpn,
+                access,
+                with_data,
+            } => [
+                6,
+                thread as u64,
+                vpn.index(),
+                access.is_write() as u64 | (with_data as u64) << 1,
+            ],
+            Msg::Retry {
+                thread,
+                vpn,
+                access,
+            } => [7, thread as u64, vpn.index(), access.is_write() as u64],
+        }
+    }
+}
+
+impl std::fmt::Display for Msg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Msg::Request {
+                thread,
+                vpn,
+                access,
+            } => write!(f, "request({access} page {}) from T{thread}", vpn.index()),
+            Msg::Invalidate {
+                to,
+                vpn,
+                needs_data,
+            } => write!(
+                f,
+                "invalidate(page {}) to node {to}{}",
+                vpn.index(),
+                if *needs_data { " +data" } else { "" }
+            ),
+            Msg::InvAck { vpn, from, .. } => {
+                write!(f, "inv-ack(page {}) from node {from}", vpn.index())
+            }
+            Msg::Flush { to, vpn } => write!(f, "flush(page {}) to node {to}", vpn.index()),
+            Msg::FlushAck { vpn, from } => {
+                write!(f, "flush-ack(page {}) from node {from}", vpn.index())
+            }
+            Msg::Grant {
+                thread,
+                vpn,
+                access,
+                ..
+            } => write!(f, "grant({access} page {}) to T{thread}", vpn.index()),
+            Msg::Retry { thread, vpn, .. } => {
+                write!(f, "retry(page {}) to T{thread}", vpn.index())
+            }
+        }
+    }
+}
+
+/// A protocol bug injected into the model, used to validate that the
+/// checker's invariants have teeth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Mutation {
+    /// Faithful protocol (the default).
+    #[default]
+    None,
+    /// A revoked node acknowledges the invalidation but keeps its stale
+    /// mapping — a lost invalidation.
+    SkipInvalidateApply,
+    /// An invalidation acknowledgment is lost in the fabric — the
+    /// transaction never drains.
+    DropInvAck,
+    /// The origin ignores `DowngradeOriginPte` and keeps its writable
+    /// mapping while replicating readers — broken exclusivity.
+    SkipOriginDowngrade,
+    /// A granted leader never wakes its coalesced followers — lost
+    /// wakeup, the followers hang forever.
+    DropWakeup,
+    /// A coalescing follower also sends its own request instead of
+    /// waiting for the leader — the directory may grant the follower
+    /// before the leader.
+    FollowerBypass,
+}
+
+impl Mutation {
+    /// All injectable mutations (excludes [`Mutation::None`]).
+    pub const ALL: [Mutation; 5] = [
+        Mutation::SkipInvalidateApply,
+        Mutation::DropInvAck,
+        Mutation::SkipOriginDowngrade,
+        Mutation::DropWakeup,
+        Mutation::FollowerBypass,
+    ];
+
+    /// Parses the CLI spelling of a mutation.
+    pub fn parse(name: &str) -> Option<Mutation> {
+        Some(match name {
+            "none" => Mutation::None,
+            "skip-invalidate" => Mutation::SkipInvalidateApply,
+            "drop-ack" => Mutation::DropInvAck,
+            "skip-downgrade" => Mutation::SkipOriginDowngrade,
+            "drop-wakeup" => Mutation::DropWakeup,
+            "follower-bypass" => Mutation::FollowerBypass,
+            _ => return None,
+        })
+    }
+
+    /// The CLI spelling of this mutation.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::None => "none",
+            Mutation::SkipInvalidateApply => "skip-invalidate",
+            Mutation::DropInvAck => "drop-ack",
+            Mutation::SkipOriginDowngrade => "skip-downgrade",
+            Mutation::DropWakeup => "drop-wakeup",
+            Mutation::FollowerBypass => "follower-bypass",
+        }
+    }
+}
+
+/// Configuration of a model instance.
+#[derive(Clone, Debug)]
+pub struct ModelConfig {
+    /// Number of nodes (node 0 is the origin).
+    pub nodes: u16,
+    /// Number of pages (vpns `0..pages`).
+    pub pages: u64,
+    /// Home node of each modeled thread (`threads[i]` = node of thread
+    /// `i`). Two threads on one node exercise fault coalescing.
+    pub threads: Vec<u16>,
+    /// Injected protocol bug.
+    pub mutation: Mutation,
+}
+
+impl ModelConfig {
+    /// One thread per node, no mutation.
+    pub fn new(nodes: u16, pages: u64) -> Self {
+        ModelConfig {
+            nodes,
+            pages,
+            threads: (0..nodes).collect(),
+            mutation: Mutation::None,
+        }
+    }
+
+    /// Adds a second thread on node `node` (enables coalescing paths).
+    pub fn with_extra_thread(mut self, node: u16) -> Self {
+        assert!(node < self.nodes);
+        self.threads.push(node);
+        self
+    }
+
+    /// Sets the injected mutation.
+    pub fn with_mutation(mut self, mutation: Mutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+}
+
+/// One transition of the model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ModelEvent {
+    /// An idle thread begins an operation.
+    Issue {
+        /// The acting thread.
+        thread: usize,
+        /// The operation.
+        op: Op,
+    },
+    /// A backed-off thread re-sends its request.
+    ReIssue {
+        /// The retrying thread.
+        thread: usize,
+    },
+    /// The in-flight message at `msg` (current insertion order) arrives.
+    Deliver {
+        /// Index into the state's message list.
+        msg: usize,
+    },
+}
+
+/// A safety violation detected while applying an event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which invariant broke.
+    pub invariant: &'static str,
+    /// Human-readable details.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.invariant, self.detail)
+    }
+}
+
+/// The full world state: directory + per-node page tables + in-flight
+/// messages + thread states.
+#[derive(Clone)]
+pub struct ModelState {
+    config: ModelConfig,
+    dir: Directory,
+    ptes: Vec<PageTable>,
+    msgs: Vec<Msg>,
+    threads: Vec<ThreadState>,
+}
+
+impl ModelState {
+    /// The initial state: every page mapped read-write at the origin,
+    /// nothing in flight, every thread idle.
+    pub fn new(config: ModelConfig) -> Self {
+        assert!(config.nodes >= 1 && config.nodes <= 64);
+        assert!(config.threads.iter().all(|&n| n < config.nodes));
+        let mut ptes: Vec<PageTable> = (0..config.nodes).map(|_| PageTable::new()).collect();
+        for vpn in 0..config.pages {
+            ptes[0].set(Vpn::new(vpn), Pte::READ_WRITE);
+        }
+        let threads = vec![ThreadState::Idle; config.threads.len()];
+        ModelState {
+            dir: Directory::new(NodeId(0)),
+            ptes,
+            msgs: Vec::new(),
+            threads,
+            config,
+        }
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The origin directory (checker introspection).
+    pub fn directory(&self) -> &Directory {
+        &self.dir
+    }
+
+    /// The page table of `node`.
+    pub fn page_table(&self, node: NodeId) -> &PageTable {
+        &self.ptes[node.0 as usize]
+    }
+
+    /// In-flight messages in insertion order.
+    pub fn messages(&self) -> &[Msg] {
+        &self.msgs
+    }
+
+    /// Thread states, indexed by thread id.
+    pub fn threads(&self) -> &[ThreadState] {
+        &self.threads
+    }
+
+    /// The home node of thread `t`.
+    pub fn thread_node(&self, t: usize) -> NodeId {
+        NodeId(self.config.threads[t])
+    }
+
+    fn requester_for(&self, thread: usize) -> Requester {
+        let node = self.thread_node(thread);
+        if node.0 == 0 {
+            Requester::Local {
+                req_id: thread as u64,
+            }
+        } else {
+            Requester::Remote {
+                node,
+                req_id: thread as u64,
+            }
+        }
+    }
+
+    fn thread_of(&self, requester: Requester) -> usize {
+        let req_id = match requester {
+            Requester::Remote { req_id, .. } | Requester::Local { req_id } => req_id,
+        };
+        req_id as usize
+    }
+
+    /// The ordered fabric channel `(src, dst)` a message travels on.
+    ///
+    /// DEX runs over RDMA reliable connections, which deliver in order
+    /// per connection; the single-writer invariant *depends* on that
+    /// ordering (a read `Grant` overtaken by a later `Invalidate` to the
+    /// same node would resurrect a revoked mapping). The model therefore
+    /// only enables delivery of the *oldest* in-flight message on each
+    /// channel; messages on distinct channels still interleave freely.
+    fn channel_of(&self, m: &Msg) -> (NodeId, NodeId) {
+        let origin = NodeId(0);
+        match *m {
+            Msg::Request { thread, .. } => (self.thread_node(thread), origin),
+            Msg::Invalidate { to, .. } | Msg::Flush { to, .. } => (origin, to),
+            Msg::InvAck { from, .. } | Msg::FlushAck { from, .. } => (from, origin),
+            Msg::Grant { thread, .. } | Msg::Retry { thread, .. } => {
+                (origin, self.thread_node(thread))
+            }
+        }
+    }
+
+    /// Whether in-flight message `m` is at the head of its FIFO channel.
+    fn is_channel_head(&self, m: usize) -> bool {
+        let chan = self.channel_of(&self.msgs[m]);
+        !self.msgs[..m].iter().any(|e| self.channel_of(e) == chan)
+    }
+
+    /// True when no message is in flight, no transaction is open, and
+    /// every thread is idle — the drained states liveness requires to be
+    /// co-reachable from every reachable state.
+    pub fn is_quiescent(&self) -> bool {
+        self.msgs.is_empty()
+            && self.threads.iter().all(|t| *t == ThreadState::Idle)
+            && (0..self.config.pages).all(|v| !self.dir.has_txn(Vpn::new(v)))
+    }
+
+    /// Whether any in-flight message or open transaction concerns `vpn`.
+    fn page_in_flight(&self, vpn: Vpn) -> bool {
+        self.dir.has_txn(vpn)
+            || self.msgs.iter().any(|m| m.vpn() == vpn)
+            || self.threads.iter().any(|t| match *t {
+                ThreadState::Idle => false,
+                ThreadState::Waiting { vpn: v, .. }
+                | ThreadState::Backoff { vpn: v, .. }
+                | ThreadState::Follower { vpn: v, .. } => v == vpn,
+            })
+    }
+
+    /// Every event enabled in this state.
+    pub fn enabled_events(&self) -> Vec<ModelEvent> {
+        let mut events = Vec::new();
+        for (t, state) in self.threads.iter().enumerate() {
+            match *state {
+                ThreadState::Idle => {
+                    let node = self.thread_node(t);
+                    for v in 0..self.config.pages {
+                        let vpn = Vpn::new(v);
+                        let pte = self.ptes[node.0 as usize].entry(vpn);
+                        // A thread only enters the protocol on a fault.
+                        if !pte.permits(Access::Read) {
+                            events.push(ModelEvent::Issue {
+                                thread: t,
+                                op: Op::Read(vpn),
+                            });
+                        }
+                        if !pte.permits(Access::Write) {
+                            events.push(ModelEvent::Issue {
+                                thread: t,
+                                op: Op::Write(vpn),
+                            });
+                        }
+                        // Unmap models a synchronous VMA broadcast; the
+                        // caller guarantees the page is quiescent.
+                        if !self.page_in_flight(vpn) {
+                            events.push(ModelEvent::Issue {
+                                thread: t,
+                                op: Op::Evict(vpn),
+                            });
+                        }
+                    }
+                }
+                ThreadState::Backoff { .. } => events.push(ModelEvent::ReIssue { thread: t }),
+                ThreadState::Waiting { .. } | ThreadState::Follower { .. } => {}
+            }
+        }
+        for m in 0..self.msgs.len() {
+            // Per-channel FIFO: the fabric (RDMA RC) delivers in order,
+            // so only the oldest message on each (src, dst) channel is
+            // deliverable. See [`Self::channel_of`].
+            if self.is_channel_head(m) {
+                events.push(ModelEvent::Deliver { msg: m });
+            }
+        }
+        events
+    }
+
+    /// Applies `event`, returning the safety violations it exposes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is not enabled in this state (checker bug).
+    pub fn apply(&mut self, event: ModelEvent) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        match event {
+            ModelEvent::Issue { thread, op } => match op {
+                Op::Read(vpn) => self.issue_fault(thread, vpn, Access::Read),
+                Op::Write(vpn) => self.issue_fault(thread, vpn, Access::Write),
+                Op::Evict(vpn) => self.evict(vpn),
+            },
+            ModelEvent::ReIssue { thread } => {
+                let (vpn, access) = match self.threads[thread] {
+                    ThreadState::Backoff { vpn, access } => (vpn, access),
+                    other => panic!("re-issue from non-backoff state {other:?}"),
+                };
+                self.threads[thread] = ThreadState::Waiting { vpn, access };
+                self.msgs.push(Msg::Request {
+                    thread,
+                    vpn,
+                    access,
+                });
+            }
+            ModelEvent::Deliver { msg } => {
+                let m = self.msgs.remove(msg);
+                self.deliver(m, &mut violations);
+            }
+        }
+        self.check_safety(&mut violations);
+        violations
+    }
+
+    fn issue_fault(&mut self, thread: usize, vpn: Vpn, access: Access) {
+        // Leader–follower coalescing: join a same-node sibling already
+        // negotiating the same (page, access-class) fault.
+        let node = self.thread_node(thread);
+        let leader = self.threads.iter().enumerate().find_map(|(u, s)| {
+            if u == thread || self.thread_node(u) != node {
+                return None;
+            }
+            match *s {
+                ThreadState::Waiting { vpn: v, access: a }
+                | ThreadState::Backoff { vpn: v, access: a }
+                    if v == vpn && a.is_write() == access.is_write() =>
+                {
+                    Some(u)
+                }
+                _ => None,
+            }
+        });
+        if let Some(leader) = leader {
+            self.threads[thread] = ThreadState::Follower {
+                vpn,
+                access,
+                leader,
+            };
+            if self.config.mutation == Mutation::FollowerBypass {
+                // Bug: the follower races its own request to the origin.
+                self.msgs.push(Msg::Request {
+                    thread,
+                    vpn,
+                    access,
+                });
+            }
+            return;
+        }
+        self.threads[thread] = ThreadState::Waiting { vpn, access };
+        self.msgs.push(Msg::Request {
+            thread,
+            vpn,
+            access,
+        });
+    }
+
+    fn evict(&mut self, vpn: Vpn) {
+        // Synchronous origin-side unmap: revoke every remote copy, then
+        // forget the page; re-touching it re-creates the origin-exclusive
+        // default, so the origin mapping resets to read-write.
+        let revokes = self.dir.drop_pages(&[vpn]);
+        for (node, v) in revokes {
+            self.ptes[node.0 as usize].clear(v);
+        }
+        self.ptes[0].set(vpn, Pte::READ_WRITE);
+    }
+
+    fn deliver(&mut self, m: Msg, violations: &mut Vec<Violation>) {
+        match m {
+            Msg::Request {
+                thread,
+                vpn,
+                access,
+            } => {
+                let requester = self.requester_for(thread);
+                let actions = self.dir.request(vpn, access, requester);
+                self.run_actions(vpn, actions, violations);
+            }
+            Msg::Invalidate {
+                to,
+                vpn,
+                needs_data,
+            } => {
+                if self.config.mutation != Mutation::SkipInvalidateApply {
+                    self.ptes[to.0 as usize].clear(vpn);
+                }
+                if self.config.mutation == Mutation::DropInvAck {
+                    return; // The ack is lost in the fabric.
+                }
+                self.msgs.push(Msg::InvAck {
+                    vpn,
+                    from: to,
+                    carried_data: needs_data,
+                });
+            }
+            Msg::InvAck {
+                vpn,
+                from,
+                carried_data,
+            } => {
+                let actions = self.dir.invalidate_ack(vpn, from, carried_data);
+                self.run_actions(vpn, actions, violations);
+            }
+            Msg::Flush { to, vpn } => {
+                self.ptes[to.0 as usize].downgrade(vpn);
+                self.msgs.push(Msg::FlushAck { vpn, from: to });
+            }
+            Msg::FlushAck { vpn, from } => {
+                let actions = self.dir.flush_ack(vpn, from);
+                self.run_actions(vpn, actions, violations);
+            }
+            Msg::Grant {
+                thread,
+                vpn,
+                access,
+                ..
+            } => self.complete_grant(thread, vpn, access, violations),
+            Msg::Retry {
+                thread,
+                vpn,
+                access,
+            } => {
+                self.threads[thread] = ThreadState::Backoff { vpn, access };
+            }
+        }
+    }
+
+    fn run_actions(&mut self, vpn: Vpn, actions: Vec<DirAction>, violations: &mut Vec<Violation>) {
+        for action in actions {
+            match action {
+                DirAction::Grant {
+                    to,
+                    access,
+                    with_data,
+                } => {
+                    let thread = self.thread_of(to);
+                    if matches!(to, Requester::Local { .. }) {
+                        // Origin-local grants complete synchronously.
+                        self.complete_grant(thread, vpn, access, violations);
+                    } else {
+                        self.msgs.push(Msg::Grant {
+                            thread,
+                            vpn,
+                            access,
+                            with_data,
+                        });
+                    }
+                }
+                DirAction::Retry { to } => {
+                    let thread = self.thread_of(to);
+                    let access = match self.threads[thread] {
+                        ThreadState::Waiting { access, .. }
+                        | ThreadState::Backoff { access, .. }
+                        | ThreadState::Follower { access, .. } => access,
+                        ThreadState::Idle => {
+                            // A retry addressed to a thread with no
+                            // outstanding request: the faithful protocol
+                            // never does this, so surface it as a
+                            // violation instead of crashing the checker
+                            // (mutated protocols do reach this state).
+                            violations.push(Violation {
+                                invariant: "request/response pairing",
+                                detail: format!(
+                                    "retry for page {} addressed to idle thread T{thread}",
+                                    vpn.index()
+                                ),
+                            });
+                            continue;
+                        }
+                    };
+                    if matches!(to, Requester::Local { .. }) {
+                        self.threads[thread] = ThreadState::Backoff { vpn, access };
+                    } else {
+                        self.msgs.push(Msg::Retry {
+                            thread,
+                            vpn,
+                            access,
+                        });
+                    }
+                }
+                DirAction::SendFlush { to } => self.msgs.push(Msg::Flush { to, vpn }),
+                DirAction::SendInvalidate { to, needs_data } => self.msgs.push(Msg::Invalidate {
+                    to,
+                    vpn,
+                    needs_data,
+                }),
+                DirAction::ClearOriginPte => self.ptes[0].clear(vpn),
+                DirAction::DowngradeOriginPte => {
+                    if self.config.mutation != Mutation::SkipOriginDowngrade {
+                        self.ptes[0].downgrade(vpn);
+                    }
+                }
+                DirAction::SetOriginPteRo => self.ptes[0].set(vpn, Pte::READ_ONLY),
+                DirAction::InstallOriginData => {} // Data movement: no protocol state.
+            }
+        }
+    }
+
+    fn complete_grant(
+        &mut self,
+        thread: usize,
+        vpn: Vpn,
+        access: Access,
+        violations: &mut Vec<Violation>,
+    ) {
+        if let ThreadState::Follower { leader, .. } = self.threads[thread] {
+            violations.push(Violation {
+                invariant: "leader-follower ordering",
+                detail: format!(
+                    "follower T{thread} (leader T{leader}) granted {access} on page {} \
+                     before its leader completed",
+                    vpn.index()
+                ),
+            });
+        }
+        let node = self.thread_node(thread);
+        let table = &mut self.ptes[node.0 as usize];
+        match access {
+            Access::Write => table.set(vpn, Pte::READ_WRITE),
+            Access::Read => {
+                // The degenerate read-grant to the current writer keeps
+                // the writable mapping.
+                if !table.entry(vpn).writable {
+                    table.set(vpn, Pte::READ_ONLY);
+                }
+            }
+        }
+        self.threads[thread] = ThreadState::Idle;
+        // Release coalesced followers: the leader installed the mapping
+        // on behalf of the whole node.
+        if self.config.mutation != Mutation::DropWakeup {
+            for u in 0..self.threads.len() {
+                if let ThreadState::Follower { leader, .. } = self.threads[u] {
+                    if leader == thread {
+                        self.threads[u] = ThreadState::Idle;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks every state-level safety invariant, appending violations.
+    pub fn check_safety(&self, violations: &mut Vec<Violation>) {
+        for v in 0..self.config.pages {
+            let vpn = Vpn::new(v);
+            // (1) Single-writer exclusivity over the PTE views: a
+            // writable mapping anywhere precludes the page being present
+            // anywhere else. This must hold in EVERY reachable state.
+            let present: Vec<NodeId> = (0..self.config.nodes)
+                .map(NodeId)
+                .filter(|n| self.ptes[n.0 as usize].entry(vpn).present)
+                .collect();
+            let writable: Vec<NodeId> = present
+                .iter()
+                .copied()
+                .filter(|n| self.ptes[n.0 as usize].entry(vpn).writable)
+                .collect();
+            if !writable.is_empty() && present.len() > 1 {
+                violations.push(Violation {
+                    invariant: "single-writer exclusivity",
+                    detail: format!(
+                        "page {v}: node {} maps it writable while nodes {:?} also map it",
+                        writable[0],
+                        present
+                            .iter()
+                            .filter(|n| **n != writable[0])
+                            .collect::<Vec<_>>()
+                    ),
+                });
+            }
+            if writable.len() > 1 {
+                violations.push(Violation {
+                    invariant: "single-writer exclusivity",
+                    detail: format!("page {v}: multiple writable mappings on nodes {writable:?}"),
+                });
+            }
+            // (2)+(3) Owner-set/PTE agreement and no lost invalidations:
+            // once a page is quiescent (no transaction, no in-flight
+            // message, no waiting thread), the nodes that map it must be
+            // exactly the directory's owner set, and the writable node
+            // must be the registered writer.
+            if !self.page_in_flight(vpn) {
+                let model = self.dir.page_model(vpn);
+                let mapped: NodeSet = present.iter().copied().collect();
+                if mapped != model.owners {
+                    violations.push(Violation {
+                        invariant: "owner-set/PTE agreement",
+                        detail: format!(
+                            "page {v}: directory owners {:?} but mapped on {:?} \
+                             (stale or lost invalidation)",
+                            model.owners, mapped
+                        ),
+                    });
+                }
+                match model.writer {
+                    Some(w) if !self.ptes[w.0 as usize].entry(vpn).writable => {
+                        violations.push(Violation {
+                            invariant: "owner-set/PTE agreement",
+                            detail: format!(
+                                "page {v}: directory writer {w} lacks a writable mapping"
+                            ),
+                        });
+                    }
+                    None if !writable.is_empty() => {
+                        violations.push(Violation {
+                            invariant: "owner-set/PTE agreement",
+                            detail: format!(
+                                "page {v}: no directory writer but node {} maps it writable",
+                                writable[0]
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // The directory's own internal consistency.
+        if let Err(err) = self.dir.check_invariants() {
+            violations.push(Violation {
+                invariant: "directory internal consistency",
+                detail: err,
+            });
+        }
+    }
+
+    /// A canonical, order-independent encoding of the whole world state
+    /// for seen-set deduplication.
+    pub fn canonical_key(&self) -> Vec<u64> {
+        let mut key = self.dir.canonical();
+        key.push(u64::MAX); // Section separator.
+        for pt in &self.ptes {
+            for (vpn, pte) in pt.iter() {
+                key.push(vpn.index() << 2 | (pte.present as u64) << 1 | pte.writable as u64);
+            }
+            key.push(u64::MAX - 1);
+        }
+        let mut msgs: Vec<[u64; 4]> = self.msgs.iter().map(|m| m.canonical()).collect();
+        msgs.sort_unstable();
+        for m in msgs {
+            key.extend_from_slice(&m);
+        }
+        key.push(u64::MAX);
+        for t in &self.threads {
+            key.push(match *t {
+                ThreadState::Idle => 0,
+                ThreadState::Waiting { vpn, access } => {
+                    1 | vpn.index() << 8 | (access.is_write() as u64) << 4
+                }
+                ThreadState::Backoff { vpn, access } => {
+                    2 | vpn.index() << 8 | (access.is_write() as u64) << 4
+                }
+                ThreadState::Follower {
+                    vpn,
+                    access,
+                    leader,
+                } => 3 | vpn.index() << 8 | (access.is_write() as u64) << 4 | (leader as u64) << 32,
+            });
+        }
+        key
+    }
+
+    /// Renders the state compactly (counterexample traces).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for v in 0..self.config.pages {
+            let vpn = Vpn::new(v);
+            let model = self.dir.page_model(vpn);
+            let mapped: Vec<String> = (0..self.config.nodes)
+                .filter_map(|n| {
+                    let pte = self.ptes[n as usize].entry(vpn);
+                    if pte.present {
+                        Some(format!("{n}{}", if pte.writable { "w" } else { "r" }))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let _ = write!(
+                out,
+                "page {v}: owners={:?} writer={:?} txn={} mapped=[{}]  ",
+                model.owners,
+                model.writer.map(|w| w.0),
+                if model.txn.is_some() { "yes" } else { "no" },
+                mapped.join(",")
+            );
+        }
+        let _ = write!(out, "msgs={} threads={:?}", self.msgs.len(), self.threads);
+        out
+    }
+}
+
+impl std::fmt::Debug for ModelState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+impl std::fmt::Display for ModelEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelEvent::Issue { thread, op } => write!(f, "T{thread}: {op}"),
+            ModelEvent::ReIssue { thread } => write!(f, "T{thread}: re-issue after retry"),
+            ModelEvent::Deliver { msg } => write!(f, "deliver message #{msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(state: &mut ModelState) -> Vec<Violation> {
+        // Deliver messages (FIFO) until quiescent; no new ops issued.
+        let mut violations = Vec::new();
+        let mut budget = 10_000;
+        while !state.msgs.is_empty() {
+            budget -= 1;
+            assert!(budget > 0, "model failed to drain");
+            violations.extend(state.apply(ModelEvent::Deliver { msg: 0 }));
+        }
+        violations
+    }
+
+    #[test]
+    fn initial_state_is_quiescent_and_clean() {
+        let state = ModelState::new(ModelConfig::new(3, 2));
+        assert!(state.is_quiescent());
+        let mut violations = Vec::new();
+        state.check_safety(&mut violations);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn remote_write_transfers_ownership() {
+        let mut state = ModelState::new(ModelConfig::new(2, 1));
+        let vpn = Vpn::new(0);
+        let mut violations = state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Write(vpn),
+        });
+        violations.extend(drain(&mut state));
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(state.is_quiescent());
+        assert_eq!(state.directory().current_writer(vpn), Some(NodeId(1)));
+        assert!(state.page_table(NodeId(1)).entry(vpn).writable);
+        assert!(!state.page_table(NodeId(0)).entry(vpn).present);
+    }
+
+    #[test]
+    fn skip_invalidate_mutation_is_caught() {
+        let cfg = ModelConfig::new(3, 1).with_mutation(Mutation::SkipInvalidateApply);
+        let mut state = ModelState::new(cfg);
+        let vpn = Vpn::new(0);
+        // Node 1 reads (replica), then node 2 writes (revokes node 1).
+        let mut violations = state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Read(vpn),
+        });
+        violations.extend(drain(&mut state));
+        violations.extend(state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        }));
+        violations.extend(drain(&mut state));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant.contains("exclusivity") || v.invariant.contains("agreement")),
+            "stale mapping must be detected: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn drop_ack_mutation_prevents_drain() {
+        let cfg = ModelConfig::new(3, 1).with_mutation(Mutation::DropInvAck);
+        let mut state = ModelState::new(cfg);
+        let vpn = Vpn::new(0);
+        let mut v = state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Read(vpn),
+        });
+        v.extend(drain(&mut state));
+        v.extend(state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        }));
+        // Deliver everything deliverable; the transaction must stay open.
+        let mut budget = 100;
+        while !state.msgs.is_empty() && budget > 0 {
+            state.apply(ModelEvent::Deliver { msg: 0 });
+            budget -= 1;
+        }
+        assert!(state.directory().has_txn(vpn), "txn should never drain");
+        assert!(!state.is_quiescent());
+    }
+
+    #[test]
+    fn coalesced_follower_completes_with_leader() {
+        let cfg = ModelConfig::new(2, 1).with_extra_thread(1);
+        let mut state = ModelState::new(cfg);
+        let vpn = Vpn::new(0);
+        // Thread 1 (node 1) write-faults; thread 2 (node 1) coalesces.
+        state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Write(vpn),
+        });
+        state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        assert!(matches!(
+            state.threads()[2],
+            ThreadState::Follower { leader: 1, .. }
+        ));
+        let violations = drain(&mut state);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(state.threads()[1], ThreadState::Idle);
+        assert_eq!(state.threads()[2], ThreadState::Idle, "follower released");
+    }
+
+    #[test]
+    fn canonical_key_is_stable_under_message_reordering() {
+        let mut a = ModelState::new(ModelConfig::new(3, 1));
+        let mut b = a.clone();
+        let vpn = Vpn::new(0);
+        // Same requests issued in different orders; before any delivery
+        // the in-flight multisets are equal.
+        a.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Read(vpn),
+        });
+        a.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        b.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        b.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Read(vpn),
+        });
+        assert_eq!(a.canonical_key(), b.canonical_key());
+    }
+
+    #[test]
+    fn write_request_from_current_writer_is_no_data_fast_path() {
+        // Degenerate re-request: the exclusive owner asks to write again
+        // (reachable when a coalesced sibling's request raced ahead).
+        let mut dir = Directory::new(NodeId(0));
+        let vpn = Vpn::new(0);
+        let who = Requester::Remote {
+            node: NodeId(1),
+            req_id: 1,
+        };
+        for a in dir.request(vpn, Access::Write, who) {
+            if let DirAction::SendInvalidate { to, needs_data } = a {
+                dir.invalidate_ack(vpn, to, needs_data);
+            }
+        }
+        assert_eq!(dir.page_model(vpn).writer, Some(NodeId(1)));
+        let again = dir.request(vpn, Access::Write, who);
+        assert_eq!(
+            again,
+            vec![DirAction::Grant {
+                to: who,
+                access: Access::Write,
+                with_data: false,
+            }],
+            "re-request by the current writer must skip the data transfer"
+        );
+        let model = dir.page_model(vpn);
+        assert_eq!(model.writer, Some(NodeId(1)));
+        assert_eq!(model.owners, NodeSet::single(NodeId(1)));
+        assert!(model.txn.is_none());
+    }
+
+    #[test]
+    fn read_request_from_existing_owner_leaves_owner_set_unchanged() {
+        let mut dir = Directory::new(NodeId(0));
+        let vpn = Vpn::new(0);
+        let who = Requester::Remote {
+            node: NodeId(1),
+            req_id: 1,
+        };
+        dir.request(vpn, Access::Read, who);
+        let before = dir.page_model(vpn);
+        assert!(before.owners.contains(NodeId(1)));
+        // Second read from a node already in the owner set (reachable
+        // after a raced coalesced fault): grant, owner set unchanged.
+        let again = dir.request(vpn, Access::Read, who);
+        assert_eq!(
+            again,
+            vec![DirAction::Grant {
+                to: who,
+                access: Access::Read,
+                with_data: true,
+            }]
+        );
+        let after = dir.page_model(vpn);
+        assert_eq!(after.owners, before.owners);
+        assert_eq!(after.writer, None);
+        assert!(after.txn.is_none());
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn evict_last_remote_owner_resets_to_origin() {
+        let mut state = ModelState::new(ModelConfig::new(2, 1));
+        let vpn = Vpn::new(0);
+        state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Write(vpn),
+        });
+        let violations = drain(&mut state);
+        assert!(violations.is_empty(), "{violations:?}");
+        // Node 1 is now the sole (remote) owner; evict the page.
+        let violations = state.apply(ModelEvent::Issue {
+            thread: 0,
+            op: Op::Evict(vpn),
+        });
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(state.is_quiescent());
+        assert_eq!(state.directory().current_writer(vpn), Some(NodeId(0)));
+        assert!(!state.page_table(NodeId(1)).entry(vpn).present);
+        assert!(state.page_table(NodeId(0)).entry(vpn).writable);
+    }
+}

@@ -92,7 +92,10 @@ pub(crate) fn dispatcher_loop(
             DexMsg::InvalidateAck { pid, vpn, data } => {
                 let shared = registry.get(pid);
                 ctx.advance(shared.cost.protocol_handling);
-                let actions = shared.directory.lock().invalidate_ack(vpn, from, data.is_some());
+                let actions = shared
+                    .directory
+                    .lock()
+                    .invalidate_ack(vpn, from, data.is_some());
                 apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, data);
             }
             DexMsg::Flush { pid, vpn } => {
@@ -101,10 +104,7 @@ pub(crate) fn dispatcher_loop(
                 let data = {
                     let mut space = shared.space(node).lock();
                     space.page_table.downgrade(vpn);
-                    space
-                        .frame(vpn)
-                        .cloned()
-                        .unwrap_or_else(PageFrame::zeroed)
+                    space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed)
                 };
                 endpoint.send(ctx, from, DexMsg::FlushAck { pid, vpn, data });
             }
@@ -117,12 +117,7 @@ pub(crate) fn dispatcher_loop(
             DexMsg::VmaRequest { pid, addr, req_id } => {
                 let shared = registry.get(pid);
                 ctx.advance(shared.cost.protocol_handling);
-                let vma = shared
-                    .space(shared.origin)
-                    .lock()
-                    .vmas
-                    .find(addr)
-                    .cloned();
+                let vma = shared.space(shared.origin).lock().vmas.find(addr).cloned();
                 endpoint.send(ctx, from, DexMsg::VmaReply { pid, vma, req_id });
             }
             DexMsg::VmaReply { pid, vma, req_id } => {
@@ -205,18 +200,10 @@ pub(crate) fn dispatcher_loop(
             } => {
                 let shared = registry.get(pid);
                 let chan = shared.delegation.lock().get(&tid).cloned();
-                let chan = chan.unwrap_or_else(|| {
-                    panic!("delegation for {tid} with no original thread")
-                });
-                chan.send(
-                    ctx,
-                    DelegationJob {
-                        op,
-                        from,
-                        req_id,
-                    },
-                )
-                .expect("pair channel open");
+                let chan =
+                    chan.unwrap_or_else(|| panic!("delegation for {tid} with no original thread"));
+                chan.send(ctx, DelegationJob { op, from, req_id })
+                    .expect("pair channel open");
             }
             DexMsg::DelegateReply {
                 pid,
@@ -284,10 +271,7 @@ fn apply_origin_actions(
                             match space.frame(vpn) {
                                 Some(frame) => Some(frame.clone()),
                                 None if shared.cost.zero_page_optimization => {
-                                    shared
-                                        .stats
-                                        .counters
-                                        .incr("protocol.zero_page_grants");
+                                    shared.stats.counters.incr("protocol.zero_page_grants");
                                     None
                                 }
                                 None => Some(PageFrame::zeroed()),
@@ -433,12 +417,7 @@ fn handle_invalidate(
     let data = {
         let mut space = shared.space(node).lock();
         let data = if needs_data {
-            Some(
-                space
-                    .frame(vpn)
-                    .cloned()
-                    .unwrap_or_else(PageFrame::zeroed),
-            )
+            Some(space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed))
         } else {
             None
         };
@@ -484,8 +463,8 @@ fn handle_migrate_request(
     req_id: u64,
 ) {
     // Verify the context transferred intact (serialization round-trip).
-    let roundtrip = dex_os::ExecutionContext::from_bytes(&context.to_bytes())
-        .expect("context deserializes");
+    let roundtrip =
+        dex_os::ExecutionContext::from_bytes(&context.to_bytes()).expect("context deserializes");
     assert_eq!(roundtrip, context, "execution context corrupted in transit");
 
     let mut phases: MigrationPhases = Vec::new();

@@ -291,7 +291,10 @@ impl<T: DsmScalar> DsmMatrix<T> {
     ///
     /// Panics on out-of-bounds indices.
     pub fn addr_of(&self, r: usize, c: usize) -> VirtAddr {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.base.add(((r * self.row_stride + c) * T::BYTES) as u64)
     }
 
@@ -347,7 +350,10 @@ impl<T: DsmScalar> DsmMatrix<T> {
         let shared = proc_.shared_ref();
         let mut buf = vec![0u8; self.cols * T::BYTES];
         for r in 0..self.rows {
-            for (i, v) in values[r * self.cols..(r + 1) * self.cols].iter().enumerate() {
+            for (i, v) in values[r * self.cols..(r + 1) * self.cols]
+                .iter()
+                .enumerate()
+            {
                 v.store(&mut buf[i * T::BYTES..(i + 1) * T::BYTES]);
             }
             shared.write_init(self.addr_of_unchecked(r), &buf);

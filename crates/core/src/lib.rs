@@ -60,16 +60,19 @@ mod dispatch;
 mod handle;
 mod msg;
 mod process;
+mod race;
 mod sync;
 mod thread;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterHandle, DexProcess, DexStats, RunReport};
 pub use cost::CostModel;
+pub use directory::model;
 pub use directory::{DirAction, DirStats, Directory, NodeSet, Requester};
 pub use handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
 pub use msg::{DelegatedOp, DexMsg, MigrationPhases, VmaOp};
 pub use process::{MigrationSample, ObjectSpan, ProcessShared, RunStats};
+pub use race::{RaceEvent, RaceEventKind, RaceTrace};
 pub use sync::{DexBarrier, DexCondvar, DexMutex, DexRwLock};
 pub use thread::{DexThread, MigrateError, ThreadCtx, FUTEX_EAGAIN};
 pub use trace::{FaultEvent, FaultKind, TraceBuffer};

@@ -8,7 +8,10 @@
 //! RDMA path in the messaging layer.
 
 use dex_net::WireMessage;
-use dex_os::{Access, ExecutionContext, PageFrame, Pid, Prot, Tid, VirtAddr, Vma, Vpn, CONTEXT_BYTES, PAGE_SIZE};
+use dex_os::{
+    Access, ExecutionContext, PageFrame, Pid, Prot, Tid, VirtAddr, Vma, Vpn, CONTEXT_BYTES,
+    PAGE_SIZE,
+};
 use dex_sim::SimDuration;
 
 /// An operation a remote thread delegates to its original thread at the
@@ -318,7 +321,10 @@ mod tests {
             access: Access::Write,
             req_id: 1,
         };
-        assert!(m.control_bytes() <= 64, "control messages are tens of bytes");
+        assert!(
+            m.control_bytes() <= 64,
+            "control messages are tens of bytes"
+        );
         assert_eq!(m.page_bytes(), 0);
     }
 

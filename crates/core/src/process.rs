@@ -16,7 +16,9 @@ use parking_lot::Mutex;
 
 use dex_net::NodeId;
 use dex_os::{AddressSpace, FutexTable, Pid, Tid, VirtAddr, Vma, Vpn, PAGE_SIZE};
-use dex_sim::{Counters, Histogram, MultiResource, Resource, SimChannel, SimCtx, SimDuration, ThreadId};
+use dex_sim::{
+    Counters, Histogram, MultiResource, Resource, SimChannel, SimCtx, SimDuration, ThreadId,
+};
 
 use crate::cost::CostModel;
 use crate::directory::Directory;
@@ -174,6 +176,8 @@ pub struct ProcessShared {
     pub stats: Arc<RunStats>,
     /// Page-fault trace sink.
     pub trace: TraceBuffer,
+    /// Synchronization/access event sink for dynamic race detection.
+    pub race: crate::race::RaceTrace,
     /// Tagged object spans for fault attribution.
     pub objects: Mutex<Vec<ObjectSpan>>,
     /// Number of application threads currently executing on each node
@@ -190,6 +194,7 @@ pub struct ProcessShared {
 impl ProcessShared {
     /// Creates the process state. `heap_pages` sizes the shared heap VMA
     /// that the bump allocator hands out.
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the config
     pub(crate) fn new(
         pid: Pid,
         origin: NodeId,
@@ -197,10 +202,12 @@ impl ProcessShared {
         cost: CostModel,
         fabric: Arc<Fabric>,
         trace: TraceBuffer,
+        race: crate::race::RaceTrace,
         heap_pages: u64,
     ) -> Arc<Self> {
-        let mut spaces: Vec<Mutex<AddressSpace>> =
-            (0..nodes).map(|_| Mutex::new(AddressSpace::new())).collect();
+        let mut spaces: Vec<Mutex<AddressSpace>> = (0..nodes)
+            .map(|_| Mutex::new(AddressSpace::new()))
+            .collect();
         // Create the heap VMA on the origin replica; remote replicas learn
         // about it through on-demand VMA synchronization.
         let heap_base = {
@@ -215,7 +222,9 @@ impl ProcessShared {
         let mem_bw = (0..nodes)
             .map(|_| Resource::with_rate_bytes_per_sec(cost.mem_bandwidth_bytes_per_sec))
             .collect();
-        let cores = (0..nodes).map(|_| MultiResource::new(cost.cores_per_node)).collect();
+        let cores = (0..nodes)
+            .map(|_| MultiResource::new(cost.cores_per_node))
+            .collect();
         Arc::new(ProcessShared {
             pid,
             origin,
@@ -226,8 +235,12 @@ impl ProcessShared {
             directory: Mutex::new(Directory::new(origin)),
             futex: Mutex::new(FutexTable::new()),
             futex_nodes: Mutex::new(HashMap::new()),
-            fault_tables: (0..nodes).map(|_| Mutex::new(FaultTable::default())).collect(),
-            pending: (0..nodes).map(|_| Mutex::new(PendingTable::default())).collect(),
+            fault_tables: (0..nodes)
+                .map(|_| Mutex::new(FaultTable::default()))
+                .collect(),
+            pending: (0..nodes)
+                .map(|_| Mutex::new(PendingTable::default()))
+                .collect(),
             delegation: Mutex::new(HashMap::new()),
             remote_nodes: (0..nodes)
                 .map(|_| Mutex::new(RemoteNodeState::default()))
@@ -240,6 +253,7 @@ impl ProcessShared {
                 migrations: Mutex::new(Vec::new()),
             }),
             trace,
+            race,
             objects: Mutex::new(Vec::new()),
             node_threads: Mutex::new(vec![0; nodes]),
             heap_cursor: Mutex::new(heap_base.as_u64()),
@@ -463,6 +477,7 @@ mod tests {
             CostModel::default(),
             fabric,
             TraceBuffer::disabled(),
+            crate::race::RaceTrace::disabled(),
             1024,
         )
     }

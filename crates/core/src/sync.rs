@@ -9,9 +9,17 @@
 //! (the paper's claim that "applications can use thread synchronization
 //! primitives based on the futex as is, regardless of their locations").
 
+//! When the cluster runs with race detection enabled
+//! ([`crate::ClusterConfig::with_race_detection`]), these primitives
+//! record *semantic* synchronization events (`LockAcquire`,
+//! `BarrierLeave`, …) and suppress recording of their internal futex-word
+//! traffic, so `dex-check races` sees the happens-before edges without
+//! mistaking lock-word contention for application races.
+
 use dex_os::VirtAddr;
 
 use crate::handle::ProcessRef;
+use crate::race::RaceEventKind;
 use crate::thread::ThreadCtx;
 
 /// A mutual-exclusion lock usable by threads on any node.
@@ -60,31 +68,41 @@ impl DexMutex {
     /// elsewhere. This is Drepper's third futex mutex: the word is swapped
     /// to "locked-contended" before sleeping so unlockers know to wake.
     pub fn lock(&self, ctx: &ThreadCtx<'_>) {
-        let mut c = ctx.cas_u32(self.word, 0, 1);
-        if c == 0 {
-            return;
-        }
-        if c != 2 {
-            c = ctx.swap_u32(self.word, 2);
-        }
-        while c != 0 {
-            let _ = ctx.futex_wait(self.word, 2);
-            c = ctx.swap_u32(self.word, 2);
-        }
+        ctx.sync_scope(|| {
+            let mut c = ctx.cas_u32(self.word, 0, 1);
+            if c == 0 {
+                return;
+            }
+            if c != 2 {
+                c = ctx.swap_u32(self.word, 2);
+            }
+            while c != 0 {
+                let _ = ctx.futex_wait(self.word, 2);
+                c = ctx.swap_u32(self.word, 2);
+            }
+        });
+        ctx.record_sync_event(RaceEventKind::LockAcquire { lock: self.word });
     }
 
     /// Attempts to acquire without blocking; `true` on success.
     pub fn try_lock(&self, ctx: &ThreadCtx<'_>) -> bool {
-        ctx.cas_u32(self.word, 0, 1) == 0
+        let acquired = ctx.sync_scope(|| ctx.cas_u32(self.word, 0, 1) == 0);
+        if acquired {
+            ctx.record_sync_event(RaceEventKind::LockAcquire { lock: self.word });
+        }
+        acquired
     }
 
     /// Releases the lock, waking one waiter if any.
     pub fn unlock(&self, ctx: &ThreadCtx<'_>) {
-        let old = ctx.swap_u32(self.word, 0);
-        debug_assert!(old != 0, "unlock of unlocked DexMutex");
-        if old == 2 {
-            let _ = ctx.futex_wake(self.word, 1);
-        }
+        ctx.record_sync_event(RaceEventKind::LockRelease { lock: self.word });
+        ctx.sync_scope(|| {
+            let old = ctx.swap_u32(self.word, 0);
+            debug_assert!(old != 0, "unlock of unlocked DexMutex");
+            if old == 2 {
+                let _ = ctx.futex_wake(self.word, 1);
+            }
+        });
     }
 
     /// Runs `f` under the lock.
@@ -126,19 +144,30 @@ impl DexBarrier {
     /// Returns `true` to exactly one arriver per round (the "serial"
     /// thread, as in `pthread_barrier_wait`).
     pub fn wait(&self, ctx: &ThreadCtx<'_>) -> bool {
-        let gen = ctx.read_u32(self.generation);
-        let arrived = ctx.fetch_add_u32(self.count, 1) + 1;
-        if arrived == self.parties {
-            ctx.write_u32(self.count, 0);
-            ctx.fetch_add_u32(self.generation, 1);
-            let _ = ctx.futex_wake(self.generation, u32::MAX);
-            true
-        } else {
-            while ctx.read_u32(self.generation) == gen {
-                let _ = ctx.futex_wait(self.generation, gen);
-            }
-            false
-        }
+        ctx.sync_scope(|| {
+            let gen = ctx.read_u32(self.generation);
+            ctx.record_sync_event(RaceEventKind::BarrierEnter {
+                barrier: self.generation,
+                generation: gen,
+            });
+            let arrived = ctx.fetch_add_u32(self.count, 1) + 1;
+            let serial = if arrived == self.parties {
+                ctx.write_u32(self.count, 0);
+                ctx.fetch_add_u32(self.generation, 1);
+                let _ = ctx.futex_wake(self.generation, u32::MAX);
+                true
+            } else {
+                while ctx.read_u32(self.generation) == gen {
+                    let _ = ctx.futex_wait(self.generation, gen);
+                }
+                false
+            };
+            ctx.record_sync_event(RaceEventKind::BarrierLeave {
+                barrier: self.generation,
+                generation: gen,
+            });
+            serial
+        })
     }
 }
 
@@ -157,22 +186,31 @@ impl DexCondvar {
     /// reacquires the mutex. Like POSIX, spurious wakeups are possible:
     /// callers re-check their predicate in a loop.
     pub fn wait(&self, ctx: &ThreadCtx<'_>, mutex: &DexMutex) {
-        let seq = ctx.read_u32(self.seq);
+        let seq = ctx.sync_scope(|| ctx.read_u32(self.seq));
         mutex.unlock(ctx);
-        let _ = ctx.futex_wait(self.seq, seq);
+        let woken = ctx.sync_scope(|| ctx.futex_wait(self.seq, seq));
+        if woken == 0 {
+            ctx.record_sync_event(RaceEventKind::FutexWaitReturn { addr: self.seq });
+        }
         mutex.lock(ctx);
     }
 
     /// Wakes one waiter.
     pub fn notify_one(&self, ctx: &ThreadCtx<'_>) {
-        ctx.fetch_add_u32(self.seq, 1);
-        let _ = ctx.futex_wake(self.seq, 1);
+        ctx.record_sync_event(RaceEventKind::FutexWake { addr: self.seq });
+        ctx.sync_scope(|| {
+            ctx.fetch_add_u32(self.seq, 1);
+            let _ = ctx.futex_wake(self.seq, 1);
+        });
     }
 
     /// Wakes all waiters.
     pub fn notify_all(&self, ctx: &ThreadCtx<'_>) {
-        ctx.fetch_add_u32(self.seq, 1);
-        let _ = ctx.futex_wake(self.seq, u32::MAX);
+        ctx.record_sync_event(RaceEventKind::FutexWake { addr: self.seq });
+        ctx.sync_scope(|| {
+            ctx.fetch_add_u32(self.seq, 1);
+            let _ = ctx.futex_wake(self.seq, u32::MAX);
+        });
     }
 }
 
@@ -196,8 +234,13 @@ impl DexRwLock {
     }
 
     /// Acquires shared (read) access.
+    ///
+    /// For race detection the rwlock is recorded as a plain lock
+    /// acquire/release — a deliberate over-approximation (reader–reader
+    /// sections appear ordered), erring towards missed reports rather
+    /// than false positives.
     pub fn read_lock(&self, ctx: &ThreadCtx<'_>) {
-        loop {
+        ctx.sync_scope(|| loop {
             let v = ctx.read_u32(self.word);
             if v == Self::WRITER {
                 let _ = ctx.futex_wait(self.word, Self::WRITER);
@@ -206,27 +249,31 @@ impl DexRwLock {
             if ctx.cas_u32(self.word, v, v + 1) == v {
                 return;
             }
-        }
+        });
+        ctx.record_sync_event(RaceEventKind::LockAcquire { lock: self.word });
     }
 
     /// Releases shared access, waking a waiting writer when the last
     /// reader leaves.
     pub fn read_unlock(&self, ctx: &ThreadCtx<'_>) {
-        let mut left = 0u32;
-        ctx.rmw_bytes(self.word, 4, |b| {
-            let v = u32::from_le_bytes(b.try_into().expect("4 bytes"));
-            debug_assert!(v != 0 && v != Self::WRITER, "read_unlock without read lock");
-            left = v - 1;
-            b.copy_from_slice(&left.to_le_bytes());
+        ctx.record_sync_event(RaceEventKind::LockRelease { lock: self.word });
+        ctx.sync_scope(|| {
+            let mut left = 0u32;
+            ctx.rmw_bytes(self.word, 4, |b| {
+                let v = u32::from_le_bytes(b.try_into().expect("4 bytes"));
+                debug_assert!(v != 0 && v != Self::WRITER, "read_unlock without read lock");
+                left = v - 1;
+                b.copy_from_slice(&left.to_le_bytes());
+            });
+            if left == 0 {
+                let _ = ctx.futex_wake(self.word, 1);
+            }
         });
-        if left == 0 {
-            let _ = ctx.futex_wake(self.word, 1);
-        }
     }
 
     /// Acquires exclusive (write) access.
     pub fn write_lock(&self, ctx: &ThreadCtx<'_>) {
-        loop {
+        ctx.sync_scope(|| loop {
             if ctx.cas_u32(self.word, 0, Self::WRITER) == 0 {
                 return;
             }
@@ -234,14 +281,18 @@ impl DexRwLock {
             if v != 0 {
                 let _ = ctx.futex_wait(self.word, v);
             }
-        }
+        });
+        ctx.record_sync_event(RaceEventKind::LockAcquire { lock: self.word });
     }
 
     /// Releases exclusive access, waking all waiters.
     pub fn write_unlock(&self, ctx: &ThreadCtx<'_>) {
-        let old = ctx.swap_u32(self.word, 0);
-        debug_assert_eq!(old, Self::WRITER, "write_unlock without write lock");
-        let _ = ctx.futex_wake(self.word, u32::MAX);
+        ctx.record_sync_event(RaceEventKind::LockRelease { lock: self.word });
+        ctx.sync_scope(|| {
+            let old = ctx.swap_u32(self.word, 0);
+            debug_assert_eq!(old, Self::WRITER, "write_unlock without write lock");
+            let _ = ctx.futex_wake(self.word, u32::MAX);
+        });
     }
 
     /// Runs `f` under shared access.

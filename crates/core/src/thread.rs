@@ -23,6 +23,7 @@ use dex_sim::{SimChannel, SimCtx, SimDuration, ThreadId};
 use crate::directory::{DirAction, Requester};
 use crate::msg::{DelegatedOp, DexMsg, VmaOp};
 use crate::process::{DelegationJob, MigrationSample, ProcessShared, Reply};
+use crate::race::{RaceEvent, RaceEventKind};
 use crate::trace::{FaultEvent, FaultKind};
 
 /// `EAGAIN`-style result of a futex wait whose word changed first.
@@ -44,7 +45,10 @@ impl std::fmt::Display for MigrateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MigrateError::NoSuchNode { requested, nodes } => {
-                write!(f, "cannot migrate to {requested}: cluster has {nodes} nodes")
+                write!(
+                    f,
+                    "cannot migrate to {requested}: cluster has {nodes} nodes"
+                )
             }
         }
     }
@@ -123,6 +127,10 @@ pub struct ThreadCtx<'a> {
     site: Cell<&'static str>,
     has_migrated: Cell<bool>,
     pair_started: Cell<bool>,
+    /// Nesting depth inside synchronization primitives: while positive,
+    /// raw access/futex events are suppressed and the primitives emit
+    /// semantic race events instead.
+    sync_depth: Cell<u32>,
 }
 
 impl<'a> ThreadCtx<'a> {
@@ -136,6 +144,40 @@ impl<'a> ThreadCtx<'a> {
             site: Cell::new("unknown"),
             has_migrated: Cell::new(false),
             pair_started: Cell::new(false),
+            sync_depth: Cell::new(0),
+        }
+    }
+
+    // ---- race-event recording ----
+
+    /// Runs `f` with raw access/futex race recording suppressed; the
+    /// synchronization primitives use this so their internal word traffic
+    /// is never mistaken for an application race.
+    pub(crate) fn sync_scope<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.sync_depth.set(self.sync_depth.get() + 1);
+        let r = f();
+        self.sync_depth.set(self.sync_depth.get() - 1);
+        r
+    }
+
+    /// Records a semantic race event unconditionally (used by the
+    /// synchronization primitives even inside [`ThreadCtx::sync_scope`]).
+    pub(crate) fn record_sync_event(&self, kind: RaceEventKind) {
+        if self.shared.race.is_enabled() {
+            self.shared.race.record(RaceEvent {
+                time: self.sim.now(),
+                node: self.node.get(),
+                task: self.tid,
+                site: self.site.get(),
+                kind,
+            });
+        }
+    }
+
+    /// Records an access/futex event unless inside a sync primitive.
+    fn record_race_event(&self, kind: RaceEventKind) {
+        if self.sync_depth.get() == 0 {
+            self.record_sync_event(kind);
         }
     }
 
@@ -206,6 +248,12 @@ impl<'a> ThreadCtx<'a> {
 
     /// Reads `dst.len()` bytes at `addr` through the consistency protocol.
     pub fn read_bytes(&self, addr: VirtAddr, dst: &mut [u8]) {
+        self.record_race_event(RaceEventKind::Access {
+            addr,
+            len: dst.len() as u32,
+            is_write: false,
+            atomic: false,
+        });
         let mut cursor = addr;
         let mut filled = 0usize;
         while filled < dst.len() {
@@ -223,6 +271,12 @@ impl<'a> ThreadCtx<'a> {
 
     /// Writes `src` at `addr` through the consistency protocol.
     pub fn write_bytes(&self, addr: VirtAddr, src: &[u8]) {
+        self.record_race_event(RaceEventKind::Access {
+            addr,
+            len: src.len() as u32,
+            is_write: true,
+            atomic: false,
+        });
         let mut cursor = addr;
         let mut written = 0usize;
         while written < src.len() {
@@ -265,6 +319,12 @@ impl<'a> ThreadCtx<'a> {
             addr.page_offset() + len <= PAGE_SIZE,
             "atomic access must not straddle a page boundary"
         );
+        self.record_race_event(RaceEventKind::Access {
+            addr,
+            len: len as u32,
+            is_write: true,
+            atomic: true,
+        });
         self.ensure(addr, Access::Write);
         let mut space = self.shared.space(self.node.get()).lock();
         let mut buf = vec![0u8; len];
@@ -546,7 +606,10 @@ impl<'a> ThreadCtx<'a> {
         if retry {
             return (false, false);
         }
-        assert!(opened_txn, "request must grant, retry, or open a transaction");
+        assert!(
+            opened_txn,
+            "request must grant, retry, or open a transaction"
+        );
         let slot = shared.register_pending(ctx, node, req_id);
         let endpoint = self.endpoint(node);
         for (to, msg) in sends {
@@ -588,21 +651,26 @@ impl<'a> ThreadCtx<'a> {
     /// changed. Remote threads delegate this to their original thread at
     /// the origin (§III-A).
     pub fn futex_wait(&self, addr: VirtAddr, expected: u32) -> i64 {
+        let result = self.futex_wait_inner(addr, expected);
+        if result == 0 {
+            // An actual wakeup orders this thread after the waker.
+            self.record_race_event(RaceEventKind::FutexWaitReturn { addr });
+        }
+        result
+    }
+
+    fn futex_wait_inner(&self, addr: VirtAddr, expected: u32) -> i64 {
         let shared = &self.shared;
         shared.stats.counters.incr("futex.waits");
         let node = self.node.get();
         if node == shared.origin {
             let req_id = shared.new_req_id();
-            match futex_wait_at_origin(
-                self, addr, expected, node, req_id,
-            ) {
+            match futex_wait_at_origin(self, addr, expected, node, req_id) {
                 FutexWaitOutcome::ValueMismatch => FUTEX_EAGAIN,
-                FutexWaitOutcome::Enqueued(slot) => {
-                    match shared.wait_reply(self.sim, &slot) {
-                        Reply::FutexWoken => 0,
-                        other => unreachable!("futex wait answered with {other:?}"),
-                    }
-                }
+                FutexWaitOutcome::Enqueued(slot) => match shared.wait_reply(self.sim, &slot) {
+                    Reply::FutexWoken => 0,
+                    other => unreachable!("futex wait answered with {other:?}"),
+                },
             }
         } else {
             shared.stats.counters.incr("delegations");
@@ -629,6 +697,7 @@ impl<'a> ThreadCtx<'a> {
     /// `FUTEX_WAKE`: wakes up to `count` waiters of the word at `addr`.
     /// Returns the number woken.
     pub fn futex_wake(&self, addr: VirtAddr, count: u32) -> i64 {
+        self.record_race_event(RaceEventKind::FutexWake { addr });
         let shared = &self.shared;
         shared.stats.counters.incr("futex.wakes");
         let node = self.node.get();
@@ -775,7 +844,10 @@ impl<'a> ThreadCtx<'a> {
         if missing.is_empty() {
             return;
         }
-        shared.stats.counters.add("prefetch.pages", missing.len() as u64);
+        shared
+            .stats
+            .counters
+            .add("prefetch.pages", missing.len() as u64);
         let endpoint = self.endpoint(node);
         let mut slots = Vec::with_capacity(missing.len());
         for vpn in &missing {
@@ -909,10 +981,7 @@ impl<'a> ThreadCtx<'a> {
         }
         self.pair_started.set(true);
         let chan: SimChannel<DelegationJob> = SimChannel::unbounded();
-        self.shared
-            .delegation
-            .lock()
-            .insert(self.tid, chan.clone());
+        self.shared.delegation.lock().insert(self.tid, chan.clone());
         let shared = Arc::clone(&self.shared);
         let tid = self.tid;
         self.sim.spawn_daemon(format!("pair-{tid}"), move |ctx| {
@@ -1031,6 +1100,7 @@ impl<'a> ThreadCtx<'a> {
         let handle = DexThread::new();
         let handle2 = handle.clone();
         let tid = shared.new_tid();
+        self.record_race_event(RaceEventKind::Spawn { child: tid });
         self.sim.spawn(name, move |ctx| {
             shared.adjust_load(shared.origin, 1);
             let tctx = ThreadCtx::new(ctx, shared, tid);
@@ -1154,10 +1224,7 @@ pub(crate) fn munmap_at_origin(
 ) {
     let pages = {
         let mut space = shared.space(shared.origin).lock();
-        let pages = space
-            .vmas
-            .munmap(addr, len)
-            .expect("munmap with bad range");
+        let pages = space.vmas.munmap(addr, len).expect("munmap with bad range");
         for vpn in &pages {
             space.page_table.clear(*vpn);
             space.evict_frame(*vpn);
@@ -1198,8 +1265,7 @@ fn broadcast_vma_op(ctx: &SimCtx, shared: &Arc<ProcessShared>, op: VmaOp) {
     }
     shared.stats.counters.incr("vma.broadcasts");
     let req_id = shared.new_req_id();
-    let slot =
-        shared.register_pending_counted(ctx, shared.origin, req_id, peers.len() as u32);
+    let slot = shared.register_pending_counted(ctx, shared.origin, req_id, peers.len() as u32);
     let endpoint = shared.fabric.endpoint(shared.origin);
     for peer in peers {
         endpoint.send(
@@ -1242,11 +1308,12 @@ fn pair_thread_loop(
                 Some(futex_wake_at_origin(ctx, &shared, addr, count))
             }
             DelegatedOp::Mmap { len, prot } => {
-                let addr = shared
-                    .space(shared.origin)
-                    .lock()
-                    .vmas
-                    .mmap(len, prot, VmaKind::Anon, None);
+                let addr =
+                    shared
+                        .space(shared.origin)
+                        .lock()
+                        .vmas
+                        .mmap(len, prot, VmaKind::Anon, None);
                 Some(addr.as_u64() as i64)
             }
             DelegatedOp::Munmap { addr, len } => {

@@ -15,8 +15,15 @@ const ORIGIN: NodeId = NodeId(0);
 /// An in-flight remote transaction the harness must acknowledge.
 #[derive(Debug)]
 enum PendingAck {
-    Flush { vpn: Vpn, from: NodeId },
-    Invalidate { vpn: Vpn, from: NodeId, needs_data: bool },
+    Flush {
+        vpn: Vpn,
+        from: NodeId,
+    },
+    Invalidate {
+        vpn: Vpn,
+        from: NodeId,
+        needs_data: bool,
+    },
 }
 
 #[derive(Debug, Default)]
@@ -48,13 +55,13 @@ impl Harness {
                 DirAction::SendFlush { to } => {
                     self.acks.push_back(PendingAck::Flush { vpn, from: to })
                 }
-                DirAction::SendInvalidate { to, needs_data } => self.acks.push_back(
-                    PendingAck::Invalidate {
+                DirAction::SendInvalidate { to, needs_data } => {
+                    self.acks.push_back(PendingAck::Invalidate {
                         vpn,
                         from: to,
                         needs_data,
-                    },
-                ),
+                    })
+                }
                 DirAction::ClearOriginPte
                 | DirAction::DowngradeOriginPte
                 | DirAction::SetOriginPteRo
@@ -149,7 +156,7 @@ proptest! {
     ) {
         let mut h = Harness::new();
         let mut req = 0u64;
-        let mut last_writer = vec![ORIGIN; 3];
+        let mut last_writer = [ORIGIN; 3];
         for (page, node) in writes {
             req += 1;
             h.request(Vpn::new(page), Access::Write, NodeId(node), req);

@@ -445,7 +445,11 @@ fn migrate_least_loaded_spreads_threads() {
     let mut nodes = seen.lock().clone();
     nodes.sort();
     nodes.dedup();
-    assert_eq!(nodes.len(), 3, "three threads spread to three nodes: {nodes:?}");
+    assert_eq!(
+        nodes.len(),
+        3,
+        "three threads spread to three nodes: {nodes:?}"
+    );
 }
 
 #[test]
@@ -458,11 +462,7 @@ fn prefetch_amortizes_fault_round_trips() {
                 ctx.migrate(1).unwrap();
                 let t0 = ctx.sim().now();
                 if prefetch {
-                    ctx.prefetch(
-                        data.addr(),
-                        (data.len() * 8) as u64,
-                        dex_core::Access::Read,
-                    );
+                    ctx.prefetch(data.addr(), (data.len() * 8) as u64, dex_core::Access::Read);
                 }
                 let mut buf = vec![0u64; 512];
                 for page in 0..64 {
@@ -513,8 +513,7 @@ fn rwlock_allows_concurrent_readers_excludes_writers() {
                 ctx.migrate(node).unwrap();
                 let mut last = 0u64;
                 for _ in 0..30 {
-                    let v = lock.with_read(ctx, || ());
-                    let _ = v;
+                    lock.with_read(ctx, || ());
                     lock.read_lock(ctx);
                     let observed = value.get(ctx);
                     lock.read_unlock(ctx);

@@ -5,13 +5,11 @@
 //! SX6012 switch, 56 Gb/s InfiniBand) and its measured micro-benchmarks
 //! (13.6 µs to retrieve one 4 KiB page end-to-end, §V-D).
 
-use serde::{Deserialize, Serialize};
-
 use dex_sim::SimDuration;
 
 /// How page-sized payloads are moved between nodes (§III-E discusses why
 /// DEX settles on the hybrid sink-and-copy scheme).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RdmaStrategy {
     /// The paper's hybrid: RDMA-write into a pre-registered *RDMA sink*
     /// chunk at the receiver, then one memcpy to the final destination.
@@ -38,7 +36,7 @@ pub enum RdmaStrategy {
 /// let wire = cfg.wire_time(4096);
 /// assert!(wire.as_micros_f64() < 1.0);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// One-way latency of a small VERB send/recv (switch + HCA + PCIe).
     pub verb_latency: SimDuration,

@@ -293,8 +293,10 @@ impl<M: WireMessage> Endpoint<M> {
         fabric.counters.add("bytes.sent", (control + page) as u64);
         link.messages
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        link.bytes
-            .fetch_add((control + page) as u64, std::sync::atomic::Ordering::Relaxed);
+        link.bytes.fetch_add(
+            (control + page) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
 
         let (wire_bytes, extra_latency, recv_copy_bytes, sink_credit) = if page == 0 {
             // VERB control path: compose into a pre-mapped pool chunk.
@@ -397,7 +399,9 @@ impl<M: WireMessage> Endpoint<M> {
 
 impl<M> std::fmt::Debug for Endpoint<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Endpoint").field("node", &self.node).finish()
+        f.debug_struct("Endpoint")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
@@ -435,7 +439,9 @@ mod tests {
         let fabric = fabric_with(RdmaStrategy::SinkCopy, 2);
         let tx = fabric.endpoint(NodeId(0));
         let rx = fabric.endpoint(NodeId(1));
-        engine.spawn("tx", move |ctx| tx.send(ctx, NodeId(1), TestMsg { tag: 1, page: 0 }));
+        engine.spawn("tx", move |ctx| {
+            tx.send(ctx, NodeId(1), TestMsg { tag: 1, page: 0 })
+        });
         engine.spawn("rx", move |ctx| {
             let d = rx.recv(ctx).unwrap();
             assert_eq!(d.msg.tag, 1);
@@ -506,9 +512,7 @@ mod tests {
                 "registration cost paid at the sender: {spent}"
             );
         });
-        engine.spawn_daemon("rx", move |ctx| {
-            while rx.recv(ctx).is_some() {}
-        });
+        engine.spawn_daemon("rx", move |ctx| while rx.recv(ctx).is_some() {});
         engine.run().unwrap();
         assert_eq!(fabric.counters().get("mr.registrations"), 1);
     }

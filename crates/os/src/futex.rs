@@ -48,7 +48,10 @@ impl FutexTable {
     /// Appends `waiter` to the wait queue of `addr`. The caller parks the
     /// simulated thread afterwards.
     pub fn enqueue(&mut self, addr: VirtAddr, waiter: ThreadId) {
-        self.queues.entry(addr.as_u64()).or_default().push_back(waiter);
+        self.queues
+            .entry(addr.as_u64())
+            .or_default()
+            .push_back(waiter);
     }
 
     /// Dequeues up to `n` waiters of `addr` in FIFO order. The caller

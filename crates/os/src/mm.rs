@@ -94,7 +94,8 @@ impl AddressSpace {
     /// Mutable frame for `vpn`, allocating a zero frame on first touch
     /// (anonymous pages are zero-fill-on-demand).
     pub fn frame_mut(&mut self, vpn: Vpn) -> &mut PageFrame {
-        self.frames.get_or_insert_with(vpn.index(), PageFrame::zeroed)
+        self.frames
+            .get_or_insert_with(vpn.index(), PageFrame::zeroed)
     }
 
     /// Installs `frame` as the contents of `vpn` (page data arriving from

@@ -83,7 +83,7 @@ impl Pte {
 /// assert!(pt.entry(page).permits(Access::Read));
 /// assert!(!pt.entry(page).permits(Access::Write)); // write fault
 /// ```
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct PageTable {
     entries: RadixTree<Pte>,
 }
@@ -127,6 +127,20 @@ impl PageTable {
     /// Iterates `(vpn, pte)` pairs in page order.
     pub fn iter(&self) -> impl Iterator<Item = (Vpn, Pte)> + '_ {
         self.entries.iter().map(|(k, pte)| (Vpn::new(k), *pte))
+    }
+
+    /// Number of entries mapped writable (exclusive ownership under DEX).
+    pub fn writable_count(&self) -> usize {
+        self.entries.iter().filter(|(_, pte)| pte.writable).count()
+    }
+
+    /// A point-in-time copy of the table contents in page order.
+    ///
+    /// Verification tooling (`dex-check`) uses this to compare a node's
+    /// mapped view against the directory's owner sets without holding a
+    /// borrow of the live table.
+    pub fn snapshot(&self) -> Vec<(Vpn, Pte)> {
+        self.iter().collect()
     }
 }
 
@@ -194,5 +208,20 @@ mod tests {
         pt.set(Vpn::new(10), Pte::READ_WRITE);
         let pages: Vec<u64> = pt.iter().map(|(v, _)| v.index()).collect();
         assert_eq!(pages, vec![10, 30]);
+    }
+
+    #[test]
+    fn snapshot_and_counts_reflect_permissions() {
+        let mut pt = PageTable::new();
+        pt.set(Vpn::new(1), Pte::READ_WRITE);
+        pt.set(Vpn::new(2), Pte::READ_ONLY);
+        pt.set(Vpn::new(3), Pte::READ_WRITE);
+        assert_eq!(pt.present_count(), 3);
+        assert_eq!(pt.writable_count(), 2);
+        let snap = pt.snapshot();
+        assert_eq!(snap.len(), 3);
+        // The snapshot is decoupled from the live table.
+        pt.clear(Vpn::new(1));
+        assert_eq!(snap[0], (Vpn::new(1), Pte::READ_WRITE));
     }
 }

@@ -13,11 +13,13 @@
 const FANOUT_BITS: u32 = 6;
 const FANOUT: usize = 1 << FANOUT_BITS; // 64
 
+#[derive(Clone)]
 enum Slot<V> {
     Node(Box<Node<V>>),
     Value(V),
 }
 
+#[derive(Clone)]
 struct Node<V> {
     slots: [Option<Slot<V>>; FANOUT],
     occupied: u32,
@@ -47,6 +49,7 @@ impl<V> Node<V> {
 /// assert_eq!(tree.remove(0x1000), Some("b"));
 /// assert!(tree.is_empty());
 /// ```
+#[derive(Clone)]
 pub struct RadixTree<V> {
     root: Option<Box<Node<V>>>,
     /// Number of levels below the root; a height-1 tree holds keys < 64.
@@ -461,6 +464,20 @@ mod tests {
         let tree_items: Vec<(u64, u64)> = tree.iter().map(|(k, v)| (k, *v)).collect();
         let model_items: Vec<(u64, u64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
         assert_eq!(tree_items, model_items);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut tree = RadixTree::new();
+        for k in [1u64, 64, 70_000] {
+            tree.insert(k, k);
+        }
+        let snapshot = tree.clone();
+        tree.insert(2, 2);
+        tree.remove(64);
+        assert_eq!(snapshot.len(), 3, "clone unaffected by later mutation");
+        assert_eq!(snapshot.get(64), Some(&64));
+        assert_eq!(snapshot.get(2), None);
     }
 
     #[test]

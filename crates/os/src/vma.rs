@@ -242,7 +242,10 @@ impl VmaSet {
         kind: VmaKind,
         tag: Option<String>,
     ) -> Result<(), VmaError> {
-        if len == 0 || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64) || !len.is_multiple_of(PAGE_SIZE as u64) {
+        if len == 0
+            || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64)
+            || !len.is_multiple_of(PAGE_SIZE as u64)
+        {
             return Err(VmaError::BadRange);
         }
         if let Some(v) = self.first_overlap(addr.as_u64(), addr.as_u64() + len) {
@@ -280,7 +283,10 @@ impl VmaSet {
     /// [`VmaError::BadRange`] if the range is empty or misaligned. (Ranges
     /// that cover no mapping are fine — like Linux `munmap`.)
     pub fn munmap(&mut self, addr: VirtAddr, len: u64) -> Result<Vec<Vpn>, VmaError> {
-        if len == 0 || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64) || !len.is_multiple_of(PAGE_SIZE as u64) {
+        if len == 0
+            || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64)
+            || !len.is_multiple_of(PAGE_SIZE as u64)
+        {
             return Err(VmaError::BadRange);
         }
         let removed = self.unmap_range(addr.as_u64(), addr.as_u64() + len);
@@ -297,7 +303,10 @@ impl VmaSet {
     /// * [`VmaError::BadRange`] for empty/misaligned ranges.
     /// * [`VmaError::NotMapped`] if any page in the range is unmapped.
     pub fn mprotect(&mut self, addr: VirtAddr, len: u64, prot: Prot) -> Result<bool, VmaError> {
-        if len == 0 || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64) || !len.is_multiple_of(PAGE_SIZE as u64) {
+        if len == 0
+            || !addr.as_u64().is_multiple_of(PAGE_SIZE as u64)
+            || !len.is_multiple_of(PAGE_SIZE as u64)
+        {
             return Err(VmaError::BadRange);
         }
         let (start, end) = (addr.as_u64(), addr.as_u64() + len);
@@ -314,10 +323,7 @@ impl VmaSet {
             }
         }
         let mut downgraded = false;
-        let affected: Vec<Vma> = self
-            .overlapping(start, end)
-            .cloned()
-            .collect();
+        let affected: Vec<Vma> = self.overlapping(start, end).cloned().collect();
         for vma in affected {
             if !prot.allows(vma.prot) {
                 downgraded = true;
@@ -463,8 +469,14 @@ mod tests {
     #[test]
     fn check_access_enforces_prot() {
         let mut s = VmaSet::new();
-        s.mmap_fixed(VirtAddr::new(0x10000), P, Prot::RO, VmaKind::GlobalData, None)
-            .unwrap();
+        s.mmap_fixed(
+            VirtAddr::new(0x10000),
+            P,
+            Prot::RO,
+            VmaKind::GlobalData,
+            None,
+        )
+        .unwrap();
         assert!(s.check_access(VirtAddr::new(0x10008), false).is_ok());
         assert!(s.check_access(VirtAddr::new(0x10008), true).is_err());
     }

@@ -170,11 +170,7 @@ impl Profile {
 
     /// Pages ranked by total protocol events, hottest first.
     pub fn hot_pages(&self) -> Vec<(Vpn, &PageStat)> {
-        let mut pages: Vec<_> = self
-            .pages
-            .iter()
-            .map(|(k, v)| (Vpn::new(*k), v))
-            .collect();
+        let mut pages: Vec<_> = self.pages.iter().map(|(k, v)| (Vpn::new(*k), v)).collect();
         pages.sort_by(|a, b| b.1.total().cmp(&a.1.total()).then(a.0.cmp(&b.0)));
         pages
     }

@@ -1,0 +1,194 @@
+//! Text serialization of fault traces.
+//!
+//! The profiler and the verification tooling (`dex-check races`) share
+//! one on-disk trace representation so a trace captured by an
+//! application run can be analyzed offline by either tool. The format is
+//! line-oriented, tab-separated, versioned by a header line:
+//!
+//! ```text
+//! # dex-trace v1
+//! <time_ns>\t<node>\t<task>\t<kind>\t<site>\t<addr_hex>\t<tag-or-->
+//! ```
+//!
+//! Site strings are interned on decode (the live [`FaultEvent`] carries
+//! `&'static str` sites); the interner leaks one allocation per distinct
+//! site, which is bounded by the number of annotated code sites.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use dex_core::{FaultEvent, FaultKind};
+use dex_net::NodeId;
+use dex_os::{Tid, VirtAddr};
+use dex_sim::SimTime;
+
+/// Magic header identifying the trace format.
+pub const TRACE_HEADER: &str = "# dex-trace v1";
+
+/// Serializes `events` into the versioned text format.
+pub fn encode_trace(events: &[FaultEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + TRACE_HEADER.len() + 1);
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    for e in events {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{:#x}\t{}\n",
+            e.time.as_nanos(),
+            e.node.0,
+            e.task.0,
+            e.kind,
+            e.site.replace(['\t', '\n'], " "),
+            e.addr.as_u64(),
+            match &e.tag {
+                Some(tag) => tag.replace(['\t', '\n'], " "),
+                None => "-".to_string(),
+            }
+        ));
+    }
+    out
+}
+
+/// Interns a site string, returning a `'static` reference.
+///
+/// Distinct sites are bounded by the number of `set_site` annotations in
+/// the program, so the leak is bounded and shared process-wide.
+pub fn intern_site(site: &str) -> &'static str {
+    static INTERNED: Mutex<Option<HashMap<String, &'static str>>> = Mutex::new(None);
+    let mut guard = INTERNED.lock().unwrap_or_else(|e| e.into_inner());
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(&s) = map.get(site) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(site.to_string().into_boxed_str());
+    map.insert(site.to_string(), leaked);
+    leaked
+}
+
+/// Parses the text format produced by [`encode_trace`].
+pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == TRACE_HEADER => {}
+        Some((_, header)) => {
+            return Err(format!(
+                "unrecognized trace header {header:?} (expected {TRACE_HEADER:?})"
+            ))
+        }
+        None => return Err("empty trace file".to_string()),
+    }
+    let mut events = Vec::new();
+    for (lineno, line) in lines {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 7 {
+            return Err(format!(
+                "line {}: expected 7 tab-separated fields, got {}",
+                lineno + 1,
+                fields.len()
+            ));
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+        };
+        let time = SimTime::from_nanos(parse_u64(fields[0], "time")?);
+        let node = NodeId(
+            fields[1]
+                .parse()
+                .map_err(|e| format!("line {}: bad node: {e}", lineno + 1))?,
+        );
+        let task = Tid(parse_u64(fields[2], "task")?);
+        let kind = match fields[3] {
+            "read" => FaultKind::Read,
+            "write" => FaultKind::Write,
+            "invalidate" => FaultKind::Invalidate,
+            other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
+        };
+        let site = intern_site(fields[4]);
+        let addr_str = fields[5]
+            .strip_prefix("0x")
+            .ok_or_else(|| format!("line {}: address must be hex (0x…)", lineno + 1))?;
+        let addr = VirtAddr::new(
+            u64::from_str_radix(addr_str, 16)
+                .map_err(|e| format!("line {}: bad address: {e}", lineno + 1))?,
+        );
+        let tag = match fields[6] {
+            "-" => None,
+            tag => Some(tag.to_string()),
+        };
+        events.push(FaultEvent {
+            time,
+            node,
+            task,
+            kind,
+            site,
+            addr,
+            tag,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FaultEvent> {
+        vec![
+            FaultEvent {
+                time: SimTime::from_nanos(1_500),
+                node: NodeId(2),
+                task: Tid(7),
+                kind: FaultKind::Write,
+                site: "kmeans.update",
+                addr: VirtAddr::new(0x1000_0040),
+                tag: Some("centroids".into()),
+            },
+            FaultEvent {
+                time: SimTime::from_nanos(2_000),
+                node: NodeId(0),
+                task: Tid(u64::MAX),
+                kind: FaultKind::Invalidate,
+                site: "(protocol)",
+                addr: VirtAddr::new(0x1000_0000),
+                tag: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_all_fields() {
+        let events = sample();
+        let decoded = decode_trace(&encode_trace(&events)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        for (a, b) in events.iter().zip(&decoded) {
+            assert_eq!(a.time, b.time);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.task, b.task);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.site, b.site);
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.tag, b.tag);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header_and_malformed_lines() {
+        assert!(decode_trace("").is_err());
+        assert!(decode_trace("# not-a-trace\n").is_err());
+        let bad = format!("{TRACE_HEADER}\n1\t2\t3\n");
+        assert!(decode_trace(&bad).is_err(), "too few fields");
+        let bad_kind = format!("{TRACE_HEADER}\n1\t0\t0\tzap\tsite\t0x10\t-\n");
+        assert!(decode_trace(&bad_kind).is_err());
+    }
+
+    #[test]
+    fn interning_returns_the_same_pointer() {
+        let a = intern_site("same.site");
+        let b = intern_site("same.site");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -41,7 +41,9 @@
 #![warn(missing_docs)]
 
 mod analyze;
+pub mod codec;
 mod report;
 
 pub use analyze::{FalseSharingSuspect, NodeTraffic, PageStat, Profile, SiteStat};
+pub use codec::{decode_trace, encode_trace};
 pub use report::{render_report, ReportOptions};

@@ -26,8 +26,8 @@
 //! them; a remaining parked **non-daemon** thread is reported as a
 //! deadlock.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::sync::Arc;

@@ -46,6 +46,7 @@
 
 mod channel;
 mod engine;
+mod replay;
 mod resource;
 mod rng;
 mod stats;
@@ -53,6 +54,7 @@ mod time;
 
 pub use channel::{SendError, SimChannel};
 pub use engine::{Engine, ShutdownToken, SimCtx, SimError, ThreadId};
+pub use replay::{ReplayCursor, ScheduleLog, ScheduleStep};
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;
 pub use stats::{Counters, Histogram};

@@ -265,7 +265,10 @@ mod tests {
             });
         }
         engine.run().unwrap();
-        assert_eq!(*finishes.lock(), vec![10_000, 10_000, 20_000, 20_000, 30_000]);
+        assert_eq!(
+            *finishes.lock(),
+            vec![10_000, 10_000, 20_000, 20_000, 30_000]
+        );
     }
 
     #[test]

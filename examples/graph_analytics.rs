@@ -22,7 +22,11 @@ fn main() {
         let run = bp::run(&params);
         assert_eq!(run.checksum, reference_checksum("BP", &params));
         let speedup = bp_base.elapsed.as_secs_f64() / run.elapsed.as_secs_f64();
-        let marker = if speedup > nodes as f64 { "  <- super-linear" } else { "" };
+        let marker = if speedup > nodes as f64 {
+            "  <- super-linear"
+        } else {
+            ""
+        };
         println!(
             "  {nodes} nodes: {} ({speedup:.2}x vs 1-node baseline){marker}",
             run.elapsed

@@ -52,10 +52,8 @@ fn main() {
     );
 
     let baseline = kmn::run(&AppParams::new(1, Variant::Baseline));
-    let speedup_initial =
-        baseline.elapsed.as_secs_f64() / initial.elapsed.as_secs_f64();
-    let speedup_optimized =
-        baseline.elapsed.as_secs_f64() / optimized.elapsed.as_secs_f64();
+    let speedup_initial = baseline.elapsed.as_secs_f64() / initial.elapsed.as_secs_f64();
+    let speedup_optimized = baseline.elapsed.as_secs_f64() / optimized.elapsed.as_secs_f64();
 
     println!("single-machine baseline : {}", baseline.elapsed);
     println!(

@@ -97,5 +97,8 @@ fn main() {
     println!("aligned : {aligned_time}");
     let gain = packed_time.as_secs_f64() / aligned_time.as_secs_f64();
     println!("speedup : {gain:.1}x from one allocation change");
-    assert!(gain > 2.0, "removing false sharing should pay off: {gain:.2}");
+    assert!(
+        gain > 2.0,
+        "removing false sharing should pay off: {gain:.2}"
+    );
 }

@@ -59,7 +59,10 @@ fn main() {
 
     println!("distributed sum ........ {total}");
     println!("virtual time ........... {}", report.virtual_time);
-    println!("forward migrations ..... {}", report.stats.forward_migrations);
+    println!(
+        "forward migrations ..... {}",
+        report.stats.forward_migrations
+    );
     println!("pages moved ............ {}", report.stats.pages_sent);
     println!("protocol faults ........ {}", report.stats.total_faults());
     println!("\nThe worker on node 1 pulled its half of the input on demand");

@@ -50,7 +50,9 @@ fn profiler_attributes_app_traffic_to_objects() {
         .flat_map(|(_, s)| s.tags.iter().cloned().collect::<Vec<_>>())
         .collect();
     assert!(
-        hot_tags.iter().any(|t| t.contains("centroid") || t.contains("changed")),
+        hot_tags
+            .iter()
+            .any(|t| t.contains("centroid") || t.contains("changed")),
         "hot pages should name the accumulators: {hot_tags:?}"
     );
 }

@@ -54,7 +54,7 @@ proptest! {
         (any::<bool>(), 0u64..64, 1u64..8), 1..60
     )) {
         let mut set = VmaSet::new();
-        let mut model = vec![false; 128];
+        let mut model = [false; 128];
         for (map, page, len) in ops {
             let addr = VirtAddr::new(page * PAGE_SIZE as u64);
             let bytes = len * PAGE_SIZE as u64;
