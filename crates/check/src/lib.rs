@@ -19,23 +19,33 @@
 //! * [`lint`] — source-level invariant lints (raw `NodeSet`
 //!   construction, PTE mutation outside the protocol allowlist,
 //!   non-exhaustive `DirAction` consumers, `unwrap()` on fabric paths).
+//! * [`faults`] — deterministic fault-injection scenarios: empty plans
+//!   are byte-identical to no plan, seeded delay/stall/crash plans
+//!   replay bit-for-bit, and node crashes quiesce with threads re-homed
+//!   and no page ownership leaked to the dead node.
 //!
-//! The `dex-check` binary wires all three into CI:
+//! The `dex-check` binary wires all four into CI:
 //!
 //! ```text
 //! dex-check model --nodes 3 --pages 1
 //! dex-check races
+//! dex-check faults
 //! dex-check lint
 //! dex-check all
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod lint;
 pub mod model_check;
 pub mod races;
 pub mod scenarios;
 
+pub use faults::{
+    fault_scenario_names, replay_plan, run_fault_scenario, FaultOutcome, FaultScenario,
+    FAULT_SCENARIOS,
+};
 pub use lint::{run_lint, LintHit};
 pub use model_check::{
     check_model, counterexample_to_log, mutation_sweep, render_counterexample, replay_log,

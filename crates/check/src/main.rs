@@ -5,6 +5,7 @@
 //!                  [--max-states N] [--write-trace FILE]
 //! dex-check replay FILE
 //! dex-check races  [--scenario NAME]
+//! dex-check faults [--scenario NAME]
 //! dex-check lint   [--root DIR]
 //! dex-check all
 //! ```
@@ -18,7 +19,8 @@ use std::process::ExitCode;
 
 use dex_check::{
     check_model, counterexample_to_log, mutation_sweep, render_counterexample, render_race_report,
-    replay_log, run_lint, run_scenario, CheckOptions, CheckOutcome, SCENARIOS,
+    replay_log, replay_plan, run_fault_scenario, run_lint, run_scenario, CheckOptions,
+    CheckOutcome, FAULT_SCENARIOS, SCENARIOS,
 };
 use dex_core::model::{ModelConfig, Mutation};
 
@@ -41,18 +43,24 @@ USAGE:
                    [--max-states N] [--write-trace FILE]
   dex-check replay FILE
   dex-check races  [--scenario NAME]
+  dex-check faults [--scenario NAME]
   dex-check lint   [--root DIR]
   dex-check all
 
 SUBCOMMANDS:
   model    exhaustively explore the directory protocol over a closed
            finite world and check its safety and liveness invariants
-  replay   re-execute a counterexample trace written by `model`
+  replay   re-execute a counterexample trace written by `model`, or —
+           when FILE starts with `# faultplan` — re-run the canonical
+           workload under that fault plan twice and verify it completes
+           deterministically with a consistent directory
   races    run the built-in workloads and analyze their recorded event
            streams for data races and lock-order cycles
+  faults   run the deterministic fault-injection scenarios (empty-plan
+           identity, seeded replay, stall completion, crash recovery)
   lint     run the source-level invariant lints over the workspace
-  all      lint + races + model (2 nodes x 2 pages, and the 3-node
-           coalescing world, with a full mutation sweep)
+  all      lint + races + faults + model (2 nodes x 2 pages, and the
+           3-node coalescing world, with a full mutation sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
@@ -77,6 +85,7 @@ fn main() -> ExitCode {
         "model" => cmd_model(rest),
         "replay" => cmd_replay(rest),
         "races" => cmd_races(rest),
+        "faults" => cmd_faults(rest),
         "lint" => cmd_lint(rest),
         "all" => cmd_all(rest),
         "help" | "--help" | "-h" => {
@@ -206,6 +215,26 @@ fn cmd_replay(args: &[String]) -> Result<bool, String> {
         return Err(format!("`replay` takes exactly one trace file\n\n{USAGE}"));
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    if dex_sim::FaultPlan::looks_like_plan(&text) {
+        let plan = dex_sim::FaultPlan::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        if plan.crashes().iter().any(|c| c.node == 0) {
+            return Err(format!(
+                "{path}: plan crashes node 0 (the origin); an origin crash is \
+                 process death and cannot be recovered from (see DESIGN.md, fault model)"
+            ));
+        }
+        let outcome = replay_plan(&plan);
+        println!(
+            "fault plan {path}: {} link fault(s), {} crash(es)",
+            plan.link_faults().len(),
+            plan.crashes().len()
+        );
+        for line in &outcome.detail {
+            println!("  {line}");
+        }
+        println!("replay {}", if outcome.ok { "PASS" } else { "FAIL" });
+        return Ok(outcome.ok);
+    }
     let outcome = replay_log(&text)?;
     println!(
         "replayed {} steps ({})",
@@ -278,6 +307,47 @@ fn cmd_races(args: &[String]) -> Result<bool, String> {
     Ok(all_ok)
 }
 
+fn cmd_faults(args: &[String]) -> Result<bool, String> {
+    let mut scenario_filter: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scenario" => {
+                scenario_filter = Some(
+                    it.next()
+                        .ok_or_else(|| "--scenario needs a value".to_string())?
+                        .clone(),
+                )
+            }
+            other => return Err(format!("unknown flag `{other}` for `faults`\n\n{USAGE}")),
+        }
+    }
+
+    let names: Vec<&str> = match &scenario_filter {
+        Some(name) if name != "all" => vec![name.as_str()],
+        _ => FAULT_SCENARIOS.iter().map(|s| s.name).collect(),
+    };
+
+    let mut all_ok = true;
+    for name in names {
+        let (scenario, outcome) = run_fault_scenario(name).ok_or_else(|| {
+            let known: Vec<&str> = FAULT_SCENARIOS.iter().map(|s| s.name).collect();
+            format!("unknown fault scenario `{name}` (expected one of {known:?})")
+        })?;
+        all_ok &= outcome.ok;
+        println!(
+            "faults {:<14} {}  {}",
+            scenario.name,
+            if outcome.ok { "PASS" } else { "FAIL" },
+            scenario.description
+        );
+        for line in &outcome.detail {
+            println!("    {line}");
+        }
+    }
+    Ok(all_ok)
+}
+
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let mut root: Option<PathBuf> = None;
     let mut it = args.iter();
@@ -319,6 +389,9 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
 
     println!("\n== races ==");
     ok &= cmd_races(&[])?;
+
+    println!("\n== faults ==");
+    ok &= cmd_faults(&[])?;
 
     println!("\n== model: 2 nodes x 2 pages, mutation sweep ==");
     ok &= cmd_model(&[

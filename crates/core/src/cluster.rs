@@ -55,6 +55,10 @@ pub struct ClusterConfig {
     pub event_budget: u64,
     /// Pages in the process's shared heap VMA.
     pub heap_pages: u64,
+    /// Deterministic fault plan to inject (delay spikes, stalls, node
+    /// crashes). `None` — the default — runs the fabric with the fault
+    /// layer disabled, which is schedule-identical to builds without it.
+    pub fault_plan: Option<dex_sim::FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -74,6 +78,7 @@ impl ClusterConfig {
             race: false,
             event_budget: u64::MAX,
             heap_pages: 1 << 18, // 1 GiB of address space; frames on demand
+            fault_plan: None,
         }
     }
 
@@ -105,6 +110,12 @@ impl ClusterConfig {
     /// Caps the simulation event count.
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
+        self
+    }
+
+    /// Injects a deterministic fault plan (see [`dex_sim::FaultPlan`]).
+    pub fn with_fault_plan(mut self, plan: dex_sim::FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
         self
     }
 }
@@ -166,7 +177,12 @@ impl Cluster {
     {
         let cfg = &self.config;
         let engine = Engine::with_event_budget(cfg.event_budget);
-        let fabric = crate::process::Fabric::new(cfg.net.clone(), cfg.nodes);
+        let fabric = match &cfg.fault_plan {
+            Some(plan) => {
+                crate::process::Fabric::with_faults(cfg.net.clone(), cfg.nodes, plan.clone())
+            }
+            None => crate::process::Fabric::new(cfg.net.clone(), cfg.nodes),
+        };
         let registry = ProcessRegistry::new();
 
         // One dispatcher daemon per node drains that node's inbox.

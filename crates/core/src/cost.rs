@@ -59,6 +59,15 @@ pub struct CostModel {
     /// path only updates the original thread: ~20 µs).
     pub backward_update: SimDuration,
 
+    // ---- fault recovery (fault-injection runs only) ----
+    /// Interval between crash-detection timeouts while a thread waits for
+    /// a protocol reply. Only consulted when a fault plan is active:
+    /// fault-free runs park without timers, so their schedules are
+    /// bit-identical to builds without the fault layer.
+    pub fault_watch_interval: SimDuration,
+    /// Cap for the exponential back-off of the watch interval.
+    pub fault_watch_cap: SimDuration,
+
     // ---- node hardware ----
     /// Per-node memory bandwidth shared by all local threads, bytes/s.
     /// This is the resource whose aggregation across nodes makes
@@ -93,6 +102,8 @@ impl Default for CostModel {
             worker_reuse: SimDuration::from_micros(50),
             backward_capture: SimDuration::from_micros_f64(3.0),
             backward_update: SimDuration::from_micros(20),
+            fault_watch_interval: SimDuration::from_micros(200),
+            fault_watch_cap: SimDuration::from_micros(1_600),
             mem_bandwidth_bytes_per_sec: 20_000_000_000,
             cores_per_node: 8,
             coalesce_faults: true,

@@ -230,6 +230,9 @@ pub struct Directory {
     origin: NodeId,
     pages: RadixTree<PageInfo>,
     stats: DirStats,
+    /// Nodes declared fail-stopped by [`Directory::on_node_crash`]; late
+    /// messages from them are ignored and they never re-enter owner sets.
+    dead: NodeSet,
 }
 
 impl Directory {
@@ -240,7 +243,13 @@ impl Directory {
             origin,
             pages: RadixTree::new(),
             stats: DirStats::default(),
+            dead: NodeSet::EMPTY,
         }
+    }
+
+    /// Nodes declared dead so far.
+    pub fn dead_nodes(&self) -> NodeSet {
+        self.dead
     }
 
     /// Activity statistics.
@@ -288,6 +297,12 @@ impl Directory {
     pub fn request(&mut self, vpn: Vpn, access: Access, requester: Requester) -> Vec<DirAction> {
         let origin = self.origin;
         let node = requester.node(origin);
+        if self.dead.contains(node) {
+            // A request sent before the node fail-stopped but delivered
+            // after: drop it. Any grant would leak ownership to a dead
+            // node, and the reply could not be delivered anyway.
+            return Vec::new();
+        }
         let info = self.info(vpn);
 
         if info.txn.is_some() {
@@ -416,6 +431,11 @@ impl Directory {
     /// Panics if no flush transaction is in flight for `vpn` (protocol
     /// violation).
     pub fn flush_ack(&mut self, vpn: Vpn, from: NodeId) -> Vec<DirAction> {
+        if self.dead.contains(from) {
+            // A late flush ack from a fail-stopped node: the transaction
+            // was already force-completed by `on_node_crash`.
+            return Vec::new();
+        }
         let origin = self.origin;
         let info = self
             .pages
@@ -429,16 +449,17 @@ impl Directory {
         // and keeps a read replica; the requester joins the reader set.
         info.writer = None;
         info.owners.insert(origin);
-        info.owners.insert(txn.requester.node(origin));
-        vec![
-            DirAction::InstallOriginData,
-            DirAction::SetOriginPteRo,
-            DirAction::Grant {
+        let mut actions = vec![DirAction::InstallOriginData, DirAction::SetOriginPteRo];
+        let rnode = txn.requester.node(origin);
+        if !self.dead.contains(rnode) {
+            info.owners.insert(rnode);
+            actions.push(DirAction::Grant {
                 to: txn.requester,
                 access: Access::Read,
                 with_data: !matches!(txn.requester, Requester::Local { .. }),
-            },
-        ]
+            });
+        }
+        actions
     }
 
     /// Handles an invalidation acknowledgment. Returns the completion
@@ -448,6 +469,11 @@ impl Directory {
     ///
     /// Panics if no invalidation transaction is in flight for `vpn`.
     pub fn invalidate_ack(&mut self, vpn: Vpn, from: NodeId, carried_data: bool) -> Vec<DirAction> {
+        if self.dead.contains(from) {
+            // Late ack from a fail-stopped node; `on_node_crash` already
+            // stopped waiting for it.
+            return Vec::new();
+        }
         let origin = self.origin;
         let info = self
             .pages
@@ -474,6 +500,15 @@ impl Directory {
         }
         let txn = info.txn.take().expect("still present");
         let node = txn.requester.node(origin);
+        if self.dead.contains(node) {
+            // The requester fail-stopped while its invalidations were in
+            // flight: ownership reverts to the origin frame (which holds
+            // the freshest surviving copy) instead of a dead node.
+            info.owners = NodeSet::single(origin);
+            info.writer = None;
+            actions.push(DirAction::SetOriginPteRo);
+            return actions;
+        }
         info.owners = NodeSet::single(node);
         info.writer = Some(node);
         let with_data =
@@ -487,6 +522,111 @@ impl Directory {
             with_data,
         });
         actions
+    }
+
+    /// Reclaims directory state after node `dead` fail-stops.
+    ///
+    /// Fault-injection recovery (fail-stop model):
+    ///
+    /// * `dead` leaves every owner set; pages it held exclusively revert
+    ///   to the origin's frame. Writes that never flushed are lost —
+    ///   exactly the data-loss semantics of a real machine failure.
+    /// * In-flight transactions stop waiting for acks from `dead`; if
+    ///   that was the last pending ack, the transaction completes now
+    ///   (granting to the requester when it survives, reverting to the
+    ///   origin when the requester itself is the dead node).
+    /// * Transactions still awaiting acks from *surviving* nodes stay
+    ///   open; [`Directory::flush_ack`] / [`Directory::invalidate_ack`]
+    ///   complete them later and know not to grant to a dead requester.
+    ///
+    /// Returns, per affected page, the actions the caller must apply at
+    /// the origin (PTE changes and grants to surviving requesters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead` is the origin: the directory (and every page's
+    /// backing frame) lives there, so an origin crash is process death,
+    /// not something to recover from.
+    pub fn on_node_crash(&mut self, dead: NodeId) -> Vec<(Vpn, Vec<DirAction>)> {
+        assert_ne!(
+            dead, self.origin,
+            "origin crash is process death, not recoverable"
+        );
+        self.dead.insert(dead);
+        let origin = self.origin;
+        let all_dead = self.dead;
+        let keys: Vec<u64> = self.pages.iter().map(|(key, _)| key).collect();
+        let mut out = Vec::new();
+        for key in keys {
+            let vpn = Vpn::new(key);
+            let mut actions = Vec::new();
+            let info = self.pages.get_mut(key).expect("page vanished");
+
+            // 1. Stop waiting for acks the dead node will never send.
+            if let Some(txn) = info.txn.as_mut() {
+                txn.pending.remove(dead);
+                if txn.pending.is_empty() {
+                    let txn = info.txn.take().expect("still present");
+                    let rnode = txn.requester.node(origin);
+                    match txn.access {
+                        Access::Read => {
+                            // The dead node was the writer being flushed;
+                            // its dirty data is lost. The origin's (stale)
+                            // frame becomes the authoritative copy.
+                            info.writer = None;
+                            info.owners.insert(origin);
+                            actions.push(DirAction::SetOriginPteRo);
+                            if !all_dead.contains(rnode) {
+                                info.owners.insert(rnode);
+                                actions.push(DirAction::Grant {
+                                    to: txn.requester,
+                                    access: Access::Read,
+                                    with_data: !matches!(txn.requester, Requester::Local { .. }),
+                                });
+                            }
+                        }
+                        Access::Write => {
+                            if all_dead.contains(rnode) {
+                                info.owners = NodeSet::single(origin);
+                                info.writer = None;
+                                actions.push(DirAction::SetOriginPteRo);
+                            } else {
+                                info.owners = NodeSet::single(rnode);
+                                info.writer = Some(rnode);
+                                let with_data = !txn.requester_had_copy
+                                    && !matches!(txn.requester, Requester::Local { .. });
+                                if txn.requester_had_copy {
+                                    self.stats.data_skips += 1;
+                                }
+                                actions.push(DirAction::Grant {
+                                    to: txn.requester,
+                                    access: Access::Write,
+                                    with_data,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 2. The dead node no longer holds any copy.
+            info.owners.remove(dead);
+            if info.writer == Some(dead) {
+                info.writer = None;
+            }
+
+            // 3. If nobody valid is left (the dead node held the page
+            // exclusively), the origin reclaims it.
+            if info.txn.is_none() && info.writer.is_none() && !info.owners.contains(origin) {
+                info.owners.insert(origin);
+                actions.push(DirAction::SetOriginPteRo);
+            }
+
+            if !actions.is_empty() {
+                out.push((vpn, actions));
+            }
+        }
+        out
     }
 
     /// Drops directory state for unmapped pages, returning per-node
@@ -520,6 +660,14 @@ impl Directory {
     /// tests. Returns a description of the first violation.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (key, info) in self.pages.iter() {
+            for node in info.owners.iter() {
+                if self.dead.contains(node) {
+                    return Err(format!(
+                        "page {key:#x}: dead node {node} still in owner set {:?}",
+                        info.owners
+                    ));
+                }
+            }
             match info.writer {
                 Some(w) => {
                     if info.txn.is_none() && (info.owners.len() != 1 || !info.owners.contains(w)) {
@@ -753,6 +901,92 @@ mod tests {
         assert!(revokes.contains(&(NodeId(2), Vpn::new(2))));
         assert_eq!(revokes.len(), 2);
         assert_eq!(dir.tracked_pages(), 0);
+    }
+
+    #[test]
+    fn crash_of_exclusive_writer_reverts_page_to_origin() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        let reclaimed = dir.on_node_crash(NodeId(1));
+        assert_eq!(
+            reclaimed,
+            vec![(Vpn::new(1), vec![DirAction::SetOriginPteRo])],
+            "origin re-maps its (stale) frame"
+        );
+        assert_eq!(dir.owners(Vpn::new(1)), NodeSet::single(O));
+        assert_eq!(dir.current_writer(Vpn::new(1)), None);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_completes_invalidation_waiting_on_dead_node() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        // Node 2 wants the page; the grant is blocked on node 1's ack.
+        let opened = dir.request(Vpn::new(1), Access::Write, remote(2, 2));
+        assert!(grant_of(&opened).is_none());
+        let reclaimed = dir.on_node_crash(NodeId(1));
+        assert_eq!(reclaimed.len(), 1);
+        let (vpn, actions) = &reclaimed[0];
+        assert_eq!(*vpn, Vpn::new(1));
+        // The survivor is granted immediately (origin's copy is stale —
+        // the dead writer's unflushed data is lost, as on real hardware).
+        assert_eq!(grant_of(actions), Some((remote(2, 2), Access::Write, true)));
+        assert_eq!(dir.current_writer(Vpn::new(1)), Some(NodeId(2)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_during_flush_grants_stale_copy_to_reader() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        let b = dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        assert_eq!(b, vec![DirAction::SendFlush { to: NodeId(1) }]);
+        let reclaimed = dir.on_node_crash(NodeId(1));
+        let (_, actions) = &reclaimed[0];
+        assert!(actions.contains(&DirAction::SetOriginPteRo));
+        assert_eq!(grant_of(actions), Some((remote(2, 2), Access::Read, true)));
+        let mut expect = NodeSet::single(O);
+        expect.insert(NodeId(2));
+        assert_eq!(dir.owners(Vpn::new(1)), expect);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn crash_of_requester_lets_survivor_ack_revert_to_origin() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Write, remote(1, 1));
+        dir.request(Vpn::new(1), Access::Write, remote(2, 2)); // pending {1}
+                                                               // The *requester* dies; node 1's ack is still outstanding, so the
+                                                               // transaction stays open...
+        let reclaimed = dir.on_node_crash(NodeId(2));
+        assert!(reclaimed.is_empty(), "nothing to do until the ack lands");
+        // ...and when it lands, ownership reverts to the origin instead
+        // of being granted to a dead node.
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(1), true);
+        assert_eq!(
+            done,
+            vec![DirAction::InstallOriginData, DirAction::SetOriginPteRo]
+        );
+        assert_eq!(dir.owners(Vpn::new(1)), NodeSet::single(O));
+        assert_eq!(dir.current_writer(Vpn::new(1)), None);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn late_messages_from_dead_nodes_are_ignored() {
+        let mut dir = Directory::new(O);
+        dir.request(Vpn::new(1), Access::Read, remote(1, 1));
+        dir.on_node_crash(NodeId(1));
+        // Messages the dead node sent before crashing may still arrive.
+        assert_eq!(
+            dir.request(Vpn::new(1), Access::Write, remote(1, 9)),
+            vec![]
+        );
+        assert_eq!(dir.flush_ack(Vpn::new(1), NodeId(1)), vec![]);
+        assert_eq!(dir.invalidate_ack(Vpn::new(1), NodeId(1), true), vec![]);
+        assert!(!dir.owners(Vpn::new(1)).contains(NodeId(1)));
+        dir.check_invariants().unwrap();
     }
 
     #[test]

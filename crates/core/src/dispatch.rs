@@ -153,7 +153,7 @@ pub(crate) fn dispatcher_loop(
             }
             DexMsg::VmaUpdateAck { pid, req_id } => {
                 let shared = registry.get(pid);
-                shared.complete_pending(ctx, node, req_id, Reply::BroadcastDone);
+                shared.complete_broadcast_ack(ctx, node, req_id, from);
             }
             DexMsg::MigrateRequest {
                 pid,
@@ -242,8 +242,9 @@ fn handle_page_request(
 }
 
 /// Applies directory actions at the origin: local PTE/frame changes happen
-/// atomically (no yield), then grants/messages are sent.
-fn apply_origin_actions(
+/// atomically (no yield), then grants/messages are sent. Also the engine
+/// behind crash recovery's page reclamation (`handle_node_crash`).
+pub(crate) fn apply_origin_actions(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
     endpoint: &crate::process::Endpoint,

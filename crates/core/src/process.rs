@@ -53,11 +53,29 @@ pub(crate) enum Reply {
     BroadcastDone,
 }
 
+/// Why a watched wait gave up instead of returning a reply.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum WaitError {
+    /// The node this thread executes on fail-stopped: the request (or its
+    /// reply) was lost and the thread must re-home to the origin.
+    OwnNodeCrashed,
+    /// The peer the reply must come from fail-stopped and no recovery
+    /// path will produce the reply.
+    PeerCrashed(NodeId),
+}
+
+/// Crash-detection timeouts before a bounded watched wait declares the
+/// run stuck (diagnosable failure instead of a silent hang).
+const MAX_WATCH_ROUNDS: u32 = 4096;
+
 struct Pending {
     thread: ThreadId,
     slot: Arc<Mutex<Option<Reply>>>,
     /// For broadcasts: acknowledgments still outstanding.
     remaining: u32,
+    /// For broadcasts: the peers those acknowledgments must come from
+    /// (crash recovery completes entries whose peer died).
+    awaiting: Vec<NodeId>,
 }
 
 /// Per-node table of requests awaiting replies, keyed by request id.
@@ -183,6 +201,10 @@ pub struct ProcessShared {
     /// Number of application threads currently executing on each node
     /// (drives load-aware placement).
     pub(crate) node_threads: Mutex<Vec<i64>>,
+    /// Per-node flag: this node's crash has been processed (directory
+    /// reclaim + broadcast completion ran). Idempotence guard for
+    /// [`ProcessShared::maybe_handle_crashes`].
+    crashes_handled: Mutex<Vec<bool>>,
     /// Bump pointer inside the shared heap VMA.
     pub(crate) heap_cursor: Mutex<u64>,
     /// End of the shared heap VMA.
@@ -256,6 +278,7 @@ impl ProcessShared {
             race,
             objects: Mutex::new(Vec::new()),
             node_threads: Mutex::new(vec![0; nodes]),
+            crashes_handled: Mutex::new(vec![false; nodes]),
             heap_cursor: Mutex::new(heap_base.as_u64()),
             heap_end: heap_base.as_u64() + heap_pages * PAGE_SIZE as u64,
             next_req_id: AtomicU64::new(1),
@@ -415,9 +438,36 @@ impl ProcessShared {
                 thread: ctx.id(),
                 slot: Arc::clone(&slot),
                 remaining: count,
+                awaiting: Vec::new(),
             },
         );
         slot
+    }
+
+    /// Registers a pending broadcast whose acknowledgments must come from
+    /// `peers` — crash recovery completes the entry on behalf of peers
+    /// that fail-stop before acking.
+    pub(crate) fn register_pending_broadcast(
+        &self,
+        ctx: &SimCtx,
+        node: NodeId,
+        req_id: u64,
+        peers: &[NodeId],
+    ) -> Arc<Mutex<Option<Reply>>> {
+        let slot = self.register_pending_counted(ctx, node, req_id, peers.len() as u32);
+        self.pending[node.0 as usize]
+            .lock()
+            .map
+            .get_mut(&req_id)
+            .expect("just inserted")
+            .awaiting = peers.to_vec();
+        slot
+    }
+
+    /// Drops the pending entry for an abandoned request (the waiting
+    /// thread re-homed after its node crashed).
+    pub(crate) fn abandon_pending(&self, node: NodeId, req_id: u64) {
+        self.pending[node.0 as usize].lock().map.remove(&req_id);
     }
 
     /// Parks until the pending slot is filled, returning the reply.
@@ -430,12 +480,149 @@ impl ProcessShared {
         }
     }
 
+    /// Like [`ProcessShared::wait_reply`], but survives faults: instead of
+    /// parking forever the thread wakes on a back-off schedule, processes
+    /// any node crash it is the first to notice, and gives up when its own
+    /// node (or `peer`, when given) is the casualty.
+    ///
+    /// With no fault plan active this *is* `wait_reply` — no timers are
+    /// scheduled, so fault-free schedules stay bit-identical.
+    ///
+    /// `unbounded` suppresses the stuck-run panic for waits with no
+    /// deadline of their own (futex waits).
+    #[allow(clippy::too_many_arguments)] // the request's full identity
+    pub(crate) fn wait_reply_watching(
+        self: &Arc<Self>,
+        ctx: &SimCtx,
+        slot: &Arc<Mutex<Option<Reply>>>,
+        local: NodeId,
+        req_id: u64,
+        peer: Option<NodeId>,
+        unbounded: bool,
+    ) -> Result<Reply, WaitError> {
+        if !self.fabric.faults_enabled() {
+            return Ok(self.wait_reply(ctx, slot));
+        }
+        let mut interval = self.cost.fault_watch_interval;
+        let mut rounds = 0u32;
+        loop {
+            if let Some(reply) = slot.lock().take() {
+                return Ok(reply);
+            }
+            if ctx.park_until(ctx.now() + interval) {
+                rounds += 1;
+                self.maybe_handle_crashes(ctx);
+                let now = ctx.now();
+                if self.fabric.node_crashed(local, now) {
+                    self.abandon_pending(local, req_id);
+                    return Err(WaitError::OwnNodeCrashed);
+                }
+                if let Some(p) = peer {
+                    if self.fabric.node_crashed(p, now) {
+                        self.abandon_pending(local, req_id);
+                        return Err(WaitError::PeerCrashed(p));
+                    }
+                }
+                assert!(
+                    unbounded || rounds < MAX_WATCH_ROUNDS,
+                    "request {req_id} at {local} got no reply after {rounds} \
+                     crash-watch timeouts: protocol stuck without a crash"
+                );
+                interval = (interval + interval).min(self.cost.fault_watch_cap);
+            }
+        }
+    }
+
+    /// Runs crash recovery for every node whose crash time has passed and
+    /// has not been processed yet. Idempotent; any thread that notices a
+    /// crash (via a watch timeout) calls this, and exactly one performs
+    /// the recovery.
+    pub(crate) fn maybe_handle_crashes(self: &Arc<Self>, ctx: &SimCtx) {
+        if !self.fabric.faults_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        for n in 0..self.nodes {
+            if !self.fabric.node_crashed(NodeId(n as u16), now) {
+                continue;
+            }
+            let first = {
+                let mut handled = self.crashes_handled.lock();
+                !std::mem::replace(&mut handled[n], true)
+            };
+            if first {
+                self.handle_node_crash(ctx, NodeId(n as u16));
+            }
+        }
+    }
+
+    /// Origin-side recovery from the fail-stop of `dead`: the directory
+    /// reclaims the dead node's page ownership (re-granting to surviving
+    /// requesters), and broadcasts waiting on its acknowledgment complete
+    /// without it. Models the origin kernel's cleanup when the fabric
+    /// reports a peer unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dead` is the origin: the directory and every thread's
+    /// home live there, so an origin crash is process death.
+    fn handle_node_crash(self: &Arc<Self>, ctx: &SimCtx, dead: NodeId) {
+        assert_ne!(
+            dead, self.origin,
+            "origin node crashed: unsupported (process death)"
+        );
+        self.stats.counters.incr("faults.crashes_handled");
+        let reclaimed = self.directory.lock().on_node_crash(dead);
+        let endpoint = self.fabric.endpoint(self.origin);
+        for (vpn, actions) in reclaimed {
+            self.stats.counters.incr("faults.pages_reclaimed");
+            crate::dispatch::apply_origin_actions(ctx, self, &endpoint, vpn, actions, None);
+        }
+        self.complete_broadcasts_for_dead(ctx, dead);
+    }
+
+    /// Completes (on behalf of `dead`) every origin-side broadcast entry
+    /// still awaiting its acknowledgment.
+    fn complete_broadcasts_for_dead(&self, ctx: &SimCtx, dead: NodeId) {
+        let woken = {
+            let mut table = self.pending[self.origin.0 as usize].lock();
+            // Deterministic order: HashMap iteration order must not leak
+            // into the unpark sequence.
+            let mut ids: Vec<u64> = table.map.keys().copied().collect();
+            ids.sort_unstable();
+            let mut woken = Vec::new();
+            for id in ids {
+                let entry = table.map.get_mut(&id).expect("present");
+                let Some(pos) = entry.awaiting.iter().position(|n| *n == dead) else {
+                    continue;
+                };
+                entry.awaiting.swap_remove(pos);
+                entry.remaining = entry.remaining.saturating_sub(1);
+                if entry.remaining == 0 {
+                    let entry = table.map.remove(&id).expect("present");
+                    *entry.slot.lock() = Some(Reply::BroadcastDone);
+                    woken.push(entry.thread);
+                }
+            }
+            woken
+        };
+        for thread in woken {
+            ctx.unpark(thread);
+        }
+    }
+
     /// Completes the pending request `req_id` at `node` with `reply`,
     /// waking the registered thread.
     pub(crate) fn complete_pending(&self, ctx: &SimCtx, node: NodeId, req_id: u64, reply: Reply) {
         let woken = {
             let mut table = self.pending[node.0 as usize].lock();
             let Some(pending) = table.map.get_mut(&req_id) else {
+                if self.fabric.faults_enabled() {
+                    // A reply for a request its waiter abandoned (crash
+                    // recovery already resolved it another way).
+                    self.stats.counters.incr("faults.stale_replies");
+                    return;
+                }
                 panic!("completion for unknown request {req_id} at {node}");
             };
             pending.remaining = pending.remaining.saturating_sub(1);
@@ -450,6 +637,37 @@ impl ProcessShared {
         if let Some(thread) = woken {
             ctx.unpark(thread);
         }
+    }
+
+    /// Completes one acknowledgment of the broadcast `req_id` at `node`,
+    /// attributed to `from`. Ignores acks already accounted for by crash
+    /// recovery (a peer's ack raced its own crash).
+    pub(crate) fn complete_broadcast_ack(
+        &self,
+        ctx: &SimCtx,
+        node: NodeId,
+        req_id: u64,
+        from: NodeId,
+    ) {
+        {
+            let mut table = self.pending[node.0 as usize].lock();
+            let Some(pending) = table.map.get_mut(&req_id) else {
+                if self.fabric.faults_enabled() {
+                    self.stats.counters.incr("faults.stale_replies");
+                    return;
+                }
+                panic!("broadcast ack for unknown request {req_id} at {node}");
+            };
+            if !pending.awaiting.is_empty() {
+                let Some(pos) = pending.awaiting.iter().position(|n| *n == from) else {
+                    // Crash recovery already completed this peer's share.
+                    self.stats.counters.incr("faults.stale_replies");
+                    return;
+                };
+                pending.awaiting.swap_remove(pos);
+            }
+        }
+        self.complete_pending(ctx, node, req_id, Reply::BroadcastDone);
     }
 }
 

@@ -22,7 +22,7 @@ use dex_sim::{SimChannel, SimCtx, SimDuration, ThreadId};
 
 use crate::directory::{DirAction, Requester};
 use crate::msg::{DelegatedOp, DexMsg, VmaOp};
-use crate::process::{DelegationJob, MigrationSample, ProcessShared, Reply};
+use crate::process::{DelegationJob, MigrationSample, ProcessShared, Reply, WaitError};
 use crate::race::{RaceEvent, RaceEventKind};
 use crate::trace::{FaultEvent, FaultKind};
 
@@ -39,6 +39,12 @@ pub enum MigrateError {
         /// Number of nodes in the cluster.
         nodes: usize,
     },
+    /// The destination node fail-stopped before the migration completed
+    /// (fault-injection runs only); the thread stays where it was.
+    NodeCrashed {
+        /// The crashed destination.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for MigrateError {
@@ -49,6 +55,9 @@ impl std::fmt::Display for MigrateError {
                     f,
                     "cannot migrate to {requested}: cluster has {nodes} nodes"
                 )
+            }
+            MigrateError::NodeCrashed { node } => {
+                write!(f, "cannot migrate to {node}: the node crashed")
             }
         }
     }
@@ -405,8 +414,14 @@ impl<'a> ThreadCtx<'a> {
                 req_id,
             },
         );
-        match shared.wait_reply(self.sim, &slot) {
-            Reply::Vma(Some(vma)) => {
+        match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
+            Err(WaitError::OwnNodeCrashed) => {
+                // The node fail-stopped; re-home and let ensure() re-check
+                // at the origin, where the VMAs are authoritative.
+                self.rehome_after_crash();
+            }
+            Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
+            Ok(Reply::Vma(Some(vma))) => {
                 // Check the authoritative protection before installing:
                 // a permission mismatch is a real fault, not staleness.
                 let ok = match access {
@@ -422,12 +437,12 @@ impl<'a> ThreadCtx<'a> {
                 }
                 shared.space(node).lock().vmas.install(vma);
             }
-            Reply::Vma(None) => panic!(
+            Ok(Reply::Vma(None)) => panic!(
                 "segmentation fault: {} {access} at {addr} (no mapping) (site {})",
                 self.tid,
                 self.site.get()
             ),
-            other => unreachable!("vma request answered with {other:?}"),
+            Ok(other) => unreachable!("vma request answered with {other:?}"),
         }
     }
 
@@ -468,7 +483,9 @@ impl<'a> ThreadCtx<'a> {
         let mut origin_inline = false;
         loop {
             rounds += 1;
-            let granted = if node == shared.origin {
+            // Re-read the node each round: a crash may have re-homed the
+            // thread to the origin mid-fault.
+            let granted = if self.node.get() == shared.origin {
                 let (granted, inline) = self.origin_fault_round(vpn, access);
                 origin_inline = inline;
                 granted
@@ -615,9 +632,10 @@ impl<'a> ThreadCtx<'a> {
         for (to, msg) in sends {
             endpoint.send(ctx, to, msg);
         }
-        match shared.wait_reply(ctx, &slot) {
-            Reply::PageGrant { retry } => (!retry, false),
-            other => unreachable!("page fault answered with {other:?}"),
+        match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
+            Ok(Reply::PageGrant { retry }) => (!retry, false),
+            Ok(other) => unreachable!("page fault answered with {other:?}"),
+            Err(e) => unreachable!("origin wait failed with {e:?}: the origin cannot crash"),
         }
     }
 
@@ -638,9 +656,16 @@ impl<'a> ThreadCtx<'a> {
                 req_id,
             },
         );
-        match shared.wait_reply(ctx, &slot) {
-            Reply::PageGrant { retry } => !retry,
-            other => unreachable!("page fault answered with {other:?}"),
+        match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
+            Ok(Reply::PageGrant { retry }) => !retry,
+            Ok(other) => unreachable!("page fault answered with {other:?}"),
+            Err(WaitError::OwnNodeCrashed) => {
+                // The node fail-stopped under the thread; re-home and let
+                // the fault path retry from the origin.
+                self.rehome_after_crash();
+                false
+            }
+            Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
         }
     }
 
@@ -686,10 +711,24 @@ impl<'a> ThreadCtx<'a> {
                     req_id,
                 },
             );
-            match shared.wait_reply(self.sim, &slot) {
-                Reply::Delegate(result) => result,
-                Reply::FutexWoken => 0,
-                other => unreachable!("futex wait answered with {other:?}"),
+            // Unbounded: a futex wait legitimately blocks for as long as
+            // the application keeps the waiter asleep.
+            match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, true) {
+                Ok(Reply::Delegate(result)) => result,
+                Ok(Reply::FutexWoken) => 0,
+                Ok(other) => unreachable!("futex wait answered with {other:?}"),
+                Err(WaitError::OwnNodeCrashed) => {
+                    // Remove the (possibly) queued waiter so a later wake
+                    // does not target the dead node, then retry at the
+                    // origin. A wake lost in the crash window is recovered
+                    // by the standard futex pattern: the retry re-checks
+                    // the word value before sleeping.
+                    shared.futex.lock().cancel(addr, ThreadId(req_id));
+                    shared.futex_nodes.lock().remove(&req_id);
+                    self.rehome_after_crash();
+                    self.futex_wait_inner(addr, expected)
+                }
+                Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
             }
         }
     }
@@ -717,9 +756,17 @@ impl<'a> ThreadCtx<'a> {
                     req_id,
                 },
             );
-            match shared.wait_reply(self.sim, &slot) {
-                Reply::Delegate(result) => result,
-                other => unreachable!("futex wake answered with {other:?}"),
+            match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
+                Ok(Reply::Delegate(result)) => result,
+                Ok(other) => unreachable!("futex wake answered with {other:?}"),
+                Err(WaitError::OwnNodeCrashed) => {
+                    // At-least-once: the origin may have already woken the
+                    // waiters; re-issuing the wake at home is safe because
+                    // FUTEX_WAKE is idempotent for already-empty queues.
+                    self.rehome_after_crash();
+                    futex_wake_at_origin(self.sim, shared, addr, count)
+                }
+                Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
             }
         }
     }
@@ -731,7 +778,9 @@ impl<'a> ThreadCtx<'a> {
     ///
     /// # Errors
     ///
-    /// [`MigrateError::NoSuchNode`] if `dst` is outside the cluster.
+    /// [`MigrateError::NoSuchNode`] if `dst` is outside the cluster;
+    /// [`MigrateError::NodeCrashed`] if a fault plan crashed `dst` (the
+    /// thread stays at the origin in that case).
     pub fn migrate(&self, dst: impl Into<NodeId>) -> Result<(), MigrateError> {
         let dst = dst.into();
         let shared = Arc::clone(&self.shared);
@@ -750,8 +799,7 @@ impl<'a> ThreadCtx<'a> {
         if dst == shared.origin {
             return Ok(());
         }
-        self.migrate_forward(dst);
-        Ok(())
+        self.migrate_forward(dst)
     }
 
     /// Brings the thread back to its origin node (backward migration).
@@ -863,19 +911,47 @@ impl<'a> ThreadCtx<'a> {
                     req_id,
                 },
             );
-            slots.push(slot);
+            slots.push((req_id, slot));
         }
-        for slot in slots {
-            match shared.wait_reply(self.sim, &slot) {
+        let mut outstanding = slots.into_iter();
+        while let Some((req_id, slot)) = outstanding.next() {
+            match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
                 // Granted pages were installed by the dispatcher; retries
                 // are left to the normal fault path on first touch.
-                Reply::PageGrant { .. } => {}
-                other => unreachable!("prefetch answered with {other:?}"),
+                Ok(Reply::PageGrant { .. }) => {}
+                Ok(other) => unreachable!("prefetch answered with {other:?}"),
+                Err(WaitError::OwnNodeCrashed) => {
+                    // Prefetch is advisory: drop the remaining requests
+                    // and go home. Grants already applied to the dead
+                    // node's page table are moot.
+                    for (rid, _) in outstanding {
+                        shared.abandon_pending(node, rid);
+                    }
+                    self.rehome_after_crash();
+                    return;
+                }
+                Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
             }
         }
     }
 
-    fn migrate_forward(&self, dst: NodeId) {
+    /// Picks the thread up off its fail-stopped node and re-homes it to
+    /// the origin — the graceful-degradation half of the fault model. Any
+    /// dirty pages whose only copy lived on the dead node are lost (the
+    /// directory reverts them to the origin's last flushed frame);
+    /// cluster-wide recovery itself is idempotent and may already have
+    /// run on behalf of another thread.
+    fn rehome_after_crash(&self) {
+        let shared = &self.shared;
+        shared.stats.counters.incr("migrations.crash_rehomed");
+        shared.maybe_handle_crashes(self.sim);
+        let old = self.node.get();
+        shared.adjust_load(old, -1);
+        shared.adjust_load(shared.origin, 1);
+        self.node.set(shared.origin);
+    }
+
+    fn migrate_forward(&self, dst: NodeId) -> Result<(), MigrateError> {
         let shared = &self.shared;
         let ctx = self.sim;
         let t0 = ctx.now();
@@ -904,9 +980,18 @@ impl<'a> ThreadCtx<'a> {
                 req_id,
             },
         );
-        let phases = match shared.wait_reply(ctx, &slot) {
-            Reply::MigrateAck(phases) => phases,
-            other => unreachable!("migration answered with {other:?}"),
+        let phases = match shared.wait_reply_watching(ctx, &slot, node, req_id, Some(dst), false) {
+            Ok(Reply::MigrateAck(phases)) => phases,
+            Ok(other) => unreachable!("migration answered with {other:?}"),
+            Err(WaitError::PeerCrashed(node)) => {
+                // The destination died before acking: the thread never
+                // left the origin, so it simply stays put.
+                shared.stats.counters.incr("migrations.dest_crashed");
+                return Err(MigrateError::NodeCrashed { node });
+            }
+            Err(WaitError::OwnNodeCrashed) => {
+                unreachable!("forward migration starts at the origin, which cannot crash")
+            }
         };
         shared.adjust_load(self.node.get(), -1);
         shared.adjust_load(dst, 1);
@@ -924,16 +1009,23 @@ impl<'a> ThreadCtx<'a> {
             total: ctx.now() - t0,
             phases,
         });
+        Ok(())
     }
 
     fn migrate_back_inner(&self) {
         let shared = &self.shared;
         let ctx = self.sim;
+        let node = self.node.get();
+        if shared.fabric.node_crashed(node, ctx.now()) {
+            // The node died under the thread: there is no remote side left
+            // to capture context from, so skip the protocol round trip.
+            self.rehome_after_crash();
+            return;
+        }
         let t0 = ctx.now();
         shared.stats.counters.incr("migrations.backward");
         ctx.advance(shared.cost.backward_capture);
 
-        let node = self.node.get();
         let req_id = shared.new_req_id();
         let slot = shared.register_pending(ctx, node, req_id);
         self.endpoint(node).send(
@@ -946,9 +1038,16 @@ impl<'a> ThreadCtx<'a> {
                 req_id,
             },
         );
-        match shared.wait_reply(ctx, &slot) {
-            Reply::MigrateBackAck => {}
-            other => unreachable!("backward migration answered with {other:?}"),
+        match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
+            Ok(Reply::MigrateBackAck) => {}
+            Ok(other) => unreachable!("backward migration answered with {other:?}"),
+            Err(WaitError::OwnNodeCrashed) => {
+                // Crashed mid-backward-migration: the context capture is
+                // lost with the node; re-home the thread directly.
+                self.rehome_after_crash();
+                return;
+            }
+            Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
         }
         shared.adjust_load(self.node.get(), -1);
         shared.adjust_load(shared.origin, 1);
@@ -1045,23 +1144,77 @@ impl<'a> ThreadCtx<'a> {
 
     fn delegate(&self, op: DelegatedOp) -> i64 {
         let shared = &self.shared;
-        shared.stats.counters.incr("delegations");
-        let node = self.node.get();
-        let req_id = shared.new_req_id();
-        let slot = shared.register_pending(self.sim, node, req_id);
-        self.endpoint(node).send(
-            self.sim,
-            shared.origin,
-            DexMsg::Delegate {
-                pid: shared.pid,
-                tid: self.tid,
-                op,
-                req_id,
-            },
-        );
-        match shared.wait_reply(self.sim, &slot) {
-            Reply::Delegate(result) => result,
-            other => unreachable!("delegation answered with {other:?}"),
+        loop {
+            let node = self.node.get();
+            if node == shared.origin {
+                // Reached after a crash re-homed the thread mid-delegation:
+                // run the operation directly, like any origin-resident
+                // thread would.
+                return self.run_delegated_locally(&op);
+            }
+            shared.stats.counters.incr("delegations");
+            let req_id = shared.new_req_id();
+            let slot = shared.register_pending(self.sim, node, req_id);
+            self.endpoint(node).send(
+                self.sim,
+                shared.origin,
+                DexMsg::Delegate {
+                    pid: shared.pid,
+                    tid: self.tid,
+                    op: op.clone(),
+                    req_id,
+                },
+            );
+            match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
+                Ok(Reply::Delegate(result)) => return result,
+                Ok(other) => unreachable!("delegation answered with {other:?}"),
+                Err(WaitError::OwnNodeCrashed) => {
+                    // At-least-once semantics: the origin may have executed
+                    // the operation before the crash ate the reply, and the
+                    // re-homed retry runs it again. The shipped fault
+                    // scenarios only delegate idempotent operations; see
+                    // DESIGN.md for the discussion.
+                    self.rehome_after_crash();
+                }
+                Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
+            }
+        }
+    }
+
+    /// Runs a delegated operation in place at the origin — the fallback a
+    /// re-homed thread uses when its node crashed mid-delegation.
+    fn run_delegated_locally(&self, op: &DelegatedOp) -> i64 {
+        let shared = &self.shared;
+        match op {
+            DelegatedOp::Mmap { len, prot } => shared
+                .space(shared.origin)
+                .lock()
+                .vmas
+                .mmap(*len, *prot, VmaKind::Anon, None)
+                .as_u64() as i64,
+            DelegatedOp::Munmap { addr, len } => {
+                munmap_at_origin(self.sim, shared, *addr, *len);
+                0
+            }
+            DelegatedOp::Mprotect { addr, len, prot } => {
+                mprotect_at_origin(self.sim, shared, *addr, *len, *prot);
+                0
+            }
+            DelegatedOp::QueryOwner { addr } => {
+                shared
+                    .directory
+                    .lock()
+                    .current_writer(addr.vpn())
+                    .unwrap_or(shared.origin)
+                    .0 as i64
+            }
+            DelegatedOp::Syscall { busy } => {
+                self.sim.advance(*busy);
+                0
+            }
+            DelegatedOp::FutexWait { .. } | DelegatedOp::FutexWake { .. } => {
+                unreachable!("futex ops have dedicated origin paths")
+            }
         }
     }
 
@@ -1256,21 +1409,22 @@ pub(crate) fn mprotect_at_origin(
 }
 
 fn broadcast_vma_op(ctx: &SimCtx, shared: &Arc<ProcessShared>, op: VmaOp) {
+    let now = ctx.now();
     let peers: Vec<NodeId> = (0..shared.nodes as u16)
         .map(NodeId)
-        .filter(|n| *n != shared.origin)
+        .filter(|n| *n != shared.origin && !shared.fabric.node_crashed(*n, now))
         .collect();
     if peers.is_empty() {
         return;
     }
     shared.stats.counters.incr("vma.broadcasts");
     let req_id = shared.new_req_id();
-    let slot = shared.register_pending_counted(ctx, shared.origin, req_id, peers.len() as u32);
+    let slot = shared.register_pending_broadcast(ctx, shared.origin, req_id, &peers);
     let endpoint = shared.fabric.endpoint(shared.origin);
-    for peer in peers {
+    for peer in &peers {
         endpoint.send(
             ctx,
-            peer,
+            *peer,
             DexMsg::VmaUpdate {
                 pid: shared.pid,
                 op: op.clone(),
@@ -1278,9 +1432,13 @@ fn broadcast_vma_op(ctx: &SimCtx, shared: &Arc<ProcessShared>, op: VmaOp) {
             },
         );
     }
-    match shared.wait_reply(ctx, &slot) {
-        Reply::BroadcastDone => {}
-        other => unreachable!("vma broadcast answered with {other:?}"),
+    // A peer that crashes after the filter above is handled by crash
+    // recovery (`complete_broadcasts_for_dead`), which the watching wait
+    // triggers on timeout.
+    match shared.wait_reply_watching(ctx, &slot, shared.origin, req_id, None, false) {
+        Ok(Reply::BroadcastDone) => {}
+        Ok(other) => unreachable!("vma broadcast answered with {other:?}"),
+        Err(e) => unreachable!("origin wait failed with {e:?}: the origin cannot crash"),
     }
 }
 

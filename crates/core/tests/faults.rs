@@ -1,0 +1,190 @@
+//! End-to-end fault-injection tests: empty plans leave runs untouched,
+//! seeded plans replay deterministically, and node crashes degrade
+//! gracefully (threads re-home, the directory reclaims ownership).
+
+use dex_core::{Cluster, ClusterConfig, MigrateError, NodeId, RunReport};
+use dex_sim::{FaultPlan, SimDuration, SimTime};
+
+/// A workload that exercises migration, remote faults, and futex-based
+/// synchronization on three nodes; returns the run report.
+fn mixed_workload(config: ClusterConfig) -> RunReport {
+    let cluster = Cluster::new(config);
+    cluster.run(|p| {
+        let a = p.alloc_vec_aligned::<u64>(8 * 512, "region_a");
+        let b = p.alloc_vec_aligned::<u64>(8 * 512, "region_b");
+        let mutex = p.new_mutex("lock");
+        p.spawn(move |ctx| {
+            ctx.migrate(1).unwrap();
+            for i in 0..a.len() {
+                a.set(ctx, i, i as u64);
+            }
+            mutex.lock(ctx);
+            mutex.unlock(ctx);
+            ctx.migrate_back().unwrap();
+        });
+        p.spawn(move |ctx| {
+            ctx.migrate(2).unwrap();
+            for i in 0..b.len() {
+                b.set(ctx, i, i as u64 * 3);
+            }
+            mutex.lock(ctx);
+            mutex.unlock(ctx);
+            ctx.migrate_back().unwrap();
+        });
+    })
+}
+
+/// A fingerprint of everything observable about a run: virtual time, the
+/// full counter set, and the fault trace.
+fn fingerprint(report: &RunReport) -> (u64, Vec<(String, u64)>, String) {
+    (
+        report.virtual_time.as_nanos(),
+        report.process().stats.counters.snapshot(),
+        format!("{:?}", report.trace),
+    )
+}
+
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    let plain = mixed_workload(ClusterConfig::new(3).with_trace());
+    let with_empty = mixed_workload(
+        ClusterConfig::new(3)
+            .with_trace()
+            .with_fault_plan(FaultPlan::default()),
+    );
+    assert_eq!(fingerprint(&plain), fingerprint(&with_empty));
+    assert_eq!(plain.stats, with_empty.stats);
+}
+
+#[test]
+fn delay_spikes_replay_deterministically() {
+    let mut plan = FaultPlan::default();
+    plan.delay(
+        0,
+        1,
+        SimTime::ZERO,
+        SimTime::ZERO + SimDuration::from_millis(50),
+        SimDuration::from_micros(300),
+    );
+    let clean = mixed_workload(ClusterConfig::new(3));
+    let first = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan.clone()));
+    let second = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan));
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    assert!(
+        first.virtual_time > clean.virtual_time,
+        "a 300µs delay spike on a used link must slow the run \
+         ({:?} vs {:?})",
+        first.virtual_time,
+        clean.virtual_time
+    );
+}
+
+#[test]
+fn stalled_replies_complete_instead_of_hanging() {
+    // Stall the remote→origin direction while the remote threads are
+    // faulting: their requests sit in the window and deliver when it
+    // closes; the run must still finish, and do so deterministically.
+    let mut plan = FaultPlan::default();
+    plan.stall(
+        1,
+        0,
+        SimTime::ZERO + SimDuration::from_micros(900),
+        SimTime::ZERO + SimDuration::from_millis(4),
+    );
+    let first = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan.clone()));
+    let second = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan));
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    first
+        .process()
+        .directory
+        .lock()
+        .check_invariants()
+        .expect("directory consistent after stalls");
+}
+
+/// The crash scenario: node 2 dies at 3 ms while one thread works there.
+/// The thread must re-home to the origin and finish; the directory must
+/// reclaim every page the dead node owned; a later migration attempt to
+/// the dead node must fail cleanly. Returns the report and the handle of
+/// the region rewritten after the crash.
+fn crash_workload() -> (RunReport, dex_core::DsmVec<u64>) {
+    let mut plan = FaultPlan::default();
+    plan.crash(2, SimTime::ZERO + SimDuration::from_millis(3));
+    let cluster = Cluster::new(ClusterConfig::new(3).with_fault_plan(plan));
+    let mut late_handle = None;
+    let report = cluster.run(|p| {
+        let survivor = p.alloc_vec_aligned::<u64>(8 * 512, "survivor");
+        let late = p.alloc_vec_aligned::<u64>(8 * 512, "late");
+        late_handle = Some(late);
+        p.spawn(move |ctx| {
+            ctx.migrate(1).unwrap();
+            for i in 0..survivor.len() {
+                survivor.set(ctx, i, i as u64 + 1);
+            }
+            ctx.compute_ops(16_000_000); // ~8 ms, spans the crash
+            ctx.migrate_back().unwrap();
+            assert_eq!(ctx.node(), NodeId(0));
+        });
+        p.spawn(move |ctx| {
+            ctx.migrate(2).unwrap();
+            // Touch a few pages on the doomed node, then compute past the
+            // crash; the next fault times out and re-homes the thread.
+            for i in 0..1024 {
+                late.set(ctx, i, 7);
+            }
+            ctx.compute_ops(16_000_000); // ~8 ms, spans the crash
+            for i in 0..late.len() {
+                late.set(ctx, i, i as u64 * 5);
+            }
+            assert_eq!(ctx.node(), NodeId(0), "crashed off node 2, now home");
+            ctx.migrate_back().unwrap();
+        });
+        p.spawn(move |ctx| {
+            ctx.compute_ops(16_000_000); // wait out the crash at the origin
+            match ctx.migrate(2) {
+                Err(MigrateError::NodeCrashed { node }) => assert_eq!(node, NodeId(2)),
+                other => panic!("migrating to a dead node returned {other:?}"),
+            }
+            assert_eq!(ctx.node(), NodeId(0), "failed migration leaves it home");
+        });
+    });
+    (report, late_handle.expect("allocated"))
+}
+
+#[test]
+fn node_crash_rehomes_threads_and_reclaims_pages() {
+    let (report, late) = crash_workload();
+    let shared = report.process();
+    let counters = &shared.stats.counters;
+    assert!(
+        counters.get("migrations.crash_rehomed") >= 1,
+        "the node-2 thread must have re-homed"
+    );
+    assert_eq!(counters.get("faults.crashes_handled"), 1);
+    assert!(counters.get("migrations.dest_crashed") >= 1);
+    assert!(
+        counters.get("faults.pages_reclaimed") >= 1,
+        "node 2 owned pages when it died"
+    );
+
+    {
+        let directory = shared.directory.lock();
+        directory
+            .check_invariants()
+            .expect("no dead node may linger in any owner set");
+        assert!(directory.dead_nodes().contains(NodeId(2)));
+    }
+
+    // Post-crash writes were served by the origin; the data survives.
+    let data = late.snapshot(&report);
+    for (i, v) in data.iter().enumerate() {
+        assert_eq!(*v, i as u64 * 5);
+    }
+}
+
+#[test]
+fn node_crash_recovery_is_deterministic() {
+    let (first, _) = crash_workload();
+    let (second, _) = crash_workload();
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+}

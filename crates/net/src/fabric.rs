@@ -11,10 +11,33 @@
 //! serialization on the per-pair link at the configured bandwidth,
 //! propagation latency, and (for the sink strategy) one drain-copy at the
 //! receiver.
+//!
+//! # Delivery ordering
+//!
+//! Each directed node pair is one RC connection, so messages on the *same*
+//! link are delivered in send order (their delivery times are clamped
+//! monotonic per link, exactly as an RC queue pair would serialize them).
+//! Across *different* links there is no such guarantee: the per-node inbox
+//! is a priority queue keyed by arrival time (tie-broken by enqueue order),
+//! so a message from a fast link overtakes an earlier-sent message still in
+//! flight on a slow link.
+//!
+//! # Fault injection
+//!
+//! A fabric built with [`Fabric::with_faults`] consults a
+//! [`dex_sim::FaultPlan`] on every send and receive: link faults add
+//! delivery delay, and from a node's crash instant onward the fabric drops
+//! every message it sends (at the source, before any buffer accounting)
+//! and every message addressed to it. An empty plan disables the whole
+//! layer — no extra branches on the hot path beyond one boolean test.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use dex_sim::{Counters, Resource, SimChannel, SimCtx, SimTime};
+use parking_lot::Mutex;
+
+use dex_sim::{Counters, FaultPlan, Resource, SimCtx, SimTime, ThreadId};
 
 use crate::config::{NetConfig, RdmaStrategy};
 use crate::pool::{CreditPool, TimedPool};
@@ -91,8 +114,101 @@ struct Link {
     send_pool: TimedPool,
     recv_pool: CreditPool,
     sink: CreditPool,
+    /// Latest delivery time handed out on this link; RC ordering is
+    /// enforced by clamping each new delivery time to be no earlier.
+    last_deliver: Mutex<SimTime>,
     bytes: std::sync::atomic::AtomicU64,
     messages: std::sync::atomic::AtomicU64,
+}
+
+impl Link {
+    fn new(config: &NetConfig) -> Self {
+        Link {
+            wire: Resource::with_rate_bytes_per_sec(config.bandwidth_bytes_per_sec),
+            send_pool: TimedPool::new(config.send_pool_chunks),
+            recv_pool: CreditPool::new(config.recv_pool_chunks),
+            sink: CreditPool::new(config.rdma_sink_chunks),
+            last_deliver: Mutex::new(SimTime::ZERO),
+            bytes: std::sync::atomic::AtomicU64::new(0),
+            messages: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+/// Heap entry ordering the per-node inbox by `(arrival time, enqueue
+/// order)`. Per-link FIFO follows from the per-link monotonic clamp on
+/// `deliver_at` plus the strictly increasing `seq` tie-break.
+struct QueuedEnvelope<M> {
+    deliver_at: SimTime,
+    seq: u64,
+    env: Envelope<M>,
+}
+
+impl<M> PartialEq for QueuedEnvelope<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for QueuedEnvelope<M> {}
+
+impl<M> PartialOrd for QueuedEnvelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for QueuedEnvelope<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deliver_at, self.seq).cmp(&(other.deliver_at, other.seq))
+    }
+}
+
+/// A node's inbox: an arrival-time-ordered priority queue across links.
+///
+/// The previous implementation was a single FIFO in *send-call* order,
+/// which head-of-line blocked every link behind the slowest one: `recv`
+/// slept until the head envelope's `deliver_at` even when a later-queued
+/// envelope from a faster link had already arrived.
+struct Inbox<M> {
+    inner: Mutex<InboxInner<M>>,
+}
+
+struct InboxInner<M> {
+    heap: BinaryHeap<Reverse<QueuedEnvelope<M>>>,
+    next_seq: u64,
+    /// Receivers parked waiting for the inbox state to change; every push
+    /// wakes them so they re-evaluate which envelope arrives first.
+    waiters: Vec<ThreadId>,
+}
+
+impl<M> Inbox<M> {
+    fn new() -> Self {
+        Inbox {
+            inner: Mutex::new(InboxInner {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    fn push(&self, ctx: &SimCtx, env: Envelope<M>) {
+        let woken: Vec<ThreadId> = {
+            let mut inner = self.inner.lock();
+            let seq = inner.next_seq;
+            inner.next_seq += 1;
+            inner.heap.push(Reverse(QueuedEnvelope {
+                deliver_at: env.deliver_at,
+                seq,
+                env,
+            }));
+            std::mem::take(&mut inner.waiters)
+        };
+        for tid in woken {
+            ctx.unpark(tid);
+        }
+    }
 }
 
 /// The cluster-wide fabric: per-pair RC connections plus per-node inboxes.
@@ -130,8 +246,15 @@ struct Link {
 pub struct Fabric<M> {
     config: NetConfig,
     nodes: usize,
-    links: Vec<Link>,
-    inboxes: Vec<SimChannel<Envelope<M>>>,
+    /// One RC connection per *distinct* ordered pair; the diagonal holds
+    /// `None` (loopback never touches the fabric, so self-links get no
+    /// pools — the setup counters only account real pairs).
+    links: Vec<Option<Link>>,
+    inboxes: Vec<Inbox<M>>,
+    plan: FaultPlan,
+    /// Cached `!plan.is_empty()`: an empty plan disables fault handling
+    /// entirely so clean runs stay bit-identical to plan-free runs.
+    faults_enabled: bool,
     counters: Counters,
 }
 
@@ -143,17 +266,22 @@ impl<M: WireMessage> Fabric<M> {
     ///
     /// Panics if `nodes` is zero.
     pub fn new(config: NetConfig, nodes: usize) -> Arc<Self> {
+        Self::with_faults(config, nodes, FaultPlan::new())
+    }
+
+    /// Builds the fabric with a fault-injection plan (see the module docs).
+    /// An empty plan behaves exactly like [`Fabric::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn with_faults(config: NetConfig, nodes: usize, plan: FaultPlan) -> Arc<Self> {
         assert!(nodes > 0, "fabric needs at least one node");
         let mut links = Vec::with_capacity(nodes * nodes);
-        for _ in 0..nodes * nodes {
-            links.push(Link {
-                wire: Resource::with_rate_bytes_per_sec(config.bandwidth_bytes_per_sec),
-                send_pool: TimedPool::new(config.send_pool_chunks),
-                recv_pool: CreditPool::new(config.recv_pool_chunks),
-                sink: CreditPool::new(config.rdma_sink_chunks),
-                bytes: std::sync::atomic::AtomicU64::new(0),
-                messages: std::sync::atomic::AtomicU64::new(0),
-            });
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                links.push((src != dst).then(|| Link::new(&config)));
+            }
         }
         let counters = Counters::new();
         // Account one-time setup work: every chunk of every pool is
@@ -167,13 +295,43 @@ impl<M: WireMessage> Fabric<M> {
             "setup.mr_registrations",
             pairs * config.rdma_sink_chunks as u64,
         );
+        let faults_enabled = !plan.is_empty();
         Arc::new(Fabric {
             config,
             nodes,
             links,
-            inboxes: (0..nodes).map(|_| SimChannel::unbounded()).collect(),
+            inboxes: (0..nodes).map(|_| Inbox::new()).collect(),
+            plan,
+            faults_enabled,
             counters,
         })
+    }
+
+    /// The fault plan this fabric was built with (empty for [`Fabric::new`]).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether a non-empty fault plan is active.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults_enabled
+    }
+
+    /// Whether `node` has fail-stopped at or before `at` under the plan.
+    /// Always `false` without a plan.
+    pub fn node_crashed(&self, node: NodeId, at: SimTime) -> bool {
+        self.faults_enabled && self.plan.crashed(node.0, at)
+    }
+
+    /// Pool chunks actually allocated at boot, as
+    /// `(dma_mapped_chunks, mr_registered_chunks)` — what the
+    /// `setup.dma_mappings` / `setup.mr_registrations` counters claim.
+    pub fn allocated_setup_chunks(&self) -> (u64, u64) {
+        let real_links = self.links.iter().flatten().count() as u64;
+        (
+            real_links * (self.config.send_pool_chunks + self.config.recv_pool_chunks) as u64,
+            real_links * self.config.rdma_sink_chunks as u64,
+        )
     }
 
     /// Number of nodes in the fabric.
@@ -209,17 +367,22 @@ impl<M: WireMessage> Fabric<M> {
     }
 
     fn link(&self, src: NodeId, dst: NodeId) -> &Link {
-        &self.links[src.0 as usize * self.nodes + dst.0 as usize]
+        self.links[src.0 as usize * self.nodes + dst.0 as usize]
+            .as_ref()
+            .expect("self-links have no RC connection")
     }
 
     /// Per-directed-link traffic so far: `(messages, bytes)` sent from
     /// `src` to `dst` — the node-to-node traffic matrix analysts plot.
+    /// Self-links carry no traffic by construction.
     pub fn link_traffic(&self, src: NodeId, dst: NodeId) -> (u64, u64) {
-        let link = self.link(src, dst);
-        (
-            link.messages.load(std::sync::atomic::Ordering::Relaxed),
-            link.bytes.load(std::sync::atomic::Ordering::Relaxed),
-        )
+        match &self.links[src.0 as usize * self.nodes + dst.0 as usize] {
+            None => (0, 0),
+            Some(link) => (
+                link.messages.load(std::sync::atomic::Ordering::Relaxed),
+                link.bytes.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
     }
 
     /// The full traffic matrix, indexed `[src][dst]`, as `(messages,
@@ -285,6 +448,15 @@ impl<M: WireMessage> Endpoint<M> {
         assert_ne!(self.node, dst, "loopback send on the fabric");
         let fabric = &self.fabric;
         let cfg = &fabric.config;
+        let sent_at = ctx.now();
+        // A crashed endpoint neither sends nor receives: drop before any
+        // counter or buffer accounting so dead links stay quiet.
+        if fabric.faults_enabled
+            && (fabric.plan.crashed(self.node.0, sent_at) || fabric.plan.crashed(dst.0, sent_at))
+        {
+            fabric.counters.incr("faults.msgs_dropped");
+            return;
+        }
         let link = fabric.link(self.node, dst);
         let control = HEADER_BYTES + msg.control_bytes();
         let page = msg.page_bytes();
@@ -339,29 +511,102 @@ impl<M: WireMessage> Endpoint<M> {
         ctx.advance(cfg.memcpy_time(control));
         let finish = link.wire.reserve_bytes(ctx.now(), wire_bytes as u64);
         link.send_pool.hold(grant, finish);
-        let deliver_at = finish + extra_latency;
+        let mut deliver_at = finish + extra_latency;
+        if fabric.faults_enabled {
+            deliver_at += fabric.plan.extra_delay(self.node.0, dst.0, sent_at);
+        }
+        // RC ordering: a message never arrives before an earlier message on
+        // the same connection, even when its raw latency is smaller (e.g. a
+        // control message composed after an RDMA page).
+        {
+            let mut last = link.last_deliver.lock();
+            deliver_at = deliver_at.max(*last);
+            *last = deliver_at;
+        }
         link.recv_pool.acquire(ctx);
-        fabric.inboxes[dst.0 as usize]
-            .send(
-                ctx,
-                Envelope {
-                    src: self.node,
-                    msg,
-                    deliver_at,
-                    recv_copy_bytes,
-                    recv_credit: link.recv_pool.clone(),
-                    sink_credit,
-                },
-            )
-            .expect("fabric inbox never closes");
+        fabric.inboxes[dst.0 as usize].push(
+            ctx,
+            Envelope {
+                src: self.node,
+                msg,
+                deliver_at,
+                recv_copy_bytes,
+                recv_credit: link.recv_pool.clone(),
+                sink_credit,
+            },
+        );
     }
 
-    /// Receives the next message addressed to this node, advancing virtual
-    /// time to its arrival and paying receiver-side costs (sink drain
-    /// copy). Returns `None` if the fabric shuts down.
+    /// Receives the next message addressed to this node — the one with the
+    /// earliest arrival time across all links — advancing virtual time to
+    /// that arrival and paying receiver-side costs (sink drain copy).
+    /// Returns `None` only when this node has crashed under the fault plan.
     pub fn recv(&self, ctx: &SimCtx) -> Option<Delivery<M>> {
-        let env = self.fabric.inboxes[self.node.0 as usize].recv(ctx)?;
-        ctx.sleep_until(env.deliver_at);
+        enum Wait {
+            Until(SimTime),
+            Forever,
+        }
+        let inbox = &self.fabric.inboxes[self.node.0 as usize];
+        loop {
+            if self.fabric.node_crashed(self.node, ctx.now()) {
+                return None;
+            }
+            let wait = {
+                let mut inner = inbox.inner.lock();
+                let me = ctx.id();
+                inner.waiters.retain(|w| *w != me);
+                match inner.heap.peek() {
+                    Some(Reverse(head)) if head.deliver_at <= ctx.now() => {
+                        let Reverse(q) = inner.heap.pop().expect("peeked entry exists");
+                        drop(inner);
+                        return Some(self.finish_delivery(ctx, q.env));
+                    }
+                    Some(Reverse(head)) => {
+                        let at = head.deliver_at;
+                        inner.waiters.push(me);
+                        Wait::Until(at)
+                    }
+                    None => {
+                        inner.waiters.push(me);
+                        Wait::Forever
+                    }
+                }
+            };
+            match wait {
+                // Wait for the head to arrive — unless a sender pushes an
+                // envelope that arrives earlier and wakes us to re-evaluate.
+                Wait::Until(at) => {
+                    ctx.park_until(at);
+                }
+                Wait::Forever => ctx.park(),
+            }
+        }
+    }
+
+    /// Receives without blocking: `None` if no message has *arrived* yet.
+    /// An envelope still in flight is left in the inbox untouched (this
+    /// used to consume it and jump virtual time to its future arrival).
+    pub fn try_recv(&self, ctx: &SimCtx) -> Option<Delivery<M>> {
+        if self.fabric.node_crashed(self.node, ctx.now()) {
+            return None;
+        }
+        let inbox = &self.fabric.inboxes[self.node.0 as usize];
+        let env = {
+            let mut inner = inbox.inner.lock();
+            match inner.heap.peek() {
+                Some(Reverse(head)) if head.deliver_at <= ctx.now() => {
+                    let Reverse(q) = inner.heap.pop().expect("peeked entry exists");
+                    q.env
+                }
+                _ => return None,
+            }
+        };
+        Some(self.finish_delivery(ctx, env))
+    }
+
+    /// Receiver-side tail shared by `recv`/`try_recv`: drain copy, credit
+    /// recycling, accounting.
+    fn finish_delivery(&self, ctx: &SimCtx, env: Envelope<M>) -> Delivery<M> {
         if env.recv_copy_bytes > 0 {
             ctx.advance(self.fabric.config.memcpy_time(env.recv_copy_bytes));
         }
@@ -371,29 +616,10 @@ impl<M: WireMessage> Endpoint<M> {
         // Repost the receive work request.
         env.recv_credit.release(ctx);
         self.fabric.counters.incr("msgs.received");
-        Some(Delivery {
+        Delivery {
             src: env.src,
             msg: env.msg,
-        })
-    }
-
-    /// Receives without blocking; `None` if no message is pending. Still
-    /// advances to the message's arrival time when one is returned.
-    pub fn try_recv(&self, ctx: &SimCtx) -> Option<Delivery<M>> {
-        let env = self.fabric.inboxes[self.node.0 as usize].try_recv(ctx)?;
-        ctx.sleep_until(env.deliver_at);
-        if env.recv_copy_bytes > 0 {
-            ctx.advance(self.fabric.config.memcpy_time(env.recv_copy_bytes));
         }
-        if let Some(sink) = env.sink_credit {
-            sink.release(ctx);
-        }
-        env.recv_credit.release(ctx);
-        self.fabric.counters.incr("msgs.received");
-        Some(Delivery {
-            src: env.src,
-            msg: env.msg,
-        })
     }
 }
 
@@ -593,6 +819,148 @@ mod tests {
         assert_eq!(m10, 0, "links are directed");
         let matrix = fabric.traffic_matrix();
         assert_eq!(matrix[0][1].0, 2);
+    }
+
+    #[test]
+    fn fast_link_overtakes_slow_link() {
+        // Regression: the inbox used to be a single FIFO in send-call
+        // order, so a control message from a fast link sat behind an
+        // earlier-sent page still serializing on a slow link.
+        let engine = Engine::new();
+        let fabric = fabric_with(RdmaStrategy::SinkCopy, 3);
+        let slow = fabric.endpoint(NodeId(0));
+        let fast = fabric.endpoint(NodeId(1));
+        let rx = fabric.endpoint(NodeId(2));
+        engine.spawn("slow-sender", move |ctx| {
+            // Page: wire time + verb + rdma latency, arrives ~5.6µs.
+            slow.send(ctx, NodeId(2), TestMsg { tag: 0, page: 4096 });
+        });
+        engine.spawn("fast-sender", move |ctx| {
+            ctx.advance(SimDuration::from_nanos(500));
+            // Control sent *later* but arriving earlier (~3.5µs).
+            fast.send(ctx, NodeId(2), TestMsg { tag: 1, page: 0 });
+        });
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = Arc::clone(&got);
+            engine.spawn("rx", move |ctx| {
+                let first = rx.recv(ctx).unwrap();
+                assert!(
+                    ctx.now().as_nanos() < 5_000,
+                    "first delivery must not wait for the slow page: {}",
+                    ctx.now()
+                );
+                got.lock().push((first.src, first.msg.tag));
+                let second = rx.recv(ctx).unwrap();
+                got.lock().push((second.src, second.msg.tag));
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*got.lock(), vec![(NodeId(1), 1), (NodeId(0), 0)]);
+    }
+
+    #[test]
+    fn try_recv_does_not_consume_in_flight_envelopes() {
+        // Regression: try_recv used to claim the head envelope and jump
+        // virtual time forward to its future deliver_at.
+        let engine = Engine::new();
+        let fabric = fabric_with(RdmaStrategy::SinkCopy, 2);
+        let tx = fabric.endpoint(NodeId(0));
+        let rx = fabric.endpoint(NodeId(1));
+        engine.spawn("tx", move |ctx| {
+            tx.send(ctx, NodeId(1), TestMsg { tag: 7, page: 0 });
+        });
+        engine.spawn("rx", move |ctx| {
+            assert!(rx.try_recv(ctx).is_none(), "nothing sent yet");
+            ctx.advance(SimDuration::from_micros(1));
+            // The envelope is queued but still in flight (arrives ~3µs).
+            assert!(rx.try_recv(ctx).is_none(), "message has not arrived");
+            assert_eq!(ctx.now().as_nanos(), 1_000, "no time travel");
+            ctx.advance(SimDuration::from_micros(9));
+            let d = rx.try_recv(ctx).expect("arrived by now");
+            assert_eq!(d.msg.tag, 7);
+            assert_eq!(ctx.now().as_nanos(), 10_000, "no sleep on arrival");
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn setup_counters_match_allocated_chunks() {
+        // Regression: pools used to be allocated for all nodes×nodes links
+        // including self-links, while the setup counters only accounted
+        // nodes×(nodes−1) ordered pairs.
+        for nodes in [1usize, 2, 3, 5] {
+            let fabric = fabric_with(RdmaStrategy::SinkCopy, nodes);
+            let (dma, mr) = fabric.allocated_setup_chunks();
+            assert_eq!(
+                fabric.counters().get("setup.dma_mappings"),
+                dma,
+                "{nodes} nodes: DMA mappings claimed vs allocated"
+            );
+            assert_eq!(
+                fabric.counters().get("setup.mr_registrations"),
+                mr,
+                "{nodes} nodes: MR registrations claimed vs allocated"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_plan_delay_postpones_delivery() {
+        let engine = Engine::new();
+        let mut plan = FaultPlan::new();
+        plan.delay(
+            0,
+            1,
+            SimTime::ZERO,
+            SimTime::from_nanos(1_000),
+            SimDuration::from_micros(100),
+        );
+        let fabric = Fabric::<TestMsg>::with_faults(NetConfig::default(), 2, plan);
+        let tx = fabric.endpoint(NodeId(0));
+        let rx = fabric.endpoint(NodeId(1));
+        engine.spawn("tx", move |ctx| {
+            tx.send(ctx, NodeId(1), TestMsg { tag: 0, page: 0 });
+        });
+        engine.spawn("rx", move |ctx| {
+            rx.recv(ctx).unwrap();
+            assert!(
+                ctx.now().as_nanos() >= 100_000,
+                "delay fault applies: {}",
+                ctx.now()
+            );
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn messages_to_and_from_crashed_nodes_are_dropped() {
+        let engine = Engine::new();
+        let mut plan = FaultPlan::new();
+        plan.crash(1, SimTime::from_nanos(5_000));
+        let fabric = Fabric::<TestMsg>::with_faults(NetConfig::default(), 3, plan);
+        let a = fabric.endpoint(NodeId(0));
+        let dead = fabric.endpoint(NodeId(1));
+        let dead_rx = fabric.endpoint(NodeId(1));
+        {
+            let fabric = Arc::clone(&fabric);
+            engine.spawn("a", move |ctx| {
+                ctx.advance(SimDuration::from_micros(10));
+                a.send(ctx, NodeId(1), TestMsg { tag: 0, page: 0 });
+                assert_eq!(fabric.counters().get("faults.msgs_dropped"), 1);
+                assert_eq!(fabric.counters().get("msgs.sent"), 0);
+            });
+        }
+        engine.spawn("dead-tx", move |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            dead.send(ctx, NodeId(2), TestMsg { tag: 1, page: 0 });
+        });
+        engine.spawn("dead-rx", move |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            assert!(dead_rx.recv(ctx).is_none(), "crashed node stops receiving");
+        });
+        engine.run().unwrap();
+        assert_eq!(fabric.counters().get("faults.msgs_dropped"), 2);
     }
 
     #[test]

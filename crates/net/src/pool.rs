@@ -142,6 +142,10 @@ struct CreditInner {
     free: usize,
     capacity: usize,
     waiters: VecDeque<ThreadId>,
+    /// Chunks handed directly to a popped waiter by `release` but not yet
+    /// picked up. Handed-off chunks never touch `free`, so a newcomer
+    /// cannot barge in and steal them before the woken thread runs.
+    handoffs: Vec<ThreadId>,
 }
 
 impl CreditPool {
@@ -157,20 +161,33 @@ impl CreditPool {
                 free: chunks,
                 capacity: chunks,
                 waiters: VecDeque::new(),
+                handoffs: Vec::new(),
             })),
         }
     }
 
     /// Takes one chunk, parking in virtual time while none are free.
+    /// Waiters are served strictly FIFO: `release` hands the chunk directly
+    /// to the longest waiter, so later acquirers cannot overtake it.
     pub fn acquire(&self, ctx: &SimCtx) {
+        let me = ctx.id();
+        let mut queued = false;
         loop {
             {
                 let mut inner = self.inner.lock();
-                if inner.free > 0 {
-                    inner.free -= 1;
-                    return;
+                if queued {
+                    if let Some(pos) = inner.handoffs.iter().position(|w| *w == me) {
+                        inner.handoffs.swap_remove(pos);
+                        return;
+                    }
+                } else {
+                    if inner.free > 0 {
+                        inner.free -= 1;
+                        return;
+                    }
+                    inner.waiters.push_back(me);
+                    queued = true;
                 }
-                inner.waiters.push_back(ctx.id());
             }
             ctx.park();
         }
@@ -187,7 +204,10 @@ impl CreditPool {
         }
     }
 
-    /// Returns one chunk and wakes the longest-waiting acquirer.
+    /// Returns one chunk. If anyone is waiting, the chunk is handed
+    /// directly to the longest-waiting acquirer (never through `free`, so
+    /// a concurrent newcomer cannot steal it before the waiter runs);
+    /// otherwise it goes back to the free count.
     ///
     /// # Panics
     ///
@@ -196,11 +216,19 @@ impl CreditPool {
         let waiter = {
             let mut inner = self.inner.lock();
             assert!(
-                inner.free < inner.capacity,
+                inner.free + inner.handoffs.len() < inner.capacity,
                 "credit pool released more chunks than it holds"
             );
-            inner.free += 1;
-            inner.waiters.pop_front()
+            match inner.waiters.pop_front() {
+                Some(w) => {
+                    inner.handoffs.push(w);
+                    Some(w)
+                }
+                None => {
+                    inner.free += 1;
+                    None
+                }
+            }
         };
         if let Some(w) = waiter {
             ctx.unpark(w);
@@ -283,6 +311,48 @@ mod tests {
         }
         engine.run().unwrap();
         assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn release_hands_credit_to_waiter_before_newcomers() {
+        // Regression: `release` used to return the credit to `free` and
+        // merely wake the longest waiter, so a newcomer running before the
+        // woken thread could steal the credit and re-park it indefinitely.
+        let engine = Engine::new();
+        let pool = CreditPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        {
+            let pool = pool.clone();
+            engine.spawn("holder", move |ctx| {
+                pool.acquire(ctx);
+                ctx.advance(SimDuration::from_micros(10));
+                pool.release(ctx);
+            });
+        }
+        {
+            let pool = pool.clone();
+            let order = Arc::clone(&order);
+            engine.spawn("waiter", move |ctx| {
+                pool.acquire(ctx); // parks at t=0 behind the holder
+                order.lock().push("waiter");
+                pool.release(ctx);
+            });
+        }
+        {
+            let pool = pool.clone();
+            let order = Arc::clone(&order);
+            engine.spawn("barger", move |ctx| {
+                ctx.advance(SimDuration::from_micros(10));
+                // Runs after the holder's release but before the woken
+                // waiter: the credit is in handoff, not stealable.
+                assert!(!pool.try_acquire(), "barger must not steal the handoff");
+                pool.acquire(ctx);
+                order.lock().push("barger");
+                pool.release(ctx);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*order.lock(), vec!["waiter", "barger"]);
     }
 
     #[test]

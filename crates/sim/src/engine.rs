@@ -120,8 +120,17 @@ struct ThreadSlot {
     resume_tx: mpsc::Sender<Resume>,
     park: ParkState,
     exited: bool,
+    /// Bumped on every `park`/`park_until` entry; a queued timer event
+    /// whose epoch does not match is stale and is skipped by the driver.
+    park_epoch: u64,
+    /// Set by the driver when the thread is resumed by its own timer
+    /// (deadline reached) rather than by an `unpark`.
+    timed_out: bool,
     join: Option<JoinHandle<()>>,
 }
+
+/// Sentinel epoch marking an ordinary (non-timer) event in the queue.
+const NORMAL_EVENT: u64 = u64::MAX;
 
 #[derive(PartialEq, Eq)]
 struct EventKey {
@@ -145,7 +154,7 @@ struct State {
     clock: SimTime,
     next_seq: u64,
     next_tid: u64,
-    queue: BinaryHeap<Reverse<(EventKey, ThreadId)>>,
+    queue: BinaryHeap<Reverse<(EventKey, ThreadId, u64)>>,
     threads: HashMap<ThreadId, ThreadSlot>,
     yield_tx: mpsc::Sender<(ThreadId, YieldMsg)>,
     events_processed: u64,
@@ -158,7 +167,22 @@ impl State {
             seq: self.next_seq,
         };
         self.next_seq += 1;
-        self.queue.push(Reverse((key, tid)));
+        self.queue.push(Reverse((key, tid, NORMAL_EVENT)));
+    }
+
+    /// Schedules a park-timeout event for `tid`. The event only fires if the
+    /// thread is still parked in the same `park_until` call (identified by
+    /// `epoch`) when it is popped; otherwise the driver discards it without
+    /// touching the clock or the event counter.
+    fn schedule_timer(&mut self, at: SimTime, tid: ThreadId, epoch: u64) {
+        debug_assert_ne!(epoch, NORMAL_EVENT);
+        let at = at.max(self.clock);
+        let key = EventKey {
+            time: at,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.queue.push(Reverse((key, tid, epoch)));
     }
 }
 
@@ -274,11 +298,30 @@ impl Engine {
                     budget_hit = true;
                     None
                 } else {
-                    st.queue.pop().map(|Reverse((key, tid))| {
+                    loop {
+                        let Some(Reverse((key, tid, epoch))) = st.queue.pop() else {
+                            break None;
+                        };
+                        if epoch != NORMAL_EVENT {
+                            // Park-timeout event: only valid if the thread is
+                            // still parked in the same park_until call. Stale
+                            // timers are discarded *before* the clock/event
+                            // counter update so runs that never time out are
+                            // indistinguishable from runs without timers.
+                            let valid = st.threads.get(&tid).is_some_and(|s| {
+                                !s.exited && s.park_epoch == epoch && s.park == ParkState::Parked
+                            });
+                            if !valid {
+                                continue;
+                            }
+                            if let Some(slot) = st.threads.get_mut(&tid) {
+                                slot.timed_out = true;
+                            }
+                        }
                         st.events_processed += 1;
                         st.clock = key.time;
-                        (key.time, tid)
-                    })
+                        break Some((key.time, tid));
+                    }
                 }
             };
             let Some((_, tid)) = next else { break };
@@ -448,6 +491,8 @@ where
             resume_tx,
             park: ParkState::Running,
             exited: false,
+            park_epoch: 0,
+            timed_out: false,
             join: Some(join),
         },
     );
@@ -510,6 +555,7 @@ impl SimCtx {
         {
             let mut st = self.shared.state.lock();
             let slot = st.threads.get_mut(&self.tid).expect("own slot missing");
+            slot.park_epoch += 1; // invalidate timers from earlier park_untils
             match slot.park {
                 ParkState::Notified => {
                     slot.park = ParkState::Running;
@@ -522,6 +568,45 @@ impl SimCtx {
             }
         }
         self.yield_and_wait(YieldMsg::Parked);
+    }
+
+    /// Like [`SimCtx::park`], but with a deadline: blocks until another
+    /// thread calls [`SimCtx::unpark`] **or** virtual time reaches
+    /// `deadline`, whichever comes first.
+    ///
+    /// Returns `true` if the deadline fired (timeout) and `false` if the
+    /// thread was woken by an unpark. A pending unpark token makes it return
+    /// `false` immediately, mirroring `park`'s token semantics. A deadline
+    /// at or before the current instant still yields to the scheduler once
+    /// before timing out.
+    ///
+    /// Timer events for parks that were resolved by an unpark are discarded
+    /// without advancing the clock or the event counter, so code that never
+    /// actually times out produces exactly the same schedule as code using
+    /// plain `park`.
+    pub fn park_until(&self, deadline: SimTime) -> bool {
+        {
+            let mut st = self.shared.state.lock();
+            let slot = st.threads.get_mut(&self.tid).expect("own slot missing");
+            slot.park_epoch += 1;
+            slot.timed_out = false;
+            match slot.park {
+                ParkState::Notified => {
+                    slot.park = ParkState::Running;
+                    return false;
+                }
+                ParkState::Running => slot.park = ParkState::Parked,
+                ParkState::Parked | ParkState::ParkedScheduled => {
+                    unreachable!("thread parked while already parked")
+                }
+            }
+            let epoch = slot.park_epoch;
+            st.schedule_timer(deadline, self.tid, epoch);
+        }
+        self.yield_and_wait(YieldMsg::Parked);
+        let mut st = self.shared.state.lock();
+        let slot = st.threads.get_mut(&self.tid).expect("own slot missing");
+        std::mem::take(&mut slot.timed_out)
     }
 
     /// Wakes the thread `target`. If it is parked, it resumes at the current
@@ -772,6 +857,96 @@ mod tests {
             v
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn park_until_times_out_at_deadline() {
+        let engine = Engine::new();
+        engine.spawn("sleeper", |ctx| {
+            let timed_out = ctx.park_until(SimTime::from_nanos(5_000));
+            assert!(timed_out);
+            assert_eq!(ctx.now(), SimTime::from_nanos(5_000));
+        });
+        assert_eq!(engine.run().unwrap(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn park_until_woken_early_returns_false_and_discards_timer() {
+        let engine = Engine::new();
+        let waiter_tid = StdArc::new(Mutex::new(None));
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            engine.spawn("waiter", move |ctx| {
+                *waiter_tid.lock() = Some(ctx.id());
+                let timed_out = ctx.park_until(SimTime::from_nanos(100_000));
+                assert!(!timed_out);
+                assert_eq!(ctx.now(), SimTime::from_nanos(1_000));
+            });
+        }
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            engine.spawn("waker", move |ctx| {
+                ctx.advance(SimDuration::from_micros(1));
+                let tid = waiter_tid.lock().unwrap();
+                ctx.unpark(tid);
+            });
+        }
+        // The stale timer must not drag the final clock out to 100µs.
+        assert_eq!(engine.run().unwrap(), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn park_until_consumes_pending_unpark_token() {
+        let engine = Engine::new();
+        engine.spawn("self-notify", |ctx| {
+            ctx.unpark(ctx.id());
+            let timed_out = ctx.park_until(SimTime::from_nanos(50_000));
+            assert!(!timed_out);
+            assert_eq!(ctx.now(), SimTime::ZERO);
+        });
+        assert_eq!(engine.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn park_after_timed_out_park_until_still_works() {
+        let engine = Engine::new();
+        let waiter_tid = StdArc::new(Mutex::new(None));
+        let order = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            let order = StdArc::clone(&order);
+            engine.spawn("waiter", move |ctx| {
+                *waiter_tid.lock() = Some(ctx.id());
+                assert!(ctx.park_until(SimTime::from_nanos(1_000)));
+                order.lock().push("timed-out");
+                ctx.park();
+                order.lock().push("woken");
+            });
+        }
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            let order = StdArc::clone(&order);
+            engine.spawn("waker", move |ctx| {
+                ctx.advance(SimDuration::from_micros(2));
+                order.lock().push("waking");
+                let tid = waiter_tid.lock().unwrap();
+                ctx.unpark(tid);
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*order.lock(), vec!["timed-out", "waking", "woken"]);
+    }
+
+    #[test]
+    fn park_until_past_deadline_fires_at_now() {
+        let engine = Engine::new();
+        engine.spawn("t", |ctx| {
+            ctx.advance(SimDuration::from_micros(10));
+            // Deadline in the past: clamped to now, still a clean timeout.
+            assert!(ctx.park_until(SimTime::from_nanos(1)));
+            assert_eq!(ctx.now(), SimTime::from_nanos(10_000));
+        });
+        engine.run().unwrap();
     }
 
     #[test]

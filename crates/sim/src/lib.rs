@@ -15,6 +15,8 @@
 //! * [`Resource`] / [`MultiResource`] — FIFO queueing models for links,
 //!   memory bandwidth, and CPU cores.
 //! * [`SimRng`] — a self-contained deterministic PRNG for workloads.
+//! * [`FaultPlan`] — seeded, replayable schedules of link faults and
+//!   node crashes for fault-injection runs.
 //! * [`Histogram`] / [`Counters`] — measurement collection.
 //!
 //! # Examples
@@ -46,6 +48,7 @@
 
 mod channel;
 mod engine;
+mod fault;
 mod replay;
 mod resource;
 mod rng;
@@ -54,6 +57,7 @@ mod time;
 
 pub use channel::{SendError, SimChannel};
 pub use engine::{Engine, ShutdownToken, SimCtx, SimError, ThreadId};
+pub use fault::{FaultPlan, LinkFault, LinkFaultKind, NodeCrash};
 pub use replay::{ReplayCursor, ScheduleLog, ScheduleStep};
 pub use resource::{MultiResource, Resource};
 pub use rng::SimRng;
