@@ -6,10 +6,10 @@
 //! captured in the migration acknowledgments.
 
 use dex_bench::render_table;
-use dex_core::{Cluster, ClusterConfig};
+use dex_core::{Cluster, ClusterConfig, SpanKind};
 
 fn main() {
-    let cluster = Cluster::new(ClusterConfig::new(2));
+    let cluster = Cluster::new(ClusterConfig::new(2).with_spans());
     let report = cluster.run(|p| {
         p.spawn(|ctx| {
             for _ in 0..3 {
@@ -76,4 +76,26 @@ fn main() {
         "\nshape checks passed: remote worker = {:.0}% of first migration (paper 77.5%)",
         share * 100.0
     );
+
+    // Cross-check the ack-carried breakdown against the measured span
+    // layer: every phase the ack reported must have been timed by a
+    // MigrationPhase span of the same duration.
+    let mut span_total = 0.0f64;
+    for m in &fwd {
+        for (name, d) in &m.phases {
+            let measured = report
+                .spans
+                .iter()
+                .filter(|s| s.kind == SpanKind::MigrationPhase && s.label == *name)
+                .map(|s| s.duration().as_micros_f64())
+                .sum::<f64>();
+            assert!(
+                measured >= d.as_micros_f64() - 0.001,
+                "phase {name} acked {:.1} us but spans measured {measured:.1} us",
+                d.as_micros_f64()
+            );
+        }
+        span_total += m.remote_side.as_micros_f64();
+    }
+    println!("span cross-check passed: {span_total:.1} us of remote-side work covered by spans");
 }

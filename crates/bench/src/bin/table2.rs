@@ -6,9 +6,10 @@
 
 use dex_bench::render_table;
 use dex_core::{Cluster, ClusterConfig};
+use dex_prof::migration_phases;
 
 fn main() {
-    let cluster = Cluster::new(ClusterConfig::new(2));
+    let cluster = Cluster::new(ClusterConfig::new(2).with_spans());
     let report = cluster.run(|p| {
         p.spawn(|ctx| {
             for _ in 0..10 {
@@ -77,5 +78,51 @@ fn main() {
     println!(
         "\nshape checks passed: 2nd/1st forward = {:.2} (paper 0.29)",
         t2 / t1
+    );
+
+    // The same table, reconstructed from *measured spans* rather than
+    // the ack-carried phase list: each remote-side phase was timed by
+    // its own MigrationPhase span and stitched to the origin's
+    // migration span over the wire.
+    println!("\nphase breakdown from measured spans (dex-prof):\n");
+    let phases = migration_phases(&report.spans);
+    let phase_rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.to_string(),
+                p.count.to_string(),
+                format!("{:.1}", p.mean_us()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["phase", "samples", "avg(us)"], &phase_rows)
+    );
+    let mean = |label: &str| {
+        phases
+            .iter()
+            .find(|p| p.label == label)
+            .map(|p| p.mean_us())
+            .unwrap_or(0.0)
+    };
+    // Table II's remote-side shape: worker setup >> fork >> install,
+    // and worker reuse is an order of magnitude below setup.
+    assert!(
+        mean("remote_worker") > mean("thread_fork")
+            && mean("thread_fork") > mean("context_install"),
+        "measured spans must reproduce the Table II ordering"
+    );
+    assert!(
+        mean("worker_reuse") < mean("remote_worker") / 5.0,
+        "reused workers skip the expensive setup"
+    );
+    println!(
+        "span shape checks passed: setup {:.0} us > fork {:.0} us > install {:.0} us, reuse {:.0} us",
+        mean("remote_worker"),
+        mean("thread_fork"),
+        mean("context_install"),
+        mean("worker_reuse"),
     );
 }

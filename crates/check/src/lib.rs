@@ -23,14 +23,20 @@
 //!   are byte-identical to no plan, seeded delay/stall/crash plans
 //!   replay bit-for-bit, and node crashes quiesce with threads re-homed
 //!   and no page ownership leaked to the dead node.
+//! * [`observe`] — the sample traced workload behind `dex-check
+//!   timeline` / `dex-check metrics`: runs with spans and metrics on,
+//!   exports the Chrome trace-event JSON and the critical-path report,
+//!   and verifies cross-node span stitching.
 //!
-//! The `dex-check` binary wires all four into CI:
+//! The `dex-check` binary wires all of them into CI:
 //!
 //! ```text
 //! dex-check model --nodes 3 --pages 1
 //! dex-check races
 //! dex-check faults
 //! dex-check lint
+//! dex-check timeline --out trace.json
+//! dex-check metrics
 //! dex-check all
 //! ```
 
@@ -39,6 +45,7 @@
 pub mod faults;
 pub mod lint;
 pub mod model_check;
+pub mod observe;
 pub mod races;
 pub mod scenarios;
 
@@ -51,5 +58,6 @@ pub use model_check::{
     check_model, counterexample_to_log, mutation_sweep, render_counterexample, replay_log,
     CheckOptions, CheckOutcome, Counterexample, PassReport, ReplayOutcome,
 };
+pub use observe::{run_observed_workload, ObserveOutcome};
 pub use races::{analyze_races, render_race_report, Conflict, LockCycle, RaceReport};
 pub use scenarios::{run_scenario, scenario_names, Scenario, SCENARIOS};

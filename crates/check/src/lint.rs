@@ -18,6 +18,12 @@
 //!   would silently ignore actions added to the protocol later.
 //! * **fabric-unwrap** — no `unwrap()` on the fabric send/receive paths
 //!   (`crates/net` non-test code); messaging errors must propagate.
+//! * **span-unguarded** — span instrumentation on the protocol hot path
+//!   (`crates/core/src`) must follow the canonical zero-cost pattern:
+//!   `alloc_id()` only behind `is_enabled()` on the same line, and
+//!   `spans.record(...)` only inside an `if let Some(...)` guard (within
+//!   a few lines above). An unguarded site would make tracing perturb
+//!   the schedule, breaking the bit-identity guarantee.
 
 use std::path::{Path, PathBuf};
 
@@ -71,6 +77,10 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<LintHit> {
     let mut hits = Vec::new();
     let in_os_crate = rel.starts_with("crates/os/");
     let in_net_crate = rel.starts_with("crates/net/src/");
+    // The span hot path: everything in dex-core's sources except the
+    // buffer's own definition.
+    let span_hot_path = rel.starts_with("crates/core/src/") && rel != "crates/core/src/span.rs";
+    let stripped: Vec<&str> = content.lines().map(strip_line_comment).collect();
     let mut in_tests = false;
 
     for (idx, raw) in content.lines().enumerate() {
@@ -114,6 +124,24 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<LintHit> {
 
         if in_net_crate && !in_tests && line.contains(".unwrap()") {
             push("fabric-unwrap");
+        }
+
+        if span_hot_path && !in_tests {
+            // `alloc_id()` must be conditioned on `is_enabled()` in the
+            // same expression (the canonical one-liner).
+            if line.contains(".alloc_id()") && !line.contains("is_enabled()") {
+                push("span-unguarded");
+            }
+            // `spans.record(...)` must sit inside an `if let Some(...)`
+            // guard; accept the guard up to 8 lines above (multi-line
+            // `Span { ... }` literals put distance between them).
+            if line.contains("spans.record(") {
+                let guarded =
+                    (idx.saturating_sub(8)..=idx).any(|i| stripped[i].contains("if let Some("));
+                if !guarded {
+                    push("span-unguarded");
+                }
+            }
         }
     }
 
@@ -355,6 +383,41 @@ fn f(a: DirAction) {
         assert!(lint_source("crates/core/src/thread.rs", bad).is_empty());
         let test_code = "#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
         assert!(lint_source("crates/net/src/fabric.rs", test_code).is_empty());
+    }
+
+    #[test]
+    fn unguarded_span_recording_is_flagged_on_the_hot_path() {
+        let bad_alloc = "fn f() { let id = shared.spans.alloc_id(); }\n";
+        let hits = lint_source("crates/core/src/thread.rs", bad_alloc);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "span-unguarded");
+
+        let bad_record = "fn f() { shared.spans.record(make_span()); }\n";
+        let hits = lint_source("crates/core/src/dispatch.rs", bad_record);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "span-unguarded");
+    }
+
+    #[test]
+    fn canonically_guarded_span_sites_pass() {
+        let ok = r#"
+fn f() {
+    let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+    if let Some(id) = span {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId::NONE,
+        });
+    }
+}
+"#;
+        assert!(lint_source("crates/core/src/thread.rs", ok).is_empty());
+        // Outside the hot path (offline tooling, tests) the rule is off.
+        let unguarded = "fn f() { spans.record(s); spans.alloc_id(); }\n";
+        assert!(lint_source("crates/prof/src/span_codec.rs", unguarded).is_empty());
+        assert!(lint_source("crates/core/src/span.rs", unguarded).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n fn t() { spans.record(s); }\n}\n";
+        assert!(lint_source("crates/core/src/thread.rs", test_code).is_empty());
     }
 
     #[test]

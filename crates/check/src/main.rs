@@ -7,6 +7,8 @@
 //! dex-check races  [--scenario NAME]
 //! dex-check faults [--scenario NAME]
 //! dex-check lint   [--root DIR]
+//! dex-check timeline [--out FILE] [--spans-out FILE]
+//! dex-check metrics
 //! dex-check all
 //! ```
 //!
@@ -19,8 +21,8 @@ use std::process::ExitCode;
 
 use dex_check::{
     check_model, counterexample_to_log, mutation_sweep, render_counterexample, render_race_report,
-    replay_log, replay_plan, run_fault_scenario, run_lint, run_scenario, CheckOptions,
-    CheckOutcome, FAULT_SCENARIOS, SCENARIOS,
+    replay_log, replay_plan, run_fault_scenario, run_lint, run_observed_workload, run_scenario,
+    CheckOptions, CheckOutcome, FAULT_SCENARIOS, SCENARIOS,
 };
 use dex_core::model::{ModelConfig, Mutation};
 
@@ -45,6 +47,8 @@ USAGE:
   dex-check races  [--scenario NAME]
   dex-check faults [--scenario NAME]
   dex-check lint   [--root DIR]
+  dex-check timeline [--out FILE] [--spans-out FILE]
+  dex-check metrics
   dex-check all
 
 SUBCOMMANDS:
@@ -59,8 +63,16 @@ SUBCOMMANDS:
   faults   run the deterministic fault-injection scenarios (empty-plan
            identity, seeded replay, stall completion, crash recovery)
   lint     run the source-level invariant lints over the workspace
-  all      lint + races + faults + model (2 nodes x 2 pages, and the
-           3-node coalescing world, with a full mutation sweep)
+  timeline run the sample traced workload, print its critical-path
+           report, and (with --out) write the Chrome trace-event JSON
+           for Perfetto / chrome://tracing; --spans-out writes the
+           `# dex-spans v1` text form. Fails unless at least one fault
+           stitches requester -> origin -> requester across nodes.
+  metrics  run the sample workload with a MetricsRegistry attached and
+           print the per-node / per-link counter and histogram snapshot
+  all      lint + races + faults + timeline + metrics + model (2 nodes
+           x 2 pages, and the 3-node coalescing world, with a full
+           mutation sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
@@ -87,6 +99,8 @@ fn main() -> ExitCode {
         "races" => cmd_races(rest),
         "faults" => cmd_faults(rest),
         "lint" => cmd_lint(rest),
+        "timeline" => cmd_timeline(rest),
+        "metrics" => cmd_metrics(rest),
         "all" => cmd_all(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -378,6 +392,66 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
     Ok(false)
 }
 
+fn cmd_timeline(args: &[String]) -> Result<bool, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut spans_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--spans-out" => spans_out = Some(PathBuf::from(value("--spans-out")?)),
+            other => return Err(format!("unknown flag `{other}` for `timeline`\n\n{USAGE}")),
+        }
+    }
+    let outcome = run_observed_workload();
+    print!("{}", outcome.critical_path);
+    println!(
+        "\n{} span(s) recorded; cross-node stitching {}",
+        outcome.spans,
+        if outcome.stitched_cross_node {
+            "OK (requester -> origin -> requester)"
+        } else {
+            "MISSING"
+        }
+    );
+    if let Some(path) = &out {
+        std::fs::write(path, &outcome.chrome_json)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "chrome trace-event JSON written to {} (load in ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    if let Some(path) = &spans_out {
+        std::fs::write(path, &outcome.spans_text)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("span text (# dex-spans v1) written to {}", path.display());
+    }
+    println!(
+        "timeline {}",
+        if outcome.stitched_cross_node {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    Ok(outcome.stitched_cross_node)
+}
+
+fn cmd_metrics(args: &[String]) -> Result<bool, String> {
+    if !args.is_empty() {
+        return Err(format!("`metrics` takes no flags\n\n{USAGE}"));
+    }
+    let outcome = run_observed_workload();
+    print!("{}", outcome.metrics_text);
+    let ok = outcome.metrics_text.contains("dsm.faults_write");
+    println!("metrics {}", if ok { "PASS" } else { "FAIL" });
+    Ok(ok)
+}
+
 fn cmd_all(args: &[String]) -> Result<bool, String> {
     if !args.is_empty() {
         return Err(format!("`all` takes no flags\n\n{USAGE}"));
@@ -392,6 +466,12 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
 
     println!("\n== faults ==");
     ok &= cmd_faults(&[])?;
+
+    println!("\n== timeline ==");
+    ok &= cmd_timeline(&[])?;
+
+    println!("\n== metrics ==");
+    ok &= cmd_metrics(&[])?;
 
     println!("\n== model: 2 nodes x 2 pages, mutation sweep ==");
     ok &= cmd_model(&[

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use dex_net::{NetConfig, NodeId};
+use dex_net::{MetricsRegistry, MetricsSnapshot, NetConfig, NodeId};
 use dex_os::{Pid, VirtAddr, PAGE_SIZE};
 use dex_sim::{Engine, Histogram, SimDuration, SimTime};
 
@@ -18,6 +18,7 @@ use crate::dispatch::{dispatcher_loop, ProcessRegistry};
 use crate::handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
 use crate::process::{MigrationSample, ProcessShared};
 use crate::race::{RaceEvent, RaceTrace};
+use crate::span::{Span, SpanBuffer};
 use crate::sync::{
     new_barrier, new_condvar, new_mutex, new_rwlock, DexBarrier, DexCondvar, DexMutex, DexRwLock,
 };
@@ -49,6 +50,13 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Collect the page-fault trace (profiling mode).
     pub trace: bool,
+    /// Record causal spans (fault/migration/delegation timelines).
+    pub spans: bool,
+    /// Attach a per-node/per-link [`MetricsRegistry`] to the run.
+    pub metrics: bool,
+    /// Record the deterministic schedule (driver accept order) for
+    /// bit-identity comparisons.
+    pub record_schedule: bool,
     /// Record synchronization/access events for `dex-check races`.
     pub race: bool,
     /// Abort the run after this many simulation events (livelock guard).
@@ -75,6 +83,9 @@ impl ClusterConfig {
             net: NetConfig::default(),
             cost: CostModel::default(),
             trace: false,
+            spans: false,
+            metrics: false,
+            record_schedule: false,
             race: false,
             event_budget: u64::MAX,
             heap_pages: 1 << 18, // 1 GiB of address space; frames on demand
@@ -85,6 +96,28 @@ impl ClusterConfig {
     /// Enables page-fault tracing.
     pub fn with_trace(mut self) -> Self {
         self.trace = true;
+        self
+    }
+
+    /// Enables causal span tracing: fault, migration, delegation, and
+    /// futex timelines stitched across nodes (exported by `dex-prof`).
+    /// The instrumented schedule is identical to the uninstrumented one.
+    pub fn with_spans(mut self) -> Self {
+        self.spans = true;
+        self
+    }
+
+    /// Attaches a [`MetricsRegistry`]: per-node and per-link counters and
+    /// wait-time histograms, snapshotted into the report.
+    pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Records the deterministic schedule (the order the engine accepted
+    /// thread steps) so two runs can be compared byte for byte.
+    pub fn with_schedule_recording(mut self) -> Self {
+        self.record_schedule = true;
         self
     }
 
@@ -177,12 +210,16 @@ impl Cluster {
     {
         let cfg = &self.config;
         let engine = Engine::with_event_budget(cfg.event_budget);
-        let fabric = match &cfg.fault_plan {
-            Some(plan) => {
-                crate::process::Fabric::with_faults(cfg.net.clone(), cfg.nodes, plan.clone())
-            }
-            None => crate::process::Fabric::new(cfg.net.clone(), cfg.nodes),
-        };
+        let schedule = cfg
+            .record_schedule
+            .then(|| engine.record_schedule(format!("dex run, {} nodes", cfg.nodes)));
+        let metrics = cfg.metrics.then(|| MetricsRegistry::new(cfg.nodes));
+        let fabric = crate::process::Fabric::with_instrumentation(
+            cfg.net.clone(),
+            cfg.nodes,
+            cfg.fault_plan.clone().unwrap_or_default(),
+            metrics.clone(),
+        );
         let registry = ProcessRegistry::new();
 
         // One dispatcher daemon per node drains that node's inbox.
@@ -200,6 +237,7 @@ impl Cluster {
             fabric,
             registry,
             config: cfg,
+            metrics,
             created: std::cell::RefCell::new(Vec::new()),
         };
         setup(&handle);
@@ -214,6 +252,7 @@ impl Cluster {
             Err(e) => panic!("dex simulation failed: {e}"),
         };
 
+        let schedule_text = schedule.map(|log| log.lock().to_text());
         created
             .into_iter()
             .map(|shared| {
@@ -221,6 +260,8 @@ impl Cluster {
                 let fault_hist = shared.stats.fault_hist.clone();
                 let migrations = shared.stats.migrations.lock().clone();
                 let trace = shared.trace.snapshot();
+                let spans = shared.spans.snapshot();
+                let metrics = shared.metrics.as_ref().map(|m| m.snapshot());
                 let race_events = shared.race.snapshot();
                 RunReport {
                     virtual_time: end.saturating_since(SimTime::ZERO),
@@ -228,6 +269,9 @@ impl Cluster {
                     fault_hist,
                     migrations,
                     trace,
+                    spans,
+                    metrics,
+                    schedule: schedule_text.clone(),
                     race_events,
                     shared,
                 }
@@ -242,6 +286,7 @@ pub struct ClusterHandle<'e> {
     fabric: Arc<crate::process::Fabric>,
     registry: Arc<ProcessRegistry>,
     config: &'e ClusterConfig,
+    metrics: Option<Arc<MetricsRegistry>>,
     created: std::cell::RefCell<Vec<Arc<ProcessShared>>>,
 }
 
@@ -267,6 +312,11 @@ impl<'e> ClusterHandle<'e> {
         } else {
             RaceTrace::disabled()
         };
+        let spans = if self.config.spans {
+            SpanBuffer::enabled()
+        } else {
+            SpanBuffer::disabled()
+        };
         let pid = Pid(self.created.borrow().len() as u64 + 1);
         let shared = ProcessShared::new(
             pid,
@@ -275,6 +325,8 @@ impl<'e> ClusterHandle<'e> {
             self.config.cost.clone(),
             Arc::clone(&self.fabric),
             trace,
+            spans,
+            self.metrics.clone(),
             race,
             self.config.heap_pages,
         );
@@ -536,6 +588,14 @@ pub struct RunReport {
     /// Synchronization/access events (empty unless race detection was
     /// enabled via [`ClusterConfig::with_race_detection`]).
     pub race_events: Vec<RaceEvent>,
+    /// Causal spans (empty unless [`ClusterConfig::with_spans`] was set).
+    pub spans: Vec<Span>,
+    /// Cluster-wide counters/histograms (present only when
+    /// [`ClusterConfig::with_metrics`] was set).
+    pub metrics: Option<MetricsSnapshot>,
+    /// Text rendering of the deterministic schedule (present only when
+    /// [`ClusterConfig::with_schedule_recording`] was set).
+    pub schedule: Option<String>,
     shared: Arc<ProcessShared>,
 }
 

@@ -15,14 +15,18 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dex_net::NodeId;
+use dex_net::{NodeId, SpanContext};
 use dex_os::{Access, PageFrame, Pid, Pte, Tid, Vpn, PAGE_SIZE};
 use dex_sim::{SimChannel, SimCtx, SimDuration};
 
 use crate::directory::DirAction;
 use crate::msg::{DexMsg, MigrationPhases, VmaOp};
 use crate::process::{DelegationJob, ProcessShared, Reply};
+use crate::span::{Span, SpanId, SpanKind};
 use crate::trace::{FaultEvent, FaultKind};
+
+/// The task id span records use for protocol handlers (no app thread).
+const PROTOCOL_TASK: Tid = Tid(u64::MAX);
 
 /// The cluster-level registry the dispatchers consult to find process
 /// state by pid.
@@ -60,6 +64,7 @@ pub(crate) fn dispatcher_loop(
 ) {
     while let Some(delivery) = endpoint.recv(ctx) {
         let from = delivery.src;
+        let span = delivery.span;
         match delivery.msg {
             DexMsg::PageRequest {
                 pid,
@@ -68,7 +73,7 @@ pub(crate) fn dispatcher_loop(
                 req_id,
             } => {
                 let shared = registry.get(pid);
-                handle_page_request(ctx, &shared, &endpoint, from, vpn, access, req_id);
+                handle_page_request(ctx, &shared, &endpoint, from, vpn, access, req_id, span);
             }
             DexMsg::PageGrant {
                 pid,
@@ -79,7 +84,7 @@ pub(crate) fn dispatcher_loop(
                 req_id,
             } => {
                 let shared = registry.get(pid);
-                handle_page_grant(ctx, &shared, node, vpn, access, data, retry, req_id);
+                handle_page_grant(ctx, &shared, node, vpn, access, data, retry, req_id, span);
             }
             DexMsg::Invalidate {
                 pid,
@@ -87,7 +92,7 @@ pub(crate) fn dispatcher_loop(
                 needs_data,
             } => {
                 let shared = registry.get(pid);
-                handle_invalidate(ctx, &shared, &endpoint, node, from, vpn, needs_data);
+                handle_invalidate(ctx, &shared, &endpoint, node, from, vpn, needs_data, span);
             }
             DexMsg::InvalidateAck { pid, vpn, data } => {
                 let shared = registry.get(pid);
@@ -96,7 +101,9 @@ pub(crate) fn dispatcher_loop(
                     .directory
                     .lock()
                     .invalidate_ack(vpn, from, data.is_some());
-                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, data);
+                // `span` is the original directory-handling span, echoed
+                // back by the sharer so the deferred grant stays stitched.
+                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, data, span);
             }
             DexMsg::Flush { pid, vpn } => {
                 let shared = registry.get(pid);
@@ -106,13 +113,13 @@ pub(crate) fn dispatcher_loop(
                     space.page_table.downgrade(vpn);
                     space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed)
                 };
-                endpoint.send(ctx, from, DexMsg::FlushAck { pid, vpn, data });
+                endpoint.send_traced(ctx, from, DexMsg::FlushAck { pid, vpn, data }, span);
             }
             DexMsg::FlushAck { pid, vpn, data } => {
                 let shared = registry.get(pid);
                 ctx.advance(shared.cost.protocol_handling);
                 let actions = shared.directory.lock().flush_ack(vpn, from);
-                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, Some(data));
+                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, Some(data), span);
             }
             DexMsg::VmaRequest { pid, addr, req_id } => {
                 let shared = registry.get(pid);
@@ -162,7 +169,9 @@ pub(crate) fn dispatcher_loop(
                 req_id,
             } => {
                 let shared = registry.get(pid);
-                handle_migrate_request(ctx, &shared, &endpoint, node, from, tid, context, req_id);
+                handle_migrate_request(
+                    ctx, &shared, &endpoint, node, from, tid, context, req_id, span,
+                );
             }
             DexMsg::MigrateAck {
                 pid,
@@ -177,8 +186,23 @@ pub(crate) fn dispatcher_loop(
                 let shared = registry.get(pid);
                 // Backward migration only updates the original thread's
                 // state — two orders of magnitude cheaper than forward.
+                let t0 = ctx.now();
+                let update = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
                 ctx.advance(shared.cost.backward_update);
-                endpoint.send(
+                if let Some(id) = update {
+                    shared.spans.record(Span {
+                        id,
+                        parent: SpanId(span.0),
+                        kind: SpanKind::MigrationPhase,
+                        node,
+                        task: PROTOCOL_TASK,
+                        start: t0,
+                        end: ctx.now(),
+                        label: "backward_update",
+                        tag: None,
+                    });
+                }
+                endpoint.send_traced(
                     ctx,
                     from,
                     DexMsg::MigrateBackAck {
@@ -186,6 +210,7 @@ pub(crate) fn dispatcher_loop(
                         tid: Tid(0),
                         req_id,
                     },
+                    span,
                 );
             }
             DexMsg::MigrateBackAck { pid, req_id, .. } => {
@@ -202,8 +227,16 @@ pub(crate) fn dispatcher_loop(
                 let chan = shared.delegation.lock().get(&tid).cloned();
                 let chan =
                     chan.unwrap_or_else(|| panic!("delegation for {tid} with no original thread"));
-                chan.send(ctx, DelegationJob { op, from, req_id })
-                    .expect("pair channel open");
+                chan.send(
+                    ctx,
+                    DelegationJob {
+                        op,
+                        from,
+                        req_id,
+                        span,
+                    },
+                )
+                .expect("pair channel open");
             }
             DexMsg::DelegateReply {
                 pid,
@@ -223,6 +256,7 @@ pub(crate) fn dispatcher_loop(
 
 /// Origin-side handling of a remote page request: run the directory state
 /// machine and apply/dispatch its actions.
+#[allow(clippy::too_many_arguments)]
 fn handle_page_request(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
@@ -231,19 +265,46 @@ fn handle_page_request(
     vpn: Vpn,
     access: Access,
     req_id: u64,
+    span: SpanContext,
 ) {
+    let t0 = ctx.now();
+    let handling = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
     ctx.advance(shared.cost.protocol_handling);
     let actions = shared.directory.lock().request(
         vpn,
         access,
         crate::directory::Requester::Remote { node: from, req_id },
     );
-    apply_origin_actions(ctx, shared, endpoint, vpn, actions, None);
+    // Grants and invalidations stitch to the *handling* span so the
+    // requester-side fixup becomes its child; with spans off the incoming
+    // context (necessarily NONE then) is forwarded unchanged.
+    let out = handling.map_or(span, |id| SpanContext(id.0));
+    apply_origin_actions(ctx, shared, endpoint, vpn, actions, None, out);
+    if let Some(id) = handling {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId(span.0),
+            kind: SpanKind::DirectoryHandling,
+            node: shared.origin,
+            task: PROTOCOL_TASK,
+            start: t0,
+            end: ctx.now(),
+            label: if access.is_write() {
+                "page_request_write"
+            } else {
+                "page_request_read"
+            },
+            tag: None,
+        });
+    }
 }
 
 /// Applies directory actions at the origin: local PTE/frame changes happen
 /// atomically (no yield), then grants/messages are sent. Also the engine
 /// behind crash recovery's page reclamation (`handle_node_crash`).
+///
+/// `span` rides every outgoing message, so grants/invalidations carry the
+/// directory-handling span of the transaction that produced them.
 pub(crate) fn apply_origin_actions(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
@@ -251,6 +312,7 @@ pub(crate) fn apply_origin_actions(
     vpn: Vpn,
     actions: Vec<DirAction>,
     staged: Option<PageFrame>,
+    span: SpanContext,
 ) {
     let mut sends: Vec<(NodeId, DexMsg)> = Vec::new();
     let mut local_completions: Vec<(u64, Reply)> = Vec::new();
@@ -365,7 +427,7 @@ pub(crate) fn apply_origin_actions(
         shared.complete_pending(ctx, shared.origin, req_id, reply);
     }
     for (to, msg) in sends {
-        endpoint.send(ctx, to, msg);
+        endpoint.send_traced(ctx, to, msg, span);
     }
 }
 
@@ -381,7 +443,11 @@ fn handle_page_grant(
     data: Option<PageFrame>,
     retry: bool,
     req_id: u64,
+    span: SpanContext,
 ) {
+    let t0 = ctx.now();
+    let fixup = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+    let with_data = data.is_some();
     if !retry {
         let mut space = shared.space(node).lock();
         if let Some(frame) = data {
@@ -401,10 +467,28 @@ fn handle_page_grant(
         );
         let _ = space.frame_mut(vpn);
     }
+    if let Some(id) = fixup {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId(span.0),
+            kind: SpanKind::PageFixup,
+            node,
+            task: PROTOCOL_TASK,
+            start: t0,
+            end: ctx.now(),
+            label: match (retry, with_data) {
+                (true, _) => "grant_retry",
+                (false, true) => "grant_with_data",
+                (false, false) => "grant_no_transfer",
+            },
+            tag: None,
+        });
+    }
     shared.complete_pending(ctx, node, req_id, Reply::PageGrant { retry });
 }
 
 /// A node's handling of an ownership revocation.
+#[allow(clippy::too_many_arguments)]
 fn handle_invalidate(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
@@ -413,7 +497,10 @@ fn handle_invalidate(
     from: NodeId,
     vpn: Vpn,
     needs_data: bool,
+    span: SpanContext,
 ) {
+    let t0 = ctx.now();
+    let inval = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
     ctx.advance(shared.cost.protocol_handling);
     let data = {
         let mut space = shared.space(node).lock();
@@ -438,7 +525,30 @@ fn handle_invalidate(
         });
     }
     shared.stats.counters.incr("protocol.invalidations");
-    endpoint.send(
+    if let Some(m) = &shared.metrics {
+        m.node(node).incr("dsm.invalidations");
+    }
+    if let Some(id) = inval {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId(span.0),
+            kind: SpanKind::Invalidation,
+            node,
+            task: PROTOCOL_TASK,
+            start: t0,
+            end: ctx.now(),
+            label: if needs_data {
+                "invalidate_flush"
+            } else {
+                "invalidate_drop"
+            },
+            tag: None,
+        });
+    }
+    // The ack echoes the *incoming* (directory) span, not the local
+    // invalidation span, so the origin's deferred grant stays parented to
+    // the directory transaction that caused the fan-out.
+    endpoint.send_traced(
         ctx,
         from,
         DexMsg::InvalidateAck {
@@ -446,6 +556,7 @@ fn handle_invalidate(
             vpn,
             data,
         },
+        span,
     );
 }
 
@@ -462,7 +573,26 @@ fn handle_migrate_request(
     tid: Tid,
     context: dex_os::ExecutionContext,
     req_id: u64,
+    span: SpanContext,
 ) {
+    // Times one remote-side phase and records it as a child of the
+    // origin's migration span when spans are on.
+    let record_phase = |label: &'static str, start, end| {
+        let phase = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+        if let Some(id) = phase {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId(span.0),
+                kind: SpanKind::MigrationPhase,
+                node,
+                task: tid,
+                start,
+                end,
+                label,
+                tag: None,
+            });
+        }
+    };
     // Verify the context transferred intact (serialization round-trip).
     let roundtrip =
         dex_os::ExecutionContext::from_bytes(&context.to_bytes()).expect("context deserializes");
@@ -485,21 +615,28 @@ fn handle_migrate_request(
             true
         }
     };
+    let t0 = ctx.now();
     if first {
         // Per-process setup: remote worker creation dominates the first
         // migration (620 µs of the 800 µs remote side, Figure 3).
         ctx.advance(shared.cost.remote_worker_setup);
         phases.push(("remote_worker", shared.cost.remote_worker_setup));
+        record_phase("remote_worker", t0, ctx.now());
     } else {
         ctx.advance(shared.cost.worker_reuse);
         phases.push(("worker_reuse", shared.cost.worker_reuse));
+        record_phase("worker_reuse", t0, ctx.now());
     }
+    let t1 = ctx.now();
     ctx.advance(shared.cost.thread_fork);
     phases.push(("thread_fork", shared.cost.thread_fork));
+    record_phase("thread_fork", t1, ctx.now());
+    let t2 = ctx.now();
     ctx.advance(shared.cost.context_install);
     phases.push(("context_install", shared.cost.context_install));
+    record_phase("context_install", t2, ctx.now());
 
-    endpoint.send(
+    endpoint.send_traced(
         ctx,
         from,
         DexMsg::MigrateAck {
@@ -508,6 +645,7 @@ fn handle_migrate_request(
             phases,
             req_id,
         },
+        span,
     );
 }
 

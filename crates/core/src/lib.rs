@@ -61,6 +61,7 @@ mod handle;
 mod msg;
 mod process;
 mod race;
+mod span;
 mod sync;
 mod thread;
 mod trace;
@@ -73,6 +74,7 @@ pub use handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
 pub use msg::{DelegatedOp, DexMsg, MigrationPhases, VmaOp};
 pub use process::{MigrationSample, ObjectSpan, ProcessShared, RunStats};
 pub use race::{RaceEvent, RaceEventKind, RaceTrace};
+pub use span::{Span, SpanBuffer, SpanId, SpanKind};
 pub use sync::{DexBarrier, DexCondvar, DexMutex, DexRwLock};
 pub use thread::{DexThread, MigrateError, ThreadCtx, FUTEX_EAGAIN};
 pub use trace::{FaultEvent, FaultKind, TraceBuffer};

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dex_net::NodeId;
+use dex_net::{MetricsRegistry, NodeId, SpanContext};
 use dex_os::{AddressSpace, FutexTable, Pid, Tid, VirtAddr, Vma, Vpn, PAGE_SIZE};
 use dex_sim::{
     Counters, Histogram, MultiResource, Resource, SimChannel, SimCtx, SimDuration, ThreadId,
@@ -23,6 +23,7 @@ use dex_sim::{
 use crate::cost::CostModel;
 use crate::directory::Directory;
 use crate::msg::{DelegatedOp, DexMsg, MigrationPhases};
+use crate::span::SpanBuffer;
 use crate::trace::TraceBuffer;
 
 /// Re-exported alias so `process` stays readable.
@@ -89,6 +90,8 @@ pub(crate) struct DelegationJob {
     pub op: DelegatedOp,
     pub from: NodeId,
     pub req_id: u64,
+    /// The delegating thread's span, so the service span stitches to it.
+    pub span: SpanContext,
 }
 
 /// Per-(process, node) migration bookkeeping.
@@ -114,6 +117,9 @@ pub(crate) struct FaultTable {
 #[derive(Default)]
 pub(crate) struct FaultEntry {
     pub followers: Vec<ThreadId>,
+    /// The leader's span id (0 when spans are disabled): followers read
+    /// it before parking so their wait spans parent to the leader fault.
+    pub leader_span: u64,
 }
 
 /// An object span registered by a tagged allocation; the profiler
@@ -194,6 +200,11 @@ pub struct ProcessShared {
     pub stats: Arc<RunStats>,
     /// Page-fault trace sink.
     pub trace: TraceBuffer,
+    /// Causal span sink (disabled unless `ClusterConfig::with_spans`).
+    pub spans: SpanBuffer,
+    /// Per-node/per-link metrics (shared with the fabric; `None` unless
+    /// `ClusterConfig::with_metrics`).
+    pub metrics: Option<Arc<MetricsRegistry>>,
     /// Synchronization/access event sink for dynamic race detection.
     pub race: crate::race::RaceTrace,
     /// Tagged object spans for fault attribution.
@@ -224,6 +235,8 @@ impl ProcessShared {
         cost: CostModel,
         fabric: Arc<Fabric>,
         trace: TraceBuffer,
+        spans: SpanBuffer,
+        metrics: Option<Arc<MetricsRegistry>>,
         race: crate::race::RaceTrace,
         heap_pages: u64,
     ) -> Arc<Self> {
@@ -275,6 +288,8 @@ impl ProcessShared {
                 migrations: Mutex::new(Vec::new()),
             }),
             trace,
+            spans,
+            metrics,
             race,
             objects: Mutex::new(Vec::new()),
             node_threads: Mutex::new(vec![0; nodes]),
@@ -576,7 +591,15 @@ impl ProcessShared {
         let endpoint = self.fabric.endpoint(self.origin);
         for (vpn, actions) in reclaimed {
             self.stats.counters.incr("faults.pages_reclaimed");
-            crate::dispatch::apply_origin_actions(ctx, self, &endpoint, vpn, actions, None);
+            crate::dispatch::apply_origin_actions(
+                ctx,
+                self,
+                &endpoint,
+                vpn,
+                actions,
+                None,
+                SpanContext::NONE,
+            );
         }
         self.complete_broadcasts_for_dead(ctx, dead);
     }
@@ -695,6 +718,8 @@ mod tests {
             CostModel::default(),
             fabric,
             TraceBuffer::disabled(),
+            SpanBuffer::disabled(),
+            None,
             crate::race::RaceTrace::disabled(),
             1024,
         )

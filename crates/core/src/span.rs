@@ -1,0 +1,386 @@
+//! Causal span tracing across the DEX protocol stack.
+//!
+//! A [`Span`] is one timed operation — a page fault, a migration phase,
+//! a delegation round trip — with a parent link that makes the spans of
+//! one run a forest. Causality crosses node boundaries by riding the
+//! span id on the message envelope
+//! ([`dex_net::SpanContext`](dex_net::SpanContext), out of band, never
+//! in `control_bytes`), so a remote fault's timeline stitches the
+//! requester-side fault, the origin-side directory handling, and the
+//! requester-side fixup into one tree.
+//!
+//! # Zero cost when disabled
+//!
+//! Instrumentation sites follow one canonical pattern:
+//!
+//! ```ignore
+//! let t0 = ctx.now();                               // reads the clock only
+//! let span = spans.is_enabled().then(|| spans.alloc_id());
+//! /* ... the operation; `span` may ride outgoing messages ... */
+//! if let Some(id) = span {
+//!     spans.record(Span { id, parent, kind, node, task,
+//!                         start: t0, end: ctx.now(), label, tag: None });
+//! }
+//! ```
+//!
+//! Everything behind the `is_enabled()` test is pure bookkeeping — no
+//! `advance`, no park, no messages — so a run with spans enabled takes
+//! **exactly** the same schedule as a run without (verified by the
+//! bit-identity test in `crates/core/tests/observability.rs`, and
+//! enforced textually by the `span-unguarded` lint in `dex-check`).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_net::NodeId;
+use dex_os::Tid;
+use dex_sim::SimTime;
+
+/// Identifies a span within one run. Ids are allocated sequentially
+/// starting at 1; 0 is reserved for "no span" (the wire encoding of an
+/// absent [`dex_net::SpanContext`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The reserved "no span" id.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the reserved "no span" id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span-{}", self.0)
+    }
+}
+
+/// What kind of operation a span times.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SpanKind {
+    /// A whole page fault on the faulting thread (leader side).
+    Fault,
+    /// One retry back-off inside a fault (conflicting transaction).
+    FaultRetry,
+    /// A coalesced follower waiting on its leader's fault (§III-C).
+    FollowerWait,
+    /// Origin-side directory lookup and action application for one
+    /// protocol request.
+    DirectoryHandling,
+    /// Requester-side PTE fixup after a page grant arrives.
+    PageFixup,
+    /// A sharer handling an invalidation (possibly flushing data).
+    Invalidation,
+    /// A forward migration, origin side end to end.
+    MigrationForward,
+    /// One remote-side phase of a migration (worker setup, fork, ...).
+    MigrationPhase,
+    /// A backward migration, remote side end to end.
+    MigrationBack,
+    /// A delegation round trip from a remote thread to its origin pair.
+    Delegation,
+    /// The origin pair thread servicing one delegated operation.
+    DelegationService,
+    /// A futex sleep (from enter to wake).
+    FutexWait,
+    /// A futex wake operation.
+    FutexWake,
+    /// A VMA synchronization (lazy pull or eager broadcast).
+    VmaSync,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used by the `# dex-spans v1` codec.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Fault => "fault",
+            SpanKind::FaultRetry => "fault_retry",
+            SpanKind::FollowerWait => "follower_wait",
+            SpanKind::DirectoryHandling => "directory_handling",
+            SpanKind::PageFixup => "page_fixup",
+            SpanKind::Invalidation => "invalidation",
+            SpanKind::MigrationForward => "migration_forward",
+            SpanKind::MigrationPhase => "migration_phase",
+            SpanKind::MigrationBack => "migration_back",
+            SpanKind::Delegation => "delegation",
+            SpanKind::DelegationService => "delegation_service",
+            SpanKind::FutexWait => "futex_wait",
+            SpanKind::FutexWake => "futex_wake",
+            SpanKind::VmaSync => "vma_sync",
+        }
+    }
+
+    /// Parses the name produced by [`SpanKind::as_str`].
+    pub fn parse(name: &str) -> Option<SpanKind> {
+        Some(match name {
+            "fault" => SpanKind::Fault,
+            "fault_retry" => SpanKind::FaultRetry,
+            "follower_wait" => SpanKind::FollowerWait,
+            "directory_handling" => SpanKind::DirectoryHandling,
+            "page_fixup" => SpanKind::PageFixup,
+            "invalidation" => SpanKind::Invalidation,
+            "migration_forward" => SpanKind::MigrationForward,
+            "migration_phase" => SpanKind::MigrationPhase,
+            "migration_back" => SpanKind::MigrationBack,
+            "delegation" => SpanKind::Delegation,
+            "delegation_service" => SpanKind::DelegationService,
+            "futex_wait" => SpanKind::FutexWait,
+            "futex_wake" => SpanKind::FutexWake,
+            "vma_sync" => SpanKind::VmaSync,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One timed, causally linked operation.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// This span's id (unique within the run).
+    pub id: SpanId,
+    /// The causal parent ([`SpanId::NONE`] for roots). The parent may
+    /// live on a different node — that is the point.
+    pub parent: SpanId,
+    /// Operation kind.
+    pub kind: SpanKind,
+    /// Node the operation ran on.
+    pub node: NodeId,
+    /// Task that performed it (`Tid(u64::MAX)` for protocol handlers).
+    pub task: Tid,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time (spans are recorded at completion, so children
+    /// may appear in the buffer before their parents).
+    pub end: SimTime,
+    /// Fine-grained label (e.g. the migration phase name).
+    pub label: &'static str,
+    /// Optional free-form attribution (e.g. the faulted object's tag).
+    pub tag: Option<String>,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> dex_sim::SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A shared, append-only buffer of completed spans with an id allocator.
+///
+/// Mirrors [`TraceBuffer`](crate::TraceBuffer): cloning shares the
+/// buffer; the `enabled` flag is checked before any work so a disabled
+/// buffer costs one branch.
+///
+/// # Examples
+///
+/// ```
+/// use dex_core::{Span, SpanBuffer, SpanId, SpanKind};
+/// use dex_net::NodeId;
+/// use dex_os::Tid;
+/// use dex_sim::SimTime;
+///
+/// let spans = SpanBuffer::enabled();
+/// let id = spans.alloc_id();
+/// spans.record(Span {
+///     id,
+///     parent: SpanId::NONE,
+///     kind: SpanKind::Fault,
+///     node: NodeId(1),
+///     task: Tid(3),
+///     start: SimTime::ZERO,
+///     end: SimTime::from_nanos(158_800),
+///     label: "page_fault",
+///     tag: None,
+/// });
+/// assert_eq!(spans.snapshot().len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct SpanBuffer {
+    enabled: bool,
+    inner: Arc<Mutex<SpanInner>>,
+}
+
+#[derive(Default)]
+struct SpanInner {
+    spans: std::collections::VecDeque<Span>,
+    /// `None` means unbounded.
+    capacity: Option<usize>,
+    /// Spans evicted because the buffer was at capacity.
+    dropped: u64,
+    /// Next id to hand out (ids start at 1; 0 is "no span").
+    next_id: u64,
+}
+
+impl SpanBuffer {
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        SpanBuffer {
+            enabled: true,
+            inner: Arc::new(Mutex::new(SpanInner {
+                capacity,
+                next_id: 1,
+                ..SpanInner::default()
+            })),
+        }
+    }
+
+    /// A buffer that records spans without bound.
+    pub fn enabled() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// A buffer retaining at most `capacity` spans, evicting the oldest
+    /// on overflow; evictions are counted by [`SpanBuffer::dropped`].
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity))
+    }
+
+    /// A buffer that records nothing (production mode).
+    pub fn disabled() -> Self {
+        SpanBuffer {
+            enabled: false,
+            inner: Arc::new(Mutex::new(SpanInner::default())),
+        }
+    }
+
+    /// Whether recording is active. Every instrumentation site tests
+    /// this before doing *any* span work (the `span-unguarded` lint
+    /// rejects sites that don't).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Allocates a fresh span id. Only meaningful when enabled — callers
+    /// guard with `is_enabled().then(|| spans.alloc_id())`.
+    pub fn alloc_id(&self) -> SpanId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        SpanId(id)
+    }
+
+    /// Appends a completed span (no-op when disabled).
+    pub fn record(&self, span: Span) {
+        if self.enabled {
+            let mut inner = self.inner.lock();
+            if let Some(cap) = inner.capacity {
+                if cap == 0 {
+                    inner.dropped += 1;
+                    return;
+                }
+                while inner.spans.len() >= cap {
+                    inner.spans.pop_front();
+                    inner.dropped += 1;
+                }
+            }
+            inner.spans.push_back(span);
+        }
+    }
+
+    /// A copy of all recorded spans in completion order.
+    pub fn snapshot(&self) -> Vec<Span> {
+        self.inner.lock().spans.iter().cloned().collect()
+    }
+
+    /// Spans evicted by the capacity bound (0 for unbounded buffers).
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Number of recorded spans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().spans.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().spans.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SpanBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanBuffer")
+            .field("enabled", &self.enabled)
+            .field("spans", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, kind: SpanKind) -> Span {
+        Span {
+            id: SpanId(id),
+            parent: SpanId::NONE,
+            kind,
+            node: NodeId(0),
+            task: Tid(0),
+            start: SimTime::ZERO,
+            end: SimTime::from_nanos(10),
+            label: "test",
+            tag: None,
+        }
+    }
+
+    #[test]
+    fn ids_start_at_one_and_increment() {
+        let b = SpanBuffer::enabled();
+        assert_eq!(b.alloc_id(), SpanId(1));
+        assert_eq!(b.alloc_id(), SpanId(2));
+        assert!(!SpanId(1).is_none());
+        assert!(SpanId::NONE.is_none());
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let b = SpanBuffer::disabled();
+        assert!(!b.is_enabled());
+        b.record(span(1, SpanKind::Fault));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn bounded_buffer_evicts_oldest_and_counts() {
+        let b = SpanBuffer::bounded(2);
+        for i in 1..=3 {
+            b.record(span(i, SpanKind::Fault));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dropped(), 1);
+        assert_eq!(b.snapshot()[0].id, SpanId(2));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            SpanKind::Fault,
+            SpanKind::FaultRetry,
+            SpanKind::FollowerWait,
+            SpanKind::DirectoryHandling,
+            SpanKind::PageFixup,
+            SpanKind::Invalidation,
+            SpanKind::MigrationForward,
+            SpanKind::MigrationPhase,
+            SpanKind::MigrationBack,
+            SpanKind::Delegation,
+            SpanKind::DelegationService,
+            SpanKind::FutexWait,
+            SpanKind::FutexWake,
+            SpanKind::VmaSync,
+        ] {
+            assert_eq!(SpanKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(SpanKind::parse("nope"), None);
+    }
+}

@@ -16,15 +16,21 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dex_net::NodeId;
+use dex_net::{NodeId, SpanContext};
 use dex_os::{Access, ExecutionContext, MemFault, Prot, Tid, VirtAddr, VmaKind, Vpn, PAGE_SIZE};
 use dex_sim::{SimChannel, SimCtx, SimDuration, ThreadId};
 
 use crate::directory::{DirAction, Requester};
 use crate::msg::{DelegatedOp, DexMsg, VmaOp};
-use crate::process::{DelegationJob, MigrationSample, ProcessShared, Reply, WaitError};
+use crate::process::{DelegationJob, FaultEntry, MigrationSample, ProcessShared, Reply, WaitError};
 use crate::race::{RaceEvent, RaceEventKind};
+use crate::span::{Span, SpanId, SpanKind};
 use crate::trace::{FaultEvent, FaultKind};
+
+/// The wire form of an optional span id (0 encodes "no span").
+fn span_ctx(span: Option<SpanId>) -> SpanContext {
+    span.map_or(SpanContext::NONE, |s| SpanContext(s.0))
+}
 
 /// `EAGAIN`-style result of a futex wait whose word changed first.
 pub const FUTEX_EAGAIN: i64 = -11;
@@ -403,9 +409,11 @@ impl<'a> ThreadCtx<'a> {
             );
         }
         shared.stats.counters.incr("vma.syncs");
+        let t0 = self.sim.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
         let req_id = shared.new_req_id();
         let slot = shared.register_pending(self.sim, node, req_id);
-        self.endpoint(node).send(
+        self.endpoint(node).send_traced(
             self.sim,
             shared.origin,
             DexMsg::VmaRequest {
@@ -413,6 +421,7 @@ impl<'a> ThreadCtx<'a> {
                 addr,
                 req_id,
             },
+            span_ctx(span),
         );
         match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
             Err(WaitError::OwnNodeCrashed) => {
@@ -444,6 +453,19 @@ impl<'a> ThreadCtx<'a> {
             ),
             Ok(other) => unreachable!("vma request answered with {other:?}"),
         }
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::VmaSync,
+                node,
+                task: self.tid,
+                start: t0,
+                end: self.sim.now(),
+                label: "vma_pull",
+                tag: None,
+            });
+        }
     }
 
     fn page_fault(&self, vpn: Vpn, access: Access, addr: VirtAddr) {
@@ -452,6 +474,9 @@ impl<'a> ThreadCtx<'a> {
         let is_write = access.is_write();
         let ctx = self.sim;
 
+        let span_t0 = ctx.now();
+        let fault_span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+
         ctx.advance(shared.cost.fault_entry);
 
         // Leader–follower coalescing: the first thread to fault on this
@@ -459,26 +484,50 @@ impl<'a> ThreadCtx<'a> {
         // (Disabled only for the ablation study: every thread then runs
         // the full protocol itself.)
         let coalesce = shared.cost.coalesce_faults;
+        let mut leader_span = 0u64;
         let is_leader = !coalesce || {
             let mut table = shared.fault_tables[node.0 as usize].lock();
             match table.entries.entry((vpn, is_write)) {
                 Entry::Occupied(mut e) => {
                     e.get_mut().followers.push(ctx.id());
+                    leader_span = e.get().leader_span;
                     false
                 }
                 Entry::Vacant(v) => {
-                    v.insert(Default::default());
+                    v.insert(FaultEntry {
+                        followers: Vec::new(),
+                        leader_span: fault_span.map_or(0, |s| s.0),
+                    });
                     true
                 }
             }
         };
         if !is_leader {
             shared.stats.counters.incr("faults.coalesced");
+            if let Some(m) = &shared.metrics {
+                m.node(node).incr("dsm.faults_coalesced");
+            }
             ctx.park();
+            // The follower's wait parents to the leader's fault span —
+            // the coalescing relationship made visible in the timeline.
+            if let Some(id) = fault_span {
+                shared.spans.record(Span {
+                    id,
+                    parent: SpanId(leader_span),
+                    kind: SpanKind::FollowerWait,
+                    node,
+                    task: self.tid,
+                    start: span_t0,
+                    end: ctx.now(),
+                    label: "follower_wait",
+                    tag: None,
+                });
+            }
             return; // the outer ensure() loop re-checks the updated PTE
         }
 
         let t0 = ctx.now();
+        let wire_span = span_ctx(fault_span);
         let mut rounds = 0u64;
         let mut origin_inline = false;
         loop {
@@ -486,21 +535,39 @@ impl<'a> ThreadCtx<'a> {
             // Re-read the node each round: a crash may have re-homed the
             // thread to the origin mid-fault.
             let granted = if self.node.get() == shared.origin {
-                let (granted, inline) = self.origin_fault_round(vpn, access);
+                let (granted, inline) = self.origin_fault_round(vpn, access, wire_span);
                 origin_inline = inline;
                 granted
             } else {
-                self.remote_fault_round(vpn, access)
+                self.remote_fault_round(vpn, access, wire_span)
             };
             if granted {
                 break;
             }
             shared.stats.counters.incr("faults.retried");
+            if let Some(m) = &shared.metrics {
+                m.node(node).incr("dsm.faults_retried");
+            }
             // Deterministic per-thread jitter keeps retrying threads from
             // re-colliding in lockstep (the kernel's backoff has natural
             // jitter from scheduling).
+            let retry_t0 = ctx.now();
+            let retry_span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
             let jitter = (self.tid.0 * 7_000 + rounds * 13_000) % 60_000;
             ctx.advance(shared.cost.retry_backoff + dex_sim::SimDuration::from_nanos(jitter));
+            if let Some(id) = retry_span {
+                shared.spans.record(Span {
+                    id,
+                    parent: fault_span.unwrap_or(SpanId::NONE),
+                    kind: SpanKind::FaultRetry,
+                    node,
+                    task: self.tid,
+                    start: retry_t0,
+                    end: ctx.now(),
+                    label: "retry_backoff",
+                    tag: None,
+                });
+            }
         }
         ctx.advance(shared.cost.fault_fixup);
 
@@ -517,6 +584,13 @@ impl<'a> ThreadCtx<'a> {
                 "faults.read"
             });
             shared.stats.fault_hist.record(ctx.now() - t0);
+            if let Some(m) = &shared.metrics {
+                m.node(node).incr(if is_write {
+                    "dsm.faults_write"
+                } else {
+                    "dsm.faults_read"
+                });
+            }
             if shared.trace.is_enabled() {
                 shared.trace.record(FaultEvent {
                     time: t0,
@@ -532,6 +606,23 @@ impl<'a> ThreadCtx<'a> {
                     tag: shared.tag_for(node, addr),
                 });
             }
+        }
+        if let Some(id) = fault_span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::Fault,
+                node,
+                task: self.tid,
+                start: span_t0,
+                end: ctx.now(),
+                label: match (minor, is_write) {
+                    (true, _) => "minor_fault",
+                    (false, true) => "write_fault",
+                    (false, false) => "read_fault",
+                },
+                tag: shared.tag_for(node, addr),
+            });
         }
 
         if coalesce {
@@ -552,7 +643,7 @@ impl<'a> ThreadCtx<'a> {
     /// One protocol round for a fault at the origin; returns
     /// `(granted, inline)` where `inline` means the directory granted
     /// immediately with no remote involvement (a minor fault).
-    fn origin_fault_round(&self, vpn: Vpn, access: Access) -> (bool, bool) {
+    fn origin_fault_round(&self, vpn: Vpn, access: Access, span: SpanContext) -> (bool, bool) {
         let shared = &self.shared;
         let ctx = self.sim;
         let node = shared.origin;
@@ -630,7 +721,7 @@ impl<'a> ThreadCtx<'a> {
         let slot = shared.register_pending(ctx, node, req_id);
         let endpoint = self.endpoint(node);
         for (to, msg) in sends {
-            endpoint.send(ctx, to, msg);
+            endpoint.send_traced(ctx, to, msg, span);
         }
         match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
             Ok(Reply::PageGrant { retry }) => (!retry, false),
@@ -639,14 +730,15 @@ impl<'a> ThreadCtx<'a> {
         }
     }
 
-    /// One protocol round for a fault at a remote node.
-    fn remote_fault_round(&self, vpn: Vpn, access: Access) -> bool {
+    /// One protocol round for a fault at a remote node. The fault span
+    /// rides the request so origin-side handling stitches to this fault.
+    fn remote_fault_round(&self, vpn: Vpn, access: Access, span: SpanContext) -> bool {
         let shared = &self.shared;
         let ctx = self.sim;
         let node = self.node.get();
         let req_id = shared.new_req_id();
         let slot = shared.register_pending(ctx, node, req_id);
-        self.endpoint(node).send(
+        self.endpoint(node).send_traced(
             ctx,
             shared.origin,
             DexMsg::PageRequest {
@@ -655,6 +747,7 @@ impl<'a> ThreadCtx<'a> {
                 access,
                 req_id,
             },
+            span,
         );
         match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
             Ok(Reply::PageGrant { retry }) => !retry,
@@ -686,6 +779,31 @@ impl<'a> ThreadCtx<'a> {
 
     fn futex_wait_inner(&self, addr: VirtAddr, expected: u32) -> i64 {
         let shared = &self.shared;
+        let t0 = self.sim.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+        let result = self.futex_wait_dispatch(addr, expected, span_ctx(span));
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::FutexWait,
+                node: self.node.get(),
+                task: self.tid,
+                start: t0,
+                end: self.sim.now(),
+                label: if result == 0 {
+                    "futex_woken"
+                } else {
+                    "futex_eagain"
+                },
+                tag: None,
+            });
+        }
+        result
+    }
+
+    fn futex_wait_dispatch(&self, addr: VirtAddr, expected: u32, span: SpanContext) -> i64 {
+        let shared = &self.shared;
         shared.stats.counters.incr("futex.waits");
         let node = self.node.get();
         if node == shared.origin {
@@ -701,7 +819,7 @@ impl<'a> ThreadCtx<'a> {
             shared.stats.counters.incr("delegations");
             let req_id = shared.new_req_id();
             let slot = shared.register_pending(self.sim, node, req_id);
-            self.endpoint(node).send(
+            self.endpoint(node).send_traced(
                 self.sim,
                 shared.origin,
                 DexMsg::Delegate {
@@ -710,6 +828,7 @@ impl<'a> ThreadCtx<'a> {
                     op: DelegatedOp::FutexWait { addr, expected },
                     req_id,
                 },
+                span,
             );
             // Unbounded: a futex wait legitimately blocks for as long as
             // the application keeps the waiter asleep.
@@ -726,7 +845,7 @@ impl<'a> ThreadCtx<'a> {
                     shared.futex.lock().cancel(addr, ThreadId(req_id));
                     shared.futex_nodes.lock().remove(&req_id);
                     self.rehome_after_crash();
-                    self.futex_wait_inner(addr, expected)
+                    self.futex_wait_dispatch(addr, expected, span)
                 }
                 Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
             }
@@ -739,14 +858,16 @@ impl<'a> ThreadCtx<'a> {
         self.record_race_event(RaceEventKind::FutexWake { addr });
         let shared = &self.shared;
         shared.stats.counters.incr("futex.wakes");
+        let t0 = self.sim.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
         let node = self.node.get();
-        if node == shared.origin {
+        let result = if node == shared.origin {
             futex_wake_at_origin(self.sim, shared, addr, count)
         } else {
             shared.stats.counters.incr("delegations");
             let req_id = shared.new_req_id();
             let slot = shared.register_pending(self.sim, node, req_id);
-            self.endpoint(node).send(
+            self.endpoint(node).send_traced(
                 self.sim,
                 shared.origin,
                 DexMsg::Delegate {
@@ -755,6 +876,7 @@ impl<'a> ThreadCtx<'a> {
                     op: DelegatedOp::FutexWake { addr, count },
                     req_id,
                 },
+                span_ctx(span),
             );
             match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
                 Ok(Reply::Delegate(result)) => result,
@@ -768,7 +890,21 @@ impl<'a> ThreadCtx<'a> {
                 }
                 Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
             }
+        };
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::FutexWake,
+                node,
+                task: self.tid,
+                start: t0,
+                end: self.sim.now(),
+                label: "futex_wake",
+                tag: None,
+            });
         }
+        result
     }
 
     // ---- migration ----
@@ -955,6 +1091,7 @@ impl<'a> ThreadCtx<'a> {
         let shared = &self.shared;
         let ctx = self.sim;
         let t0 = ctx.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
         shared.stats.counters.incr("migrations.forward");
 
         // Origin side: capture the execution context; the first migration
@@ -970,7 +1107,7 @@ impl<'a> ThreadCtx<'a> {
         let req_id = shared.new_req_id();
         let node = self.node.get();
         let slot = shared.register_pending(ctx, node, req_id);
-        self.endpoint(node).send(
+        self.endpoint(node).send_traced(
             ctx,
             dst,
             DexMsg::MigrateRequest {
@@ -979,6 +1116,7 @@ impl<'a> ThreadCtx<'a> {
                 context,
                 req_id,
             },
+            span_ctx(span),
         );
         let phases = match shared.wait_reply_watching(ctx, &slot, node, req_id, Some(dst), false) {
             Ok(Reply::MigrateAck(phases)) => phases,
@@ -1009,6 +1147,23 @@ impl<'a> ThreadCtx<'a> {
             total: ctx.now() - t0,
             phases,
         });
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::MigrationForward,
+                node,
+                task: self.tid,
+                start: t0,
+                end: ctx.now(),
+                label: if first_on_node {
+                    "first_on_node"
+                } else {
+                    "worker_reused"
+                },
+                tag: None,
+            });
+        }
         Ok(())
     }
 
@@ -1023,12 +1178,13 @@ impl<'a> ThreadCtx<'a> {
             return;
         }
         let t0 = ctx.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
         shared.stats.counters.incr("migrations.backward");
         ctx.advance(shared.cost.backward_capture);
 
         let req_id = shared.new_req_id();
         let slot = shared.register_pending(ctx, node, req_id);
-        self.endpoint(node).send(
+        self.endpoint(node).send_traced(
             ctx,
             shared.origin,
             DexMsg::MigrateBack {
@@ -1037,6 +1193,7 @@ impl<'a> ThreadCtx<'a> {
                 context: self.synthesize_context(),
                 req_id,
             },
+            span_ctx(span),
         );
         match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
             Ok(Reply::MigrateBackAck) => {}
@@ -1060,6 +1217,19 @@ impl<'a> ThreadCtx<'a> {
             total: ctx.now() - t0,
             phases: vec![("capture", shared.cost.backward_capture)],
         });
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::MigrationBack,
+                node,
+                task: self.tid,
+                start: t0,
+                end: ctx.now(),
+                label: "migrate_back",
+                tag: None,
+            });
+        }
     }
 
     /// Builds a deterministic register file for the context transfer so
@@ -1144,18 +1314,39 @@ impl<'a> ThreadCtx<'a> {
 
     fn delegate(&self, op: DelegatedOp) -> i64 {
         let shared = &self.shared;
+        let t0 = self.sim.now();
+        let span = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+        let result = self.delegate_inner(&op, span_ctx(span));
+        if let Some(id) = span {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId::NONE,
+                kind: SpanKind::Delegation,
+                node: self.node.get(),
+                task: self.tid,
+                start: t0,
+                end: self.sim.now(),
+                label: "delegate",
+                tag: None,
+            });
+        }
+        result
+    }
+
+    fn delegate_inner(&self, op: &DelegatedOp, span: SpanContext) -> i64 {
+        let shared = &self.shared;
         loop {
             let node = self.node.get();
             if node == shared.origin {
                 // Reached after a crash re-homed the thread mid-delegation:
                 // run the operation directly, like any origin-resident
                 // thread would.
-                return self.run_delegated_locally(&op);
+                return self.run_delegated_locally(op);
             }
             shared.stats.counters.incr("delegations");
             let req_id = shared.new_req_id();
             let slot = shared.register_pending(self.sim, node, req_id);
-            self.endpoint(node).send(
+            self.endpoint(node).send_traced(
                 self.sim,
                 shared.origin,
                 DexMsg::Delegate {
@@ -1164,6 +1355,7 @@ impl<'a> ThreadCtx<'a> {
                     op: op.clone(),
                     req_id,
                 },
+                span,
             );
             match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
                 Ok(Reply::Delegate(result)) => return result,
@@ -1454,6 +1646,8 @@ fn pair_thread_loop(
     let tctx = ThreadCtx::new(ctx, Arc::clone(&shared), tid);
     let endpoint = shared.fabric.endpoint(shared.origin);
     while let Some(job) = chan.recv(ctx) {
+        let t0 = ctx.now();
+        let service = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
         let reply = match job.op {
             DelegatedOp::FutexWait { addr, expected } => {
                 match futex_wait_at_origin(&tctx, addr, expected, job.from, job.req_id) {
@@ -1495,8 +1689,21 @@ fn pair_thread_loop(
                 Some(0)
             }
         };
+        if let Some(id) = service {
+            shared.spans.record(Span {
+                id,
+                parent: SpanId(job.span.0),
+                kind: SpanKind::DelegationService,
+                node: shared.origin,
+                task: tid,
+                start: t0,
+                end: ctx.now(),
+                label: "delegation_service",
+                tag: None,
+            });
+        }
         if let Some(result) = reply {
-            endpoint.send(
+            endpoint.send_traced(
                 ctx,
                 job.from,
                 DexMsg::DelegateReply {
@@ -1504,6 +1711,7 @@ fn pair_thread_loop(
                     result,
                     req_id: job.req_id,
                 },
+                job.span,
             );
         }
     }

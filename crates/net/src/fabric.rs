@@ -40,6 +40,7 @@ use parking_lot::Mutex;
 use dex_sim::{Counters, FaultPlan, Resource, SimCtx, SimTime, ThreadId};
 
 use crate::config::{NetConfig, RdmaStrategy};
+use crate::metrics::MetricsRegistry;
 use crate::pool::{CreditPool, TimedPool};
 
 /// Identifies a node in the cluster.
@@ -88,6 +89,31 @@ pub trait WireMessage: Send + 'static {
 /// Fixed per-message header bytes (message kind, pid, addresses).
 pub const HEADER_BYTES: usize = 48;
 
+/// Span context riding a message envelope, out of band.
+///
+/// `0` means "no span". In a real system the span id would piggyback in
+/// reserved header bits; here it travels next to the envelope and is
+/// deliberately excluded from [`WireMessage::control_bytes`], so
+/// enabling tracing never changes wire sizes, serialization times, or
+/// the schedule.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct SpanContext(pub u64);
+
+impl SpanContext {
+    /// The absent context (id 0).
+    pub const NONE: SpanContext = SpanContext(0);
+
+    /// Whether no span is attached.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether a span is attached.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
 /// A received message with its sender.
 #[derive(Debug)]
 pub struct Delivery<M> {
@@ -95,11 +121,15 @@ pub struct Delivery<M> {
     pub src: NodeId,
     /// The message.
     pub msg: M,
+    /// Span context the sender attached ([`SpanContext::NONE`] when the
+    /// sender was not tracing).
+    pub span: SpanContext,
 }
 
 struct Envelope<M> {
     src: NodeId,
     msg: M,
+    span: SpanContext,
     deliver_at: SimTime,
     /// Receiver-side drain copy (sink strategy / verb-only pages).
     recv_copy_bytes: usize,
@@ -256,6 +286,9 @@ pub struct Fabric<M> {
     /// entirely so clean runs stay bit-identical to plan-free runs.
     faults_enabled: bool,
     counters: Counters,
+    /// Optional per-node/per-link metrics. `None` (the default) keeps
+    /// the hot path at a single test per instrumentation point.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<M: WireMessage> Fabric<M> {
@@ -276,7 +309,29 @@ impl<M: WireMessage> Fabric<M> {
     ///
     /// Panics if `nodes` is zero.
     pub fn with_faults(config: NetConfig, nodes: usize, plan: FaultPlan) -> Arc<Self> {
+        Self::with_instrumentation(config, nodes, plan, None)
+    }
+
+    /// Builds the fabric with a fault plan and an optional
+    /// [`MetricsRegistry`] receiving per-node/per-link traffic counters
+    /// and pool/credit wait histograms. Metrics recording is pure
+    /// bookkeeping: the instrumented schedule is identical to the bare
+    /// one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero, or if a registry is supplied whose
+    /// node count differs from `nodes`.
+    pub fn with_instrumentation(
+        config: NetConfig,
+        nodes: usize,
+        plan: FaultPlan,
+        metrics: Option<Arc<MetricsRegistry>>,
+    ) -> Arc<Self> {
         assert!(nodes > 0, "fabric needs at least one node");
+        if let Some(m) = &metrics {
+            assert_eq!(m.nodes(), nodes, "metrics registry sized for the fabric");
+        }
         let mut links = Vec::with_capacity(nodes * nodes);
         for src in 0..nodes {
             for dst in 0..nodes {
@@ -304,12 +359,18 @@ impl<M: WireMessage> Fabric<M> {
             plan,
             faults_enabled,
             counters,
+            metrics,
         })
     }
 
     /// The fault plan this fabric was built with (empty for [`Fabric::new`]).
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.metrics.as_ref()
     }
 
     /// Whether a non-empty fault plan is active.
@@ -445,9 +506,22 @@ impl<M: WireMessage> Endpoint<M> {
     /// Panics if `dst` equals this endpoint's node (loopback messages
     /// indicate a protocol bug) or lies outside the fabric.
     pub fn send(&self, ctx: &SimCtx, dst: NodeId, msg: M) {
+        self.send_traced(ctx, dst, msg, SpanContext::NONE);
+    }
+
+    /// Like [`Endpoint::send`], but attaches a span context that rides
+    /// the envelope out of band and surfaces at the receiver as
+    /// [`Delivery::span`]. Passing [`SpanContext::NONE`] is exactly
+    /// `send` — the context influences neither costs nor ordering.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Endpoint::send`].
+    pub fn send_traced(&self, ctx: &SimCtx, dst: NodeId, msg: M, span: SpanContext) {
         assert_ne!(self.node, dst, "loopback send on the fabric");
         let fabric = &self.fabric;
         let cfg = &fabric.config;
+        let metrics = fabric.metrics.as_deref();
         let sent_at = ctx.now();
         // A crashed endpoint neither sends nor receives: drop before any
         // counter or buffer accounting so dead links stay quiet.
@@ -469,6 +543,18 @@ impl<M: WireMessage> Endpoint<M> {
             (control + page) as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
+        if let Some(m) = metrics {
+            m.node(self.node).incr("msgs.sent");
+            m.node(self.node).add("bytes.sent", (control + page) as u64);
+            let l = m.link(self.node, dst);
+            l.incr("msgs");
+            l.add("bytes", (control + page) as u64);
+            if page == 0 {
+                l.incr("verb.sends");
+            } else {
+                l.incr("rdma.pages");
+            }
+        }
 
         let (wire_bytes, extra_latency, recv_copy_bytes, sink_credit) = if page == 0 {
             // VERB control path: compose into a pre-mapped pool chunk.
@@ -479,7 +565,11 @@ impl<M: WireMessage> Endpoint<M> {
                 RdmaStrategy::SinkCopy => {
                     // Wait for a sink chunk at the receiver, then RDMA-write
                     // into it; the receiver drains it with one memcpy.
+                    let t0 = metrics.map(|_| ctx.now());
                     link.sink.acquire(ctx);
+                    if let (Some(m), Some(t0)) = (metrics, t0) {
+                        m.observe("net.sink_credit_wait", self.node, ctx.now() - t0);
+                    }
                     (
                         control + page,
                         cfg.verb_latency + cfg.rdma_extra_latency,
@@ -507,7 +597,11 @@ impl<M: WireMessage> Endpoint<M> {
             }
         };
 
+        let t0 = metrics.map(|_| ctx.now());
         let grant = link.send_pool.acquire(ctx);
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.observe("net.send_pool_wait", self.node, ctx.now() - t0);
+        }
         ctx.advance(cfg.memcpy_time(control));
         let finish = link.wire.reserve_bytes(ctx.now(), wire_bytes as u64);
         link.send_pool.hold(grant, finish);
@@ -523,12 +617,17 @@ impl<M: WireMessage> Endpoint<M> {
             deliver_at = deliver_at.max(*last);
             *last = deliver_at;
         }
+        let t0 = metrics.map(|_| ctx.now());
         link.recv_pool.acquire(ctx);
+        if let (Some(m), Some(t0)) = (metrics, t0) {
+            m.observe("net.recv_credit_wait", self.node, ctx.now() - t0);
+        }
         fabric.inboxes[dst.0 as usize].push(
             ctx,
             Envelope {
                 src: self.node,
                 msg,
+                span,
                 deliver_at,
                 recv_copy_bytes,
                 recv_credit: link.recv_pool.clone(),
@@ -616,9 +715,13 @@ impl<M: WireMessage> Endpoint<M> {
         // Repost the receive work request.
         env.recv_credit.release(ctx);
         self.fabric.counters.incr("msgs.received");
+        if let Some(m) = &self.fabric.metrics {
+            m.node(self.node).incr("msgs.received");
+        }
         Delivery {
             src: env.src,
             msg: env.msg,
+            span: env.span,
         }
     }
 }
@@ -961,6 +1064,69 @@ mod tests {
         });
         engine.run().unwrap();
         assert_eq!(fabric.counters().get("faults.msgs_dropped"), 2);
+    }
+
+    #[test]
+    fn span_context_rides_the_envelope_out_of_band() {
+        let engine = Engine::new();
+        let fabric = fabric_with(RdmaStrategy::SinkCopy, 2);
+        let tx = fabric.endpoint(NodeId(0));
+        let rx = fabric.endpoint(NodeId(1));
+        engine.spawn("tx", move |ctx| {
+            tx.send_traced(ctx, NodeId(1), TestMsg { tag: 1, page: 0 }, SpanContext(42));
+            tx.send(ctx, NodeId(1), TestMsg { tag: 2, page: 0 });
+        });
+        engine.spawn("rx", move |ctx| {
+            let first = rx.recv(ctx).unwrap();
+            assert_eq!(first.span, SpanContext(42));
+            let second = rx.recv(ctx).unwrap();
+            assert!(second.span.is_none(), "plain send carries no span");
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn metrics_registry_observes_per_node_and_per_link_traffic() {
+        use crate::metrics::MetricsRegistry;
+
+        fn run(metrics: Option<Arc<MetricsRegistry>>) -> u64 {
+            let engine = Engine::new();
+            let fabric = Fabric::<TestMsg>::with_instrumentation(
+                NetConfig::default(),
+                3,
+                FaultPlan::new(),
+                metrics,
+            );
+            let a = fabric.endpoint(NodeId(0));
+            let b = fabric.endpoint(NodeId(1));
+            let c = fabric.endpoint(NodeId(2));
+            engine.spawn("a", move |ctx| {
+                a.send(ctx, NodeId(1), TestMsg { tag: 0, page: 0 });
+                a.send(ctx, NodeId(2), TestMsg { tag: 1, page: 4096 });
+            });
+            engine.spawn_daemon("b", move |ctx| while b.recv(ctx).is_some() {});
+            engine.spawn_daemon("c", move |ctx| while c.recv(ctx).is_some() {});
+            engine.run().unwrap().as_nanos()
+        }
+
+        let registry = MetricsRegistry::new(3);
+        let instrumented = run(Some(Arc::clone(&registry)));
+        let bare = run(None);
+        assert_eq!(instrumented, bare, "metrics must not perturb the schedule");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.per_node[0][0], ("bytes.sent".to_string(), 4224));
+        assert_eq!(snap.per_node[0][1], ("msgs.sent".to_string(), 2));
+        let l02 = snap
+            .per_link
+            .iter()
+            .find(|l| l.src == 0 && l.dst == 2)
+            .expect("0->2 saw a page");
+        assert!(l02.counters.contains(&("rdma.pages".to_string(), 1)));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "net.send_pool_wait" && h.node == 0 && h.count == 2));
     }
 
     #[test]

@@ -42,8 +42,10 @@
 
 mod config;
 mod fabric;
+mod metrics;
 mod pool;
 
 pub use config::{NetConfig, RdmaStrategy};
-pub use fabric::{Delivery, Endpoint, Fabric, NodeId, WireMessage, HEADER_BYTES};
+pub use fabric::{Delivery, Endpoint, Fabric, NodeId, SpanContext, WireMessage, HEADER_BYTES};
+pub use metrics::{HistogramSummary, LinkMetrics, MetricsRegistry, MetricsSnapshot};
 pub use pool::{ChunkGrant, CreditPool, TimedPool};

@@ -1,0 +1,249 @@
+//! Per-cluster metrics: node- and link-dimensioned counters plus named
+//! latency histograms.
+//!
+//! The fabric's built-in [`Counters`](dex_sim::Counters) aggregate over
+//! the whole cluster; the paper's profiling workflow (§IV) needs the
+//! *distribution* — which node retries, which link stalls on credits,
+//! where page traffic concentrates. A [`MetricsRegistry`] is attached to
+//! a run explicitly (`ClusterConfig::with_metrics` in `dex-core`) and is
+//! pure bookkeeping: recording into it never advances virtual time,
+//! parks, or sends, so an instrumented run takes exactly the same
+//! schedule as a bare one.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dex_sim::{Counters, Histogram, SimDuration};
+
+use crate::fabric::NodeId;
+
+/// Node- and link-dimensioned counters and histograms for one cluster.
+///
+/// # Examples
+///
+/// ```
+/// use dex_net::{MetricsRegistry, NodeId};
+/// use dex_sim::SimDuration;
+///
+/// let m = MetricsRegistry::new(2);
+/// m.node(NodeId(1)).incr("faults");
+/// m.link(NodeId(0), NodeId(1)).add("bytes", 4096);
+/// m.observe("net.send_pool_wait", NodeId(0), SimDuration::from_micros(3));
+/// let snap = m.snapshot();
+/// assert_eq!(snap.per_node[1], vec![("faults".to_string(), 1)]);
+/// ```
+pub struct MetricsRegistry {
+    nodes: usize,
+    per_node: Vec<Counters>,
+    /// Row-major `src * nodes + dst`; the diagonal exists but stays
+    /// empty (loopback never touches the fabric).
+    per_link: Vec<Counters>,
+    hists: Mutex<BTreeMap<(String, u16), Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates a registry for a cluster of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Arc<Self> {
+        assert!(nodes > 0, "metrics registry needs at least one node");
+        Arc::new(MetricsRegistry {
+            nodes,
+            per_node: (0..nodes).map(|_| Counters::new()).collect(),
+            per_link: (0..nodes * nodes).map(|_| Counters::new()).collect(),
+            hists: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Number of nodes the registry covers.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The counter set of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the cluster.
+    pub fn node(&self, node: NodeId) -> &Counters {
+        &self.per_node[node.0 as usize]
+    }
+
+    /// The counter set of the directed link `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is outside the cluster.
+    pub fn link(&self, src: NodeId, dst: NodeId) -> &Counters {
+        &self.per_link[src.0 as usize * self.nodes + dst.0 as usize]
+    }
+
+    /// Records one duration sample into the histogram `name` at `node`
+    /// (created on first use).
+    pub fn observe(&self, name: &str, node: NodeId, d: SimDuration) {
+        let hist = {
+            let mut hists = self.hists.lock();
+            hists.entry((name.to_string(), node.0)).or_default().clone()
+        };
+        hist.record(d);
+    }
+
+    /// A point-in-time copy of every counter and histogram summary.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let summarize = |name: &str, node: u16, h: &Histogram| HistogramSummary {
+            name: name.to_string(),
+            node,
+            count: h.count(),
+            min: h.min(),
+            max: h.max(),
+            mean: h.mean(),
+            p50: h.percentile(50.0),
+            p95: h.percentile(95.0),
+            p99: h.percentile(99.0),
+        };
+        MetricsSnapshot {
+            nodes: self.nodes,
+            per_node: self.per_node.iter().map(Counters::snapshot).collect(),
+            per_link: (0..self.nodes as u16)
+                .flat_map(|src| (0..self.nodes as u16).map(move |dst| (src, dst)))
+                .filter_map(|(src, dst)| {
+                    let counters = self.link(NodeId(src), NodeId(dst)).snapshot();
+                    (!counters.is_empty()).then_some(LinkMetrics { src, dst, counters })
+                })
+                .collect(),
+            histograms: self
+                .hists
+                .lock()
+                .iter()
+                .map(|((name, node), h)| summarize(name, *node, h))
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("nodes", &self.nodes)
+            .finish()
+    }
+}
+
+/// Counters of one directed link that saw traffic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Sending node.
+    pub src: u16,
+    /// Receiving node.
+    pub dst: u16,
+    /// Counter snapshot, sorted by name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Summary statistics of one `(name, node)` histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Histogram name (e.g. `net.send_pool_wait`).
+    pub name: String,
+    /// The node the samples belong to.
+    pub node: u16,
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: SimDuration,
+    /// Largest sample.
+    pub max: SimDuration,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Median over retained samples.
+    pub p50: SimDuration,
+    /// 95th percentile over retained samples.
+    pub p95: SimDuration,
+    /// 99th percentile over retained samples.
+    pub p99: SimDuration,
+}
+
+/// A frozen copy of a registry, safe to inspect after the run ends.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Number of nodes covered.
+    pub nodes: usize,
+    /// Per-node counter snapshots, indexed by node id.
+    pub per_node: Vec<Vec<(String, u64)>>,
+    /// Per-link counters for links that saw traffic.
+    pub per_link: Vec<LinkMetrics>,
+    /// Histogram summaries, sorted by `(name, node)`.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as an indented text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("metrics: {} nodes\n", self.nodes));
+        for (node, counters) in self.per_node.iter().enumerate() {
+            if counters.is_empty() {
+                continue;
+            }
+            out.push_str(&format!("  node {node}\n"));
+            for (name, v) in counters {
+                out.push_str(&format!("    {name:<28} {v}\n"));
+            }
+        }
+        for link in &self.per_link {
+            out.push_str(&format!("  link {} -> {}\n", link.src, link.dst));
+            for (name, v) in &link.counters {
+                out.push_str(&format!("    {name:<28} {v}\n"));
+            }
+        }
+        for h in &self.histograms {
+            out.push_str(&format!(
+                "  hist {}@node{}: n={} mean={} p50={} p95={} p99={} max={}\n",
+                h.name, h.node, h.count, h.mean, h.p50, h.p95, h.p99, h.max
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_dimensioned_by_node_and_link() {
+        let m = MetricsRegistry::new(3);
+        m.node(NodeId(0)).incr("faults");
+        m.node(NodeId(2)).add("faults", 2);
+        m.link(NodeId(0), NodeId(2)).add("bytes", 100);
+        m.link(NodeId(2), NodeId(0)).add("bytes", 7);
+        let snap = m.snapshot();
+        assert_eq!(snap.per_node[0], vec![("faults".to_string(), 1)]);
+        assert!(snap.per_node[1].is_empty());
+        assert_eq!(snap.per_node[2], vec![("faults".to_string(), 2)]);
+        assert_eq!(snap.per_link.len(), 2, "only links with traffic");
+        assert_eq!(snap.per_link[0].src, 0);
+        assert_eq!(snap.per_link[0].dst, 2);
+        assert_eq!(snap.per_link[1].counters, vec![("bytes".to_string(), 7)]);
+    }
+
+    #[test]
+    fn histograms_summarize_per_node() {
+        let m = MetricsRegistry::new(2);
+        for us in [10u64, 20, 30] {
+            m.observe("wait", NodeId(1), SimDuration::from_micros(us));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        let h = &snap.histograms[0];
+        assert_eq!((h.name.as_str(), h.node, h.count), ("wait", 1, 3));
+        assert_eq!(h.mean, SimDuration::from_micros(20));
+        assert_eq!(h.p50, SimDuration::from_micros(20));
+        let text = snap.render();
+        assert!(text.contains("hist wait@node1"), "{text}");
+    }
+}

@@ -13,6 +13,16 @@
 //! Site strings are interned on decode (the live [`FaultEvent`] carries
 //! `&'static str` sites); the interner leaks one allocation per distinct
 //! site, which is bounded by the number of annotated code sites.
+//!
+//! Free-form fields (site, tag) are escaped reversibly: `\\`, `\t`, `\n`,
+//! `\r` for the structural characters, `\-` for a literal `-` tag (so it
+//! is not confused with the "no tag" sentinel), and `\e` for the empty
+//! string (so a trailing empty field survives whitespace trimming).
+//! Traces captured through a bounded [`TraceBuffer`] may have evicted
+//! events; [`encode_trace_with_dropped`] records the eviction count as a
+//! `# dropped N` line and [`decode_trace_with_dropped`] surfaces it.
+//!
+//! [`TraceBuffer`]: dex_core::TraceBuffer
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -25,11 +35,67 @@ use dex_sim::SimTime;
 /// Magic header identifying the trace format.
 pub const TRACE_HEADER: &str = "# dex-trace v1";
 
+/// Escapes a free-form field so it survives the tab-separated,
+/// line-oriented container losslessly.
+pub fn escape_field(s: &str) -> String {
+    if s.is_empty() {
+        return "\\e".to_string();
+    }
+    if s == "-" {
+        return "\\-".to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_field`]. Errors on truncated or unknown escapes.
+pub fn unescape_field(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('-') => out.push('-'),
+            Some('e') => {} // the empty-string sentinel expands to nothing
+            Some(other) => return Err(format!("unknown escape `\\{other}`")),
+            None => return Err("truncated escape at end of field".to_string()),
+        }
+    }
+    Ok(out)
+}
+
 /// Serializes `events` into the versioned text format.
 pub fn encode_trace(events: &[FaultEvent]) -> String {
+    encode_trace_with_dropped(events, 0)
+}
+
+/// Like [`encode_trace`], additionally recording how many events were
+/// evicted by a bounded capture buffer (see
+/// [`TraceBuffer::dropped`](dex_core::TraceBuffer::dropped)) as a
+/// `# dropped N` line so offline analysis knows the trace is partial.
+pub fn encode_trace_with_dropped(events: &[FaultEvent], dropped: u64) -> String {
     let mut out = String::with_capacity(events.len() * 48 + TRACE_HEADER.len() + 1);
     out.push_str(TRACE_HEADER);
     out.push('\n');
+    if dropped > 0 {
+        out.push_str(&format!("# dropped {dropped}\n"));
+    }
     for e in events {
         out.push_str(&format!(
             "{}\t{}\t{}\t{}\t{}\t{:#x}\t{}\n",
@@ -37,10 +103,10 @@ pub fn encode_trace(events: &[FaultEvent]) -> String {
             e.node.0,
             e.task.0,
             e.kind,
-            e.site.replace(['\t', '\n'], " "),
+            escape_field(e.site),
             e.addr.as_u64(),
             match &e.tag {
-                Some(tag) => tag.replace(['\t', '\n'], " "),
+                Some(tag) => escape_field(tag),
                 None => "-".to_string(),
             }
         ));
@@ -66,6 +132,12 @@ pub fn intern_site(site: &str) -> &'static str {
 
 /// Parses the text format produced by [`encode_trace`].
 pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
+    decode_trace_with_dropped(text).map(|(events, _)| events)
+}
+
+/// Like [`decode_trace`], also returning the capture-time eviction count
+/// recorded by [`encode_trace_with_dropped`] (0 when absent).
+pub fn decode_trace_with_dropped(text: &str) -> Result<(Vec<FaultEvent>, u64), String> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, header)) if header.trim() == TRACE_HEADER => {}
@@ -77,9 +149,18 @@ pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
         None => return Err("empty trace file".to_string()),
     }
     let mut events = Vec::new();
+    let mut dropped: u64 = 0;
     for (lineno, line) in lines {
-        let line = line.trim_end();
+        // Strip only the CR of CRLF endings: trailing spaces are field
+        // content (the escaping keeps structural characters out).
+        let line = line.trim_end_matches('\r');
         if line.is_empty() || line.starts_with('#') {
+            if let Some(n) = line.strip_prefix("# dropped ") {
+                dropped += n
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|e| format!("line {}: bad dropped count: {e}", lineno + 1))?;
+            }
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
@@ -107,7 +188,9 @@ pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
             "invalidate" => FaultKind::Invalidate,
             other => return Err(format!("line {}: unknown kind {other:?}", lineno + 1)),
         };
-        let site = intern_site(fields[4]);
+        let site = intern_site(
+            &unescape_field(fields[4]).map_err(|e| format!("line {}: site: {e}", lineno + 1))?,
+        );
         let addr_str = fields[5]
             .strip_prefix("0x")
             .ok_or_else(|| format!("line {}: address must be hex (0x…)", lineno + 1))?;
@@ -117,7 +200,7 @@ pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
         );
         let tag = match fields[6] {
             "-" => None,
-            tag => Some(tag.to_string()),
+            tag => Some(unescape_field(tag).map_err(|e| format!("line {}: tag: {e}", lineno + 1))?),
         };
         events.push(FaultEvent {
             time,
@@ -129,7 +212,7 @@ pub fn decode_trace(text: &str) -> Result<Vec<FaultEvent>, String> {
             tag,
         });
     }
-    Ok(events)
+    Ok((events, dropped))
 }
 
 #[cfg(test)]
@@ -190,5 +273,58 @@ mod tests {
         let a = intern_site("same.site");
         let b = intern_site("same.site");
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn hostile_site_and_tag_strings_round_trip() {
+        let hostile = [
+            "tab\there",
+            "new\nline",
+            "back\\slash",
+            "cr\rlf",
+            "-",
+            "",
+            "\\e literal",
+            "mix\t\n\\-",
+        ];
+        for s in hostile {
+            let events = vec![FaultEvent {
+                time: SimTime::from_nanos(1),
+                node: NodeId(0),
+                task: Tid(0),
+                kind: FaultKind::Read,
+                site: intern_site(s),
+                addr: VirtAddr::new(0x10),
+                tag: Some(s.to_string()),
+            }];
+            let decoded = decode_trace(&encode_trace(&events)).unwrap();
+            assert_eq!(decoded[0].site, s, "site {s:?} must survive the codec");
+            assert_eq!(
+                decoded[0].tag.as_deref(),
+                Some(s),
+                "tag {s:?} must survive the codec"
+            );
+        }
+    }
+
+    #[test]
+    fn escaping_is_reversible_and_unambiguous() {
+        assert_eq!(escape_field("-"), "\\-");
+        assert_eq!(escape_field(""), "\\e");
+        assert_eq!(unescape_field("\\e").unwrap(), "");
+        assert_eq!(unescape_field("\\-").unwrap(), "-");
+        assert!(unescape_field("bad\\q").is_err());
+        assert!(unescape_field("trailing\\").is_err());
+    }
+
+    #[test]
+    fn dropped_count_survives_the_codec() {
+        let text = encode_trace_with_dropped(&sample(), 42);
+        assert!(text.contains("# dropped 42"));
+        let (events, dropped) = decode_trace_with_dropped(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(dropped, 42);
+        let (_, zero) = decode_trace_with_dropped(&encode_trace(&sample())).unwrap();
+        assert_eq!(zero, 0);
     }
 }

@@ -1,0 +1,168 @@
+//! Property tests for the trace and span text codecs: any event/span
+//! forest — including hostile site/tag/label strings full of tabs,
+//! newlines, backslashes, and sentinel lookalikes — must survive an
+//! encode/decode round trip unchanged.
+
+use dex_core::{FaultEvent, FaultKind, Span, SpanId, SpanKind};
+use dex_net::NodeId;
+use dex_os::{Tid, VirtAddr};
+use dex_prof::codec::intern_site;
+use dex_prof::{
+    decode_spans, decode_spans_with_dropped, decode_trace, decode_trace_with_dropped, encode_spans,
+    encode_spans_with_dropped, encode_trace, encode_trace_with_dropped,
+};
+use dex_sim::SimTime;
+use proptest::prelude::*;
+
+/// Characters that stress the escaping: structural bytes, the `-`
+/// sentinel, the escape letters themselves, spaces (incl. trailing),
+/// and multi-byte unicode.
+const HOSTILE: &[char] = &[
+    'a', 'z', '0', '\t', '\n', '\r', '\\', ' ', '-', 't', 'n', 'e', '日', '"',
+];
+
+/// A string of up to 12 hostile characters.
+fn hostile_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..HOSTILE.len(), 0..13)
+        .prop_map(|ix| ix.into_iter().map(|i| HOSTILE[i]).collect())
+}
+
+/// `None` one time in four, else a hostile string.
+fn maybe_tag() -> impl Strategy<Value = Option<String>> {
+    (0u8..4, hostile_string()).prop_map(|(n, s)| (n > 0).then_some(s))
+}
+
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Read),
+        Just(FaultKind::Write),
+        Just(FaultKind::Invalidate),
+    ]
+}
+
+fn span_kind() -> impl Strategy<Value = SpanKind> {
+    prop_oneof![
+        Just(SpanKind::Fault),
+        Just(SpanKind::FaultRetry),
+        Just(SpanKind::FollowerWait),
+        Just(SpanKind::DirectoryHandling),
+        Just(SpanKind::PageFixup),
+        Just(SpanKind::Invalidation),
+        Just(SpanKind::MigrationForward),
+        Just(SpanKind::MigrationPhase),
+        Just(SpanKind::MigrationBack),
+        Just(SpanKind::Delegation),
+        Just(SpanKind::DelegationService),
+        Just(SpanKind::FutexWait),
+        Just(SpanKind::FutexWake),
+        Just(SpanKind::VmaSync),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = FaultEvent> {
+    (
+        (any::<u64>(), 0u16..8, any::<u64>()),
+        (fault_kind(), hostile_string(), any::<u64>(), maybe_tag()),
+    )
+        .prop_map(|((time, node, task), (kind, site, addr, tag))| FaultEvent {
+            time: SimTime::from_nanos(time),
+            node: NodeId(node),
+            task: Tid(task),
+            kind,
+            site: intern_site(&site),
+            addr: VirtAddr::new(addr),
+            tag,
+        })
+}
+
+fn arb_span() -> impl Strategy<Value = Span> {
+    (
+        (1u64..1_000, 0u64..1_000, span_kind(), 0u16..8, any::<u64>()),
+        (any::<u64>(), any::<u64>(), hostile_string(), maybe_tag()),
+    )
+        .prop_map(
+            |((id, parent, kind, node, task), (start, end, label, tag))| Span {
+                id: SpanId(id),
+                parent: SpanId(parent),
+                kind,
+                node: NodeId(node),
+                task: Tid(task),
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(end),
+                label: intern_site(&label),
+                tag,
+            },
+        )
+}
+
+/// Arbitrary (often invalid-UTF-8) bytes, decoded lossily.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..200)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #[test]
+    fn trace_round_trips(events in proptest::collection::vec(arb_event(), 0..20),
+                         dropped in 0u64..1_000_000) {
+        let decoded = decode_trace(&encode_trace(&events)).unwrap();
+        prop_assert_eq!(decoded.len(), events.len());
+        for (a, b) in events.iter().zip(&decoded) {
+            prop_assert_eq!(a.time, b.time);
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.task, b.task);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.site, b.site);
+            prop_assert_eq!(a.addr, b.addr);
+            prop_assert_eq!(&a.tag, &b.tag);
+        }
+        let (redecoded, got_dropped) =
+            decode_trace_with_dropped(&encode_trace_with_dropped(&events, dropped)).unwrap();
+        prop_assert_eq!(redecoded.len(), events.len());
+        prop_assert_eq!(got_dropped, dropped);
+    }
+
+    #[test]
+    fn spans_round_trip(spans in proptest::collection::vec(arb_span(), 0..20),
+                        dropped in 0u64..1_000_000) {
+        let decoded = decode_spans(&encode_spans(&spans)).unwrap();
+        prop_assert_eq!(decoded.len(), spans.len());
+        for (a, b) in spans.iter().zip(&decoded) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.parent, b.parent);
+            prop_assert_eq!(a.kind, b.kind);
+            prop_assert_eq!(a.node, b.node);
+            prop_assert_eq!(a.task, b.task);
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+            prop_assert_eq!(a.label, b.label);
+            prop_assert_eq!(&a.tag, &b.tag);
+        }
+        let (_, got_dropped) =
+            decode_spans_with_dropped(&encode_spans_with_dropped(&spans, dropped)).unwrap();
+        prop_assert_eq!(got_dropped, dropped);
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics_the_decoders(text in arb_text()) {
+        let _ = decode_trace(&text);
+        let _ = decode_spans(&text);
+    }
+
+    #[test]
+    fn version_headers_are_enforced(body in hostile_string()) {
+        // A file with the wrong (or no) header is rejected, not misparsed.
+        let wrong = format!("# dex-spans v2\n{body}");
+        prop_assert!(decode_spans(&wrong).is_err());
+        let swapped = format!("# dex-trace v1\n{body}");
+        prop_assert!(decode_spans(&swapped).is_err());
+        let wrong_trace = format!("# dex-trace v0\n{body}");
+        prop_assert!(decode_trace(&wrong_trace).is_err());
+    }
+}
+
+#[test]
+fn empty_trace_and_empty_forest_round_trip() {
+    assert!(decode_trace(&encode_trace(&[])).unwrap().is_empty());
+    assert!(decode_spans(&encode_spans(&[])).unwrap().is_empty());
+}

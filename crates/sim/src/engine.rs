@@ -35,6 +35,7 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::replay::ScheduleLog;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a simulated thread within one [`Engine`].
@@ -158,6 +159,10 @@ struct State {
     threads: HashMap<ThreadId, ThreadSlot>,
     yield_tx: mpsc::Sender<(ThreadId, YieldMsg)>,
     events_processed: u64,
+    /// When present, every accepted scheduling decision is appended here
+    /// (pure bookkeeping: recording never schedules, parks, or advances,
+    /// so it cannot perturb the run it observes).
+    schedule: Option<Arc<Mutex<ScheduleLog>>>,
 }
 
 impl State {
@@ -246,11 +251,28 @@ impl Engine {
                     threads: HashMap::new(),
                     yield_tx,
                     events_processed: 0,
+                    schedule: None,
                 }),
             }),
             yield_rx,
             event_budget: budget,
         }
+    }
+
+    /// Turns on schedule recording: every scheduling decision the driver
+    /// accepts (which thread ran, at what virtual time) is appended to
+    /// the returned [`ScheduleLog`]. Read it after [`Engine::run`]
+    /// finishes.
+    ///
+    /// Recording is pure observation — it adds no events, timers, or
+    /// wakeups — so a recorded run takes exactly the same schedule as an
+    /// unrecorded one. This is the substrate of the observability
+    /// layer's bit-identity guarantee: two runs are the same run iff
+    /// their recorded logs are byte-identical.
+    pub fn record_schedule(&self, header: impl Into<String>) -> Arc<Mutex<ScheduleLog>> {
+        let log = Arc::new(Mutex::new(ScheduleLog::new(header)));
+        self.shared.state.lock().schedule = Some(Arc::clone(&log));
+        log
     }
 
     /// Spawns a non-daemon simulated thread that first runs at the current
@@ -320,6 +342,16 @@ impl Engine {
                         }
                         st.events_processed += 1;
                         st.clock = key.time;
+                        if st.schedule.is_some() {
+                            let label = format!(
+                                "t={} {}",
+                                key.time.as_nanos(),
+                                st.threads.get(&tid).map(|s| s.name.as_str()).unwrap_or("?")
+                            );
+                            if let Some(log) = &st.schedule {
+                                log.lock().push(tid.0, label);
+                            }
+                        }
                         break Some((key.time, tid));
                     }
                 }
@@ -857,6 +889,33 @@ mod tests {
             v
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn schedule_recording_is_pure_observation() {
+        fn run_once(record: bool) -> (SimTime, Option<String>) {
+            let engine = Engine::new();
+            let log = record.then(|| engine.record_schedule("unit"));
+            for i in 0..4u64 {
+                engine.spawn(format!("t{i}"), move |ctx| {
+                    for k in 0..3 {
+                        ctx.advance(SimDuration::from_nanos((i * 11 + k * 5) % 17 + 1));
+                    }
+                });
+            }
+            let end = engine.run().unwrap();
+            (end, log.map(|l| l.lock().to_text()))
+        }
+        let (plain_end, none) = run_once(false);
+        let (rec_end, text_a) = run_once(true);
+        let (_, text_b) = run_once(true);
+        assert!(none.is_none());
+        assert_eq!(plain_end, rec_end, "recording must not change the run");
+        let text_a = text_a.unwrap();
+        assert_eq!(text_a, text_b.unwrap(), "recorded runs are reproducible");
+        let log = ScheduleLog::parse(&text_a).unwrap();
+        assert!(!log.is_empty());
+        assert!(log.steps()[0].label.starts_with("t="));
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct Histogram {
 
 struct HistInner {
     samples: Vec<u64>,
+    /// Whether `samples` is currently sorted ascending. Percentile
+    /// queries sort in place under the lock and set this; `record`
+    /// clears it. Avoids the old clone-and-sort on every query.
+    sorted: bool,
     cap: usize,
     dropped: u64,
     sum: u128,
@@ -59,6 +63,7 @@ impl Histogram {
         Histogram {
             inner: Arc::new(Mutex::new(HistInner {
                 samples: Vec::new(),
+                sorted: true,
                 cap,
                 dropped: 0,
                 sum: 0,
@@ -78,10 +83,24 @@ impl Histogram {
         inner.min = inner.min.min(n);
         inner.max = inner.max.max(n);
         if inner.samples.len() < inner.cap {
+            // Appending keeps a sorted vector sorted only when the new
+            // sample is ≥ the current tail; otherwise the cache goes
+            // stale and the next percentile query re-sorts.
+            if inner.sorted && inner.samples.last().is_some_and(|&last| n < last) {
+                inner.sorted = false;
+            }
             inner.samples.push(n);
         } else {
             inner.dropped += 1;
         }
+    }
+
+    /// Samples discarded once the retention cap was reached. When this
+    /// is non-zero, [`Histogram::percentile`] and
+    /// [`Histogram::split_at`] cover only the first `cap` samples;
+    /// `count`/`mean`/`min`/`max` remain exact.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
     }
 
     /// Number of samples recorded.
@@ -114,14 +133,26 @@ impl Histogram {
     }
 
     /// The `p`-th percentile (0.0–100.0) over retained samples.
+    ///
+    /// When [`Histogram::dropped`] is non-zero the percentile is
+    /// computed over the retained prefix only (the first `cap` samples
+    /// recorded), not the full population.
+    ///
+    /// Sorts the retained samples **in place** under the lock the first
+    /// time after a record; repeated queries reuse the sorted cache, so
+    /// a report that asks for p50/p95/p99 sorts once, not three times.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        let mut samples = self.inner.lock().samples.clone();
-        if samples.is_empty() {
+        let mut inner = self.inner.lock();
+        if inner.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        samples.sort_unstable();
-        let rank = ((p / 100.0) * (samples.len() - 1) as f64).round() as usize;
-        SimDuration::from_nanos(samples[rank.min(samples.len() - 1)])
+        if !inner.sorted {
+            inner.samples.sort_unstable();
+            inner.sorted = true;
+        }
+        let n = inner.samples.len();
+        let rank = ((p / 100.0) * (n - 1) as f64).round() as usize;
+        SimDuration::from_nanos(inner.samples[rank.min(n - 1)])
     }
 
     /// Splits samples at `threshold` and returns
@@ -150,7 +181,9 @@ impl Histogram {
         (cb, mean(sb, cb), ca, mean(sa, ca))
     }
 
-    /// A copy of the retained raw samples (nanoseconds).
+    /// A copy of the retained raw samples (nanoseconds). Order is
+    /// unspecified: percentile queries may have sorted the reservoir in
+    /// place.
     pub fn samples(&self) -> Vec<u64> {
         self.inner.lock().samples.clone()
     }
@@ -293,6 +326,23 @@ mod tests {
         assert_eq!(h.count(), 100);
         assert_eq!(h.mean(), SimDuration::from_nanos(50_500));
         assert_eq!(h.samples().len(), 10);
+        assert_eq!(h.dropped(), 90);
+    }
+
+    #[test]
+    fn percentile_cache_invalidates_on_record() {
+        let h = Histogram::new();
+        for n in [30, 10, 20] {
+            h.record(us(n));
+        }
+        assert_eq!(h.percentile(100.0), us(30));
+        // A new minimum after a sorted query must be observed.
+        h.record(us(1));
+        assert_eq!(h.percentile(0.0), us(1));
+        assert_eq!(h.percentile(100.0), us(30));
+        // An in-order append keeps the cache valid; still correct.
+        h.record(us(40));
+        assert_eq!(h.percentile(100.0), us(40));
     }
 
     #[test]

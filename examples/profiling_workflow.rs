@@ -6,19 +6,29 @@
 //! and suggests the fix; applying it (page-aligned allocation) removes the
 //! interference. This is §IV-B in miniature.
 //!
+//! The run also collects the observability layer introduced alongside
+//! the fault trace: causal *spans* (where each fault's latency went,
+//! stitched across nodes) and cluster *metrics* (per-node and per-link
+//! counters), exported as a Chrome trace-event JSON for Perfetto.
+//!
 //! Run with:
 //!
 //! ```text
 //! cargo run --release --example profiling_workflow
 //! ```
 
-use dex::core::{Cluster, ClusterConfig, DsmCell};
-use dex::prof::{render_report, Profile, ReportOptions};
+use dex::core::{Cluster, ClusterConfig, DsmCell, RunReport};
+use dex::prof::{export_chrome_trace, render_critical_path, render_report, Profile, ReportOptions};
 use dex_sim::SimDuration;
 
-fn run_workload(aligned: bool) -> (SimDuration, Vec<dex::core::FaultEvent>) {
-    let cluster = Cluster::new(ClusterConfig::new(2).with_trace());
-    let report = cluster.run(|p| {
+fn run_workload(aligned: bool) -> RunReport {
+    let cluster = Cluster::new(
+        ClusterConfig::new(2)
+            .with_trace()
+            .with_spans()
+            .with_metrics(),
+    );
+    cluster.run(|p| {
         // Two per-node counters. Packed: same page. Aligned: own pages.
         let (red, blue): (DsmCell<u64>, DsmCell<u64>) = if aligned {
             (
@@ -49,14 +59,14 @@ fn run_workload(aligned: bool) -> (SimDuration, Vec<dex::core::FaultEvent>) {
                 ctx.compute_ops(4_000);
             }
         });
-    });
-    (report.virtual_time, report.trace)
+    })
 }
 
 fn main() {
     println!("step 1: run with the default (packed) allocation under tracing\n");
-    let (packed_time, trace) = run_workload(false);
-    let profile = Profile::from_trace(&trace);
+    let packed = run_workload(false);
+    let (packed_time, trace) = (packed.virtual_time, &packed.trace);
+    let profile = Profile::from_trace(trace);
 
     let suspects = profile.false_sharing_suspects();
     println!(
@@ -79,9 +89,36 @@ fn main() {
         suspects[0].vpn, suspects[0].tags
     );
 
-    println!("step 2: apply the fix (posix_memalign-style page alignment)\n");
-    let (aligned_time, aligned_trace) = run_workload(true);
-    let aligned_profile = Profile::from_trace(&aligned_trace);
+    println!("step 2: ask the spans where the fault latency went\n");
+    // The same run recorded causal spans: each fault's time decomposed
+    // into origin-side directory handling, invalidation fan-out, and
+    // requester-side fixup — stitched across node boundaries.
+    let critical = render_critical_path(&packed.spans, 2);
+    for line in critical.lines().take(16) {
+        println!("{line}");
+    }
+    let chrome = export_chrome_trace(&packed.spans);
+    let trace_path = std::env::temp_dir().join("dex-profiling-workflow.json");
+    if std::fs::write(&trace_path, &chrome).is_ok() {
+        println!(
+            "\nfull timeline written to {} — open in ui.perfetto.dev\n",
+            trace_path.display()
+        );
+    }
+
+    // And the metrics registry counted the cluster-wide traffic.
+    if let Some(metrics) = &packed.metrics {
+        println!("step 3: cluster metrics of the packed run\n");
+        for line in metrics.render().lines().take(14) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    println!("step 4: apply the fix (posix_memalign-style page alignment)\n");
+    let aligned = run_workload(true);
+    let (aligned_time, aligned_trace) = (aligned.virtual_time, &aligned.trace);
+    let aligned_profile = Profile::from_trace(aligned_trace);
     // The counters must be off the suspect list. (The barrier's own two
     // words still share a page — synchronization objects are *true*
     // sharing and padding them apart would not help.)
