@@ -19,6 +19,14 @@
 //! * [`lint`] — source-level invariant lints (raw `NodeSet`
 //!   construction, PTE mutation outside the protocol allowlist,
 //!   non-exhaustive `DirAction` consumers, `unwrap()` on fabric paths).
+//! * [`explore`] — systematic schedule exploration over the *real*
+//!   simulator through the engine's [`dex_sim::SchedulePolicy`] hook:
+//!   exhaustive DFS with dynamic partial-order reduction ([`dpor`]),
+//!   bounded-preemption search, and a seeded random walk, judged by an
+//!   offline sequential-consistency oracle ([`sc`]) over the
+//!   value-carrying access stream. Violations are minimized and emitted
+//!   as replayable [`dex_sim::ScheduleLog`]s; a mutation sweep seeds
+//!   protocol bugs in the real fault path and proves each is caught.
 //! * [`faults`] — deterministic fault-injection scenarios: empty plans
 //!   are byte-identical to no plan, seeded delay/stall/crash plans
 //!   replay bit-for-bit, and node crashes quiesce with threads re-homed
@@ -42,13 +50,21 @@
 
 #![warn(missing_docs)]
 
+pub mod dpor;
+pub mod explore;
 pub mod faults;
 pub mod lint;
 pub mod model_check;
 pub mod observe;
 pub mod races;
+pub mod sc;
 pub mod scenarios;
 
+pub use dpor::{footprints_after, rf_signature, worth_exploring, Footprint};
+pub use explore::{
+    explore_scenario_names, find_explore_scenario, looks_like_explore_log, replay_explore_log,
+    ExploreConfig, ExploreOutcome, ExploreScenario, EXPLORE_SCENARIOS,
+};
 pub use faults::{
     fault_scenario_names, replay_plan, run_fault_scenario, FaultOutcome, FaultScenario,
     FAULT_SCENARIOS,
@@ -60,4 +76,5 @@ pub use model_check::{
 };
 pub use observe::{run_observed_workload, ObserveOutcome};
 pub use races::{analyze_races, render_race_report, Conflict, LockCycle, RaceReport};
+pub use sc::{check_sequential_consistency, render_sc_report, ScReport, ScViolation};
 pub use scenarios::{run_scenario, scenario_names, Scenario, SCENARIOS};

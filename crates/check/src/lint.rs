@@ -18,6 +18,16 @@
 //!   would silently ignore actions added to the protocol later.
 //! * **fabric-unwrap** — no `unwrap()` on the fabric send/receive paths
 //!   (`crates/net` non-test code); messaging errors must propagate.
+//! * **relaxed-ordering** — `Ordering::Relaxed` on shared atomics is
+//!   reserved for an allowlist of counters and ID allocators whose
+//!   values never order protocol state. A relaxed load/store on a
+//!   protocol atomic would let the real-hardware build reorder what the
+//!   simulator (and the exploration engine) treat as program order.
+//! * **raw-park** — protocol and application code must block through
+//!   the `dex_core::sync` primitives, never by calling `ctx.park()` /
+//!   `ctx.unpark(..)` directly: raw parks bypass the schedule-policy
+//!   choice point and the race recorder's wakeup edge, so `dex-check
+//!   explore` could neither reorder nor order-justify them.
 //! * **span-unguarded** — span instrumentation on the protocol hot path
 //!   (`crates/core/src`) must follow the canonical zero-cost pattern:
 //!   `alloc_id()` only behind `is_enabled()` on the same line, and
@@ -60,6 +70,22 @@ const PTE_ALLOWLIST: [&str; 4] = [
     "crates/core/src/thread.rs",
     "crates/core/src/process.rs",
     "crates/core/src/directory/model.rs",
+];
+
+/// Files allowed to use `Ordering::Relaxed` on shared atomics: traffic
+/// counters (fabric) and monotonic ID allocators (process) whose values
+/// never order protocol state.
+const RELAXED_ALLOWLIST: [&str; 2] = ["crates/net/src/fabric.rs", "crates/core/src/process.rs"];
+
+/// Files allowed to call `ctx.park()` / `ctx.unpark(..)` directly — the
+/// blocking primitives themselves. Everything else in the protocol and
+/// application layers must go through `dex_core::sync`, which records
+/// the wakeup edge for the race detector and routes the block through
+/// the scheduler's choice points.
+const PARK_ALLOWLIST: [&str; 3] = [
+    "crates/core/src/sync.rs",
+    "crates/core/src/process.rs",
+    "crates/core/src/thread.rs",
 ];
 
 /// Strips `//` comments (keeps string contents intact well enough for
@@ -124,6 +150,19 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<LintHit> {
 
         if in_net_crate && !in_tests && line.contains(".unwrap()") {
             push("fabric-unwrap");
+        }
+
+        if !RELAXED_ALLOWLIST.contains(&rel) && !in_tests && line.contains("Ordering::Relaxed") {
+            push("relaxed-ordering");
+        }
+
+        let park_scope = rel.starts_with("crates/core/src/") || rel.starts_with("crates/apps/src/");
+        if park_scope
+            && !PARK_ALLOWLIST.contains(&rel)
+            && !in_tests
+            && (line.contains(".park()") || line.contains(".unpark("))
+        {
+            push("raw-park");
         }
 
         if span_hot_path && !in_tests {
@@ -418,6 +457,47 @@ fn f() {
         assert!(lint_source("crates/core/src/span.rs", unguarded).is_empty());
         let test_code = "#[cfg(test)]\nmod tests {\n fn t() { spans.record(s); }\n}\n";
         assert!(lint_source("crates/core/src/thread.rs", test_code).is_empty());
+    }
+
+    #[test]
+    fn relaxed_ordering_is_flagged_outside_the_allowlist() {
+        let bad = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let hits = lint_source("crates/core/src/dispatch.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "relaxed-ordering");
+        // Counters and ID allocators are allowlisted.
+        assert!(lint_source("crates/net/src/fabric.rs", bad).is_empty());
+        assert!(lint_source("crates/core/src/process.rs", bad).is_empty());
+        // Doc comments and test code do not count.
+        let doc = "/// assert_eq!(hits.load(Ordering::Relaxed), 4);\nfn f() {}\n";
+        assert!(lint_source("crates/sim/src/engine.rs", doc).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n fn t() { c.load(Ordering::Relaxed); }\n}\n";
+        assert!(lint_source("crates/core/src/dispatch.rs", test_code).is_empty());
+    }
+
+    #[test]
+    fn raw_park_is_flagged_outside_the_sync_primitives() {
+        let bad = "fn f(ctx: &Ctx) { ctx.park(); }\n";
+        let hits = lint_source("crates/apps/src/bfs.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "raw-park");
+        let bad_unpark = "fn f(ctx: &Ctx) { ctx.unpark(w); }\n";
+        let hits = lint_source("crates/core/src/cluster.rs", bad_unpark);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "raw-park");
+        // The blocking primitives themselves may park.
+        assert!(lint_source("crates/core/src/sync.rs", bad).is_empty());
+        assert!(lint_source("crates/core/src/thread.rs", bad).is_empty());
+        assert!(lint_source("crates/core/src/process.rs", bad_unpark).is_empty());
+        // The simulator and the fabric own their own blocking layer —
+        // the rule scopes to the protocol and application crates.
+        assert!(lint_source("crates/sim/src/engine.rs", bad).is_empty());
+        assert!(lint_source("crates/net/src/pool.rs", bad).is_empty());
+        // Comments and test code do not count.
+        let ok = "// token semantics, like ctx.park()\nfn f() {}\n";
+        assert!(lint_source("crates/apps/src/bfs.rs", ok).is_empty());
+        let test_code = "#[cfg(test)]\nmod tests {\n fn t(ctx: &Ctx) { ctx.park(); }\n}\n";
+        assert!(lint_source("crates/apps/src/bfs.rs", test_code).is_empty());
     }
 
     #[test]

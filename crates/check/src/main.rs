@@ -3,6 +3,8 @@
 //! ```text
 //! dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
 //!                  [--max-states N] [--write-trace FILE]
+//! dex-check explore [--scenario NAME|all] [--budget N] [--preemptions N]
+//!                   [--seed S] [--mutation NAME|all] [--write-trace FILE]
 //! dex-check replay FILE
 //! dex-check races  [--scenario NAME]
 //! dex-check faults [--scenario NAME]
@@ -43,6 +45,8 @@ dex-check — protocol model checker, race/deadlock analysis, and lints
 USAGE:
   dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
                    [--max-states N] [--write-trace FILE]
+  dex-check explore [--scenario NAME|all] [--budget N] [--preemptions N]
+                    [--seed S] [--mutation NAME|all] [--write-trace FILE]
   dex-check replay FILE
   dex-check races  [--scenario NAME]
   dex-check faults [--scenario NAME]
@@ -54,10 +58,20 @@ USAGE:
 SUBCOMMANDS:
   model    exhaustively explore the directory protocol over a closed
            finite world and check its safety and liveness invariants
-  replay   re-execute a counterexample trace written by `model`, or —
-           when FILE starts with `# faultplan` — re-run the canonical
-           workload under that fault plan twice and verify it completes
-           deterministically with a consistent directory
+  explore  systematic schedule exploration over the *real* simulator:
+           DFS with dynamic partial-order reduction over every engine
+           choice point, judged by an offline sequential-consistency
+           oracle; violations are minimized into replayable schedule
+           logs. `--mutation all` seeds protocol bugs in the real fault
+           path and expects the explorer + oracle to catch each one
+  replay   re-execute a counterexample trace written by `model`, a
+           schedule log written by `explore` (header `dex-explore ...`:
+           the scenario re-runs under the forced schedule, every
+           decision is verified against the recording, and the failure
+           must reproduce), or — when FILE starts with `# faultplan` —
+           re-run the canonical workload under that fault plan twice
+           and verify it completes deterministically with a consistent
+           directory
   races    run the built-in workloads and analyze their recorded event
            streams for data races and lock-order cycles
   faults   run the deterministic fault-injection scenarios (empty-plan
@@ -70,9 +84,9 @@ SUBCOMMANDS:
            stitches requester -> origin -> requester across nodes.
   metrics  run the sample workload with a MetricsRegistry attached and
            print the per-node / per-link counter and histogram snapshot
-  all      lint + races + faults + timeline + metrics + model (2 nodes
-           x 2 pages, and the 3-node coalescing world, with a full
-           mutation sweep)
+  all      lint + races + faults + explore (small budget + mutation
+           sweep) + timeline + metrics + model (2 nodes x 2 pages, and
+           the 3-node coalescing world, with a full mutation sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
@@ -82,6 +96,18 @@ MODEL OPTIONS:
                      and expects each to be caught (default none)
   --max-states N     state-count safety valve (default 4000000)
   --write-trace F    on violation, write the counterexample replay log to F
+
+EXPLORE OPTIONS:
+  --scenario NAME    one of the exploration workloads, or `all` (default)
+  --budget N         max executions per scenario (default 2000)
+  --preemptions N    bounded-preemption search: expand only schedules
+                     with at most N non-default picks (default unbounded)
+  --seed S           switch from exhaustive DFS to a seeded random walk
+                     of `--budget` samples
+  --mutation NAME    inject a seeded protocol bug and expect the explorer
+                     to catch it; `all` sweeps every mutation
+  --write-trace F    write minimized counterexample schedule log(s) to F
+                     (sweep mode appends `.<mutation>`)
 ";
 
 fn main() -> ExitCode {
@@ -95,6 +121,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "model" => cmd_model(rest),
+        "explore" => cmd_explore(rest),
         "replay" => cmd_replay(rest),
         "races" => cmd_races(rest),
         "faults" => cmd_faults(rest),
@@ -224,6 +251,126 @@ fn cmd_model(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// Parsed `explore` arguments.
+struct ExploreArgs {
+    scenario: Option<String>,
+    budget: usize,
+    preemptions: Option<usize>,
+    seed: Option<u64>,
+    mutation: Option<String>,
+    write_trace: Option<PathBuf>,
+}
+
+fn parse_explore_args(args: &[String]) -> Result<ExploreArgs, String> {
+    let mut parsed = ExploreArgs {
+        scenario: None,
+        budget: 2000,
+        preemptions: None,
+        seed: None,
+        mutation: None,
+        write_trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--scenario" => parsed.scenario = Some(value("--scenario")?.clone()),
+            "--budget" => parsed.budget = parse_num(value("--budget")?, 1, u64::MAX)? as usize,
+            "--preemptions" => {
+                parsed.preemptions = Some(parse_num(value("--preemptions")?, 0, 64)? as usize)
+            }
+            "--seed" => parsed.seed = Some(parse_num(value("--seed")?, 0, u64::MAX)?),
+            "--mutation" => parsed.mutation = Some(value("--mutation")?.clone()),
+            "--write-trace" => parsed.write_trace = Some(PathBuf::from(value("--write-trace")?)),
+            other => return Err(format!("unknown flag `{other}` for `explore`\n\n{USAGE}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn cmd_explore(args: &[String]) -> Result<bool, String> {
+    use dex_check::explore;
+    let parsed = parse_explore_args(args)?;
+    let started = std::time::Instant::now();
+
+    if parsed.mutation.as_deref() == Some("all") {
+        let entries = explore::mutation_sweep(parsed.budget);
+        print!("{}", explore::render_sweep(&entries));
+        if let Some(path) = &parsed.write_trace {
+            for e in &entries {
+                if let Some(cx) = &e.counterexample {
+                    let file = PathBuf::from(format!("{}.{}", path.display(), e.mutation.name()));
+                    std::fs::write(&file, cx.log.to_text())
+                        .map_err(|err| format!("writing {}: {err}", file.display()))?;
+                    println!("counterexample schedule written to {}", file.display());
+                }
+            }
+        }
+        let all_caught = entries.iter().all(|e| e.caught_by.is_some());
+        println!(
+            "explore mutation sweep: {} in {:.2?}",
+            if all_caught { "PASS" } else { "FAIL" },
+            started.elapsed()
+        );
+        return Ok(all_caught);
+    }
+
+    let mutation = match &parsed.mutation {
+        Some(name) => dex_core::ProtocolMutation::parse(name)
+            .ok_or_else(|| format!("unknown mutation `{name}` (try `--mutation all`)"))?,
+        None => dex_core::ProtocolMutation::None,
+    };
+    let scenarios: Vec<dex_check::ExploreScenario> = match parsed.scenario.as_deref() {
+        Some(name) if name != "all" => {
+            vec![dex_check::find_explore_scenario(name).ok_or_else(|| {
+                format!(
+                    "unknown explore scenario `{name}` (expected one of {:?})",
+                    dex_check::explore_scenario_names()
+                )
+            })?]
+        }
+        _ => dex_check::EXPLORE_SCENARIOS.to_vec(),
+    };
+
+    let config = dex_check::ExploreConfig {
+        budget: parsed.budget,
+        preemptions: parsed.preemptions,
+        seed: parsed.seed,
+        mutation,
+    };
+    // A seeded mutation is a checker self-test: finding the bug is the
+    // pass condition. Without one, clean exploration is the pass.
+    let expect_violation = mutation != dex_core::ProtocolMutation::None;
+    let mut all_ok = true;
+    let mut caught_any = false;
+    for scenario in &scenarios {
+        let outcome = explore::explore(scenario, &config);
+        print!("explore {}", explore::render_outcome(&outcome));
+        if let Some(cx) = &outcome.counterexample {
+            caught_any = true;
+            if let Some(path) = &parsed.write_trace {
+                std::fs::write(path, cx.log.to_text())
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!("counterexample schedule written to {}", path.display());
+            }
+        }
+        if !expect_violation {
+            all_ok &= outcome.counterexample.is_none();
+        }
+    }
+    if expect_violation {
+        all_ok = caught_any;
+    }
+    println!(
+        "explore: {} in {:.2?}",
+        if all_ok { "PASS" } else { "FAIL" },
+        started.elapsed()
+    );
+    Ok(all_ok)
+}
+
 fn cmd_replay(args: &[String]) -> Result<bool, String> {
     let [path] = args else {
         return Err(format!("`replay` takes exactly one trace file\n\n{USAGE}"));
@@ -248,6 +395,21 @@ fn cmd_replay(args: &[String]) -> Result<bool, String> {
         }
         println!("replay {}", if outcome.ok { "PASS" } else { "FAIL" });
         return Ok(outcome.ok);
+    }
+    if let Ok(log) = dex_sim::ScheduleLog::parse(&text) {
+        if dex_check::looks_like_explore_log(&log.header) {
+            return match dex_check::replay_explore_log(&log) {
+                Ok(report) => {
+                    println!("{report}");
+                    println!("replay PASS");
+                    Ok(true)
+                }
+                Err(e) => {
+                    println!("replay FAIL: {e}");
+                    Ok(false)
+                }
+            };
+        }
     }
     let outcome = replay_log(&text)?;
     println!(
@@ -466,6 +628,17 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
 
     println!("\n== faults ==");
     ok &= cmd_faults(&[])?;
+
+    println!("\n== explore: schedule exploration, small budget ==");
+    ok &= cmd_explore(&["--budget".into(), "300".into()])?;
+
+    println!("\n== explore: mutation sweep ==");
+    ok &= cmd_explore(&[
+        "--budget".into(),
+        "60".into(),
+        "--mutation".into(),
+        "all".into(),
+    ])?;
 
     println!("\n== timeline ==");
     ok &= cmd_timeline(&[])?;

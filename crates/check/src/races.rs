@@ -179,6 +179,7 @@ pub fn analyze_races(events: &[RaceEvent]) -> RaceReport {
                 len,
                 is_write,
                 atomic,
+                ..
             } => {
                 let evref = EventRef {
                     index,
@@ -416,6 +417,7 @@ mod tests {
                 len: 4,
                 is_write,
                 atomic: false,
+                value: 0,
             },
         )
     }
@@ -460,6 +462,7 @@ mod tests {
                     len: 4,
                     is_write: true,
                     atomic: true,
+                    value: 0,
                 },
             )
         };

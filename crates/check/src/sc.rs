@@ -1,0 +1,426 @@
+//! Offline sequential-consistency oracle.
+//!
+//! Consumes the value-carrying access stream a cluster records under
+//! [`dex_core::ClusterConfig::with_race_detection`] and checks that the
+//! values observed by reads admit a legal sequentially consistent total
+//! order. DEX promises SC through its single-writer ownership protocol,
+//! so a protocol bug shows up here as a read observing a value no legal
+//! order can justify.
+//!
+//! The check is deliberately conservative (no false positives on real
+//! SC executions):
+//!
+//! 1. Rebuild happens-before with the same vector-clock pass as
+//!    `dex-check races` (program order, lock release → acquire, futex
+//!    wake → wait-return, barrier rounds, spawn).
+//! 2. For every read *r* of value *v* at a location, collect the
+//!    **reads-from candidates**: writes to the same location that
+//!    deposited *v* and are not ordered *after* the read. The implicit
+//!    initial write of zero (happens-before everything) is a candidate
+//!    for *v = 0*.
+//! 3. Flag a violation when the candidate set is empty (the value was
+//!    never written — lost-update / out-of-thin-air), or when **every**
+//!    candidate *w* is *stale*: some other write *w′* satisfies
+//!    *w* →hb *w′* →hb *r*. Any total order extending happens-before
+//!    must place *w′* between *w* and *r*, so *r* could not have
+//!    observed *w* — the read returned provably overwritten data.
+//!
+//! Reads racing with concurrent writes are never flagged: an unordered
+//! write is a legal reads-from source in *some* extension of
+//! happens-before. That keeps the oracle sound; `dex-check races`
+//! reports the race itself.
+
+use std::collections::HashMap;
+
+use dex_core::{NodeId, RaceEvent, RaceEventKind, Tid};
+use dex_os::VirtAddr;
+use dex_sim::SimTime;
+
+/// One access with its happens-before clock snapshot.
+#[derive(Clone, Debug)]
+struct AccessInfo {
+    /// Dense thread index.
+    t: usize,
+    /// The thread's own clock component at the access.
+    epoch: u64,
+    /// Full vector-clock snapshot taken at the access.
+    clock: Vec<u64>,
+    value: u64,
+    index: usize,
+    task: Tid,
+    node: NodeId,
+    site: &'static str,
+    time: SimTime,
+}
+
+impl AccessInfo {
+    /// `self` happens-before `other`.
+    fn hb_before(&self, other: &AccessInfo) -> bool {
+        other.clock.get(self.t).copied().unwrap_or(0) >= self.epoch
+    }
+}
+
+/// A read that no sequentially consistent total order can explain.
+#[derive(Clone, Debug)]
+pub struct ScViolation {
+    /// First byte of the location.
+    pub addr: VirtAddr,
+    /// Access length in bytes.
+    pub len: u32,
+    /// Index of the read in the analyzed event stream.
+    pub read_index: usize,
+    /// The reading thread.
+    pub task: Tid,
+    /// The node it read on.
+    pub node: NodeId,
+    /// Its code-site annotation.
+    pub site: &'static str,
+    /// Virtual time of the read.
+    pub time: SimTime,
+    /// The value the read observed.
+    pub value: u64,
+    /// Why the value is illegal.
+    pub reason: String,
+}
+
+/// Result of the sequential-consistency check.
+#[derive(Clone, Debug, Default)]
+pub struct ScReport {
+    /// Events analyzed.
+    pub events: usize,
+    /// Reads checked.
+    pub reads: usize,
+    /// Writes observed.
+    pub writes: usize,
+    /// Reads no legal total order can explain.
+    pub violations: Vec<ScViolation>,
+}
+
+impl ScReport {
+    /// `true` when every read admits a legal reads-from source.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Checks that observed read values admit a sequentially consistent
+/// total order (see the module docs for the exact rule).
+pub fn check_sequential_consistency(events: &[RaceEvent]) -> ScReport {
+    // --- Pass 1: vector clocks, identical edges to `analyze_races`. ---
+    let mut tindex: HashMap<Tid, usize> = HashMap::new();
+    let mut clocks: Vec<Vec<u64>> = Vec::new();
+    let mut spawn_seed: HashMap<Tid, Vec<u64>> = HashMap::new();
+    let mut lock_release: HashMap<VirtAddr, Vec<u64>> = HashMap::new();
+    let mut futex_wake: HashMap<VirtAddr, Vec<u64>> = HashMap::new();
+    let mut barrier: HashMap<(VirtAddr, u32), Vec<u64>> = HashMap::new();
+
+    fn join(dst: &mut Vec<u64>, src: &[u64]) {
+        if dst.len() < src.len() {
+            dst.resize(src.len(), 0);
+        }
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = (*d).max(*s);
+        }
+    }
+
+    // Per-location access history, keyed by exact (addr, len): values are
+    // only comparable between same-shaped accesses. Partially overlapping
+    // accesses are the race detector's problem, not the oracle's.
+    let mut reads_by_loc: HashMap<(u64, u32), Vec<AccessInfo>> = HashMap::new();
+    let mut writes_by_loc: HashMap<(u64, u32), Vec<AccessInfo>> = HashMap::new();
+    let mut nreads = 0usize;
+    let mut nwrites = 0usize;
+
+    for (index, event) in events.iter().enumerate() {
+        let t = match tindex.get(&event.task) {
+            Some(&t) => t,
+            None => {
+                let t = clocks.len();
+                tindex.insert(event.task, t);
+                let mut vc = spawn_seed.remove(&event.task).unwrap_or_default();
+                if vc.len() <= t {
+                    vc.resize(t + 1, 0);
+                }
+                clocks.push(vc);
+                t
+            }
+        };
+        if clocks[t].len() <= t {
+            clocks[t].resize(t + 1, 0);
+        }
+        clocks[t][t] += 1;
+        let epoch = clocks[t][t];
+
+        match event.kind {
+            RaceEventKind::Access {
+                addr,
+                len,
+                is_write,
+                value,
+                ..
+            } => {
+                let info = AccessInfo {
+                    t,
+                    epoch,
+                    clock: clocks[t].clone(),
+                    value,
+                    index,
+                    task: event.task,
+                    node: event.node,
+                    site: event.site,
+                    time: event.time,
+                };
+                let key = (addr.as_u64(), len);
+                if is_write {
+                    nwrites += 1;
+                    writes_by_loc.entry(key).or_default().push(info);
+                } else {
+                    nreads += 1;
+                    reads_by_loc.entry(key).or_default().push(info);
+                }
+            }
+            RaceEventKind::LockAcquire { lock } => {
+                if let Some(vc) = lock_release.get(&lock) {
+                    let vc = vc.clone();
+                    join(&mut clocks[t], &vc);
+                }
+            }
+            RaceEventKind::LockRelease { lock } => {
+                let snapshot = clocks[t].clone();
+                join(lock_release.entry(lock).or_default(), &snapshot);
+            }
+            RaceEventKind::FutexWake { addr } => {
+                let snapshot = clocks[t].clone();
+                join(futex_wake.entry(addr).or_default(), &snapshot);
+            }
+            RaceEventKind::FutexWaitReturn { addr } => {
+                if let Some(vc) = futex_wake.get(&addr) {
+                    let vc = vc.clone();
+                    join(&mut clocks[t], &vc);
+                }
+            }
+            RaceEventKind::BarrierEnter {
+                barrier: b,
+                generation,
+            } => {
+                let snapshot = clocks[t].clone();
+                join(barrier.entry((b, generation)).or_default(), &snapshot);
+            }
+            RaceEventKind::BarrierLeave {
+                barrier: b,
+                generation,
+            } => {
+                if let Some(vc) = barrier.get(&(b, generation)) {
+                    let vc = vc.clone();
+                    join(&mut clocks[t], &vc);
+                }
+            }
+            RaceEventKind::Spawn { child } => {
+                let snapshot = clocks[t].clone();
+                join(spawn_seed.entry(child).or_default(), &snapshot);
+            }
+        }
+    }
+
+    // --- Pass 2: reads-from justification per read. ---
+    let mut violations = Vec::new();
+    let empty: Vec<AccessInfo> = Vec::new();
+    for (&(addr, len), reads) in &reads_by_loc {
+        let writes = writes_by_loc.get(&(addr, len)).unwrap_or(&empty);
+        for r in reads {
+            // `w` happened after the read — impossible source.
+            let not_after_read = |w: &&AccessInfo| !r.hb_before(w);
+            // `w` provably overwritten before the read was issued.
+            let stale = |w: &AccessInfo| {
+                writes
+                    .iter()
+                    .any(|w2| w2.index != w.index && w.hb_before(w2) && w2.hb_before(r))
+            };
+            let candidates: Vec<&AccessInfo> = writes
+                .iter()
+                .filter(|w| w.value == r.value)
+                .filter(not_after_read)
+                .collect();
+            // The implicit initial zero write happens-before everything;
+            // it is stale once any write is ordered before the read.
+            let init_candidate = r.value == 0;
+            let init_stale = writes.iter().any(|w2| w2.hb_before(r));
+
+            let justified = candidates.iter().any(|w| !stale(w)) || (init_candidate && !init_stale);
+            if justified {
+                continue;
+            }
+            let reason = if candidates.is_empty() && !init_candidate {
+                format!(
+                    "read of {addr:#x} observed value {} that was never written \
+                     to the location (lost update / corrupted grant)",
+                    r.value
+                )
+            } else {
+                format!(
+                    "read of {addr:#x} observed value {} but every write of that \
+                     value is provably overwritten before the read (stale replica)",
+                    r.value
+                )
+            };
+            violations.push(ScViolation {
+                addr: VirtAddr::new(addr),
+                len,
+                read_index: r.index,
+                task: r.task,
+                node: r.node,
+                site: r.site,
+                time: r.time,
+                value: r.value,
+                reason,
+            });
+        }
+    }
+    violations.sort_by_key(|v| v.read_index);
+
+    ScReport {
+        events: events.len(),
+        reads: nreads,
+        writes: nwrites,
+        violations,
+    }
+}
+
+/// Renders the oracle's verdict for the terminal.
+pub fn render_sc_report(report: &ScReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "SC oracle: {} events ({} reads, {} writes): {} violation(s)\n",
+        report.events,
+        report.reads,
+        report.writes,
+        report.violations.len()
+    ));
+    for v in &report.violations {
+        out.push_str(&format!(
+            "  SC VIOLATION: {} read {} (len {}) = {} at t={}ns \
+             (node {}, site `{}`): {}\n",
+            v.task,
+            v.addr,
+            v.len,
+            v.value,
+            v.time.as_nanos(),
+            v.node.0,
+            v.site,
+            v.reason
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(task: u64, kind: RaceEventKind) -> RaceEvent {
+        RaceEvent {
+            time: SimTime::ZERO,
+            node: NodeId(0),
+            task: Tid(task),
+            site: "test",
+            kind,
+        }
+    }
+
+    fn access(task: u64, addr: u64, is_write: bool, value: u64) -> RaceEvent {
+        ev(
+            task,
+            RaceEventKind::Access {
+                addr: VirtAddr::new(addr),
+                len: 8,
+                is_write,
+                atomic: false,
+                value,
+            },
+        )
+    }
+
+    fn barrier_round(tasks: &[u64], generation: u32) -> Vec<RaceEvent> {
+        let b = VirtAddr::new(0x80);
+        let mut out = Vec::new();
+        for &t in tasks {
+            out.push(ev(
+                t,
+                RaceEventKind::BarrierEnter {
+                    barrier: b,
+                    generation,
+                },
+            ));
+        }
+        for &t in tasks {
+            out.push(ev(
+                t,
+                RaceEventKind::BarrierLeave {
+                    barrier: b,
+                    generation,
+                },
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn reading_the_ordered_write_is_clean() {
+        let mut events = vec![access(1, 0x100, true, 42)];
+        events.extend(barrier_round(&[1, 2], 0));
+        events.push(access(2, 0x100, false, 42));
+        assert!(check_sequential_consistency(&events).is_clean());
+    }
+
+    #[test]
+    fn reading_zero_past_an_ordered_write_is_stale() {
+        let mut events = vec![access(1, 0x100, true, 42)];
+        events.extend(barrier_round(&[1, 2], 0));
+        events.push(access(2, 0x100, false, 0));
+        let report = check_sequential_consistency(&events);
+        assert_eq!(report.violations.len(), 1, "{report:?}");
+        assert!(report.violations[0].reason.contains("stale"));
+    }
+
+    #[test]
+    fn reading_a_value_never_written_is_a_lost_update() {
+        let events = vec![access(1, 0x100, true, 7), access(2, 0x100, false, 9)];
+        let report = check_sequential_consistency(&events);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].reason.contains("never"));
+    }
+
+    #[test]
+    fn reading_an_overwritten_value_is_stale() {
+        let mut events = vec![access(1, 0x100, true, 7), access(1, 0x100, true, 9)];
+        events.extend(barrier_round(&[1, 2], 0));
+        events.push(access(2, 0x100, false, 7));
+        let report = check_sequential_consistency(&events);
+        assert_eq!(report.violations.len(), 1, "{report:?}");
+    }
+
+    #[test]
+    fn racy_reads_are_not_flagged() {
+        // The write is unordered with the read, so both the old and the
+        // new value are legal observations.
+        let old = vec![access(1, 0x100, true, 5), access(2, 0x100, false, 0)];
+        assert!(check_sequential_consistency(&old).is_clean());
+        let new = vec![access(1, 0x100, true, 5), access(2, 0x100, false, 5)];
+        assert!(check_sequential_consistency(&new).is_clean());
+    }
+
+    #[test]
+    fn initial_zero_is_a_legal_source_until_overwritten() {
+        let events = vec![access(2, 0x100, false, 0)];
+        assert!(check_sequential_consistency(&events).is_clean());
+    }
+
+    #[test]
+    fn distinct_locations_do_not_interfere() {
+        let mut events = vec![access(1, 0x100, true, 1), access(1, 0x108, true, 2)];
+        events.extend(barrier_round(&[1, 2], 0));
+        events.push(access(2, 0x100, false, 1));
+        events.push(access(2, 0x108, false, 2));
+        assert!(check_sequential_consistency(&events).is_clean());
+    }
+}

@@ -11,11 +11,12 @@ use std::sync::Arc;
 
 use dex_net::{MetricsRegistry, MetricsSnapshot, NetConfig, NodeId};
 use dex_os::{Pid, VirtAddr, PAGE_SIZE};
-use dex_sim::{Engine, Histogram, SimDuration, SimTime};
+use dex_sim::{Engine, Histogram, SchedulePolicyHandle, SimDuration, SimTime};
 
 use crate::cost::CostModel;
 use crate::dispatch::{dispatcher_loop, ProcessRegistry};
 use crate::handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
+use crate::mutation::ProtocolMutation;
 use crate::process::{MigrationSample, ProcessShared};
 use crate::race::{RaceEvent, RaceTrace};
 use crate::span::{Span, SpanBuffer};
@@ -67,6 +68,13 @@ pub struct ClusterConfig {
     /// crashes). `None` — the default — runs the fabric with the fault
     /// layer disabled, which is schedule-identical to builds without it.
     pub fault_plan: Option<dex_sim::FaultPlan>,
+    /// Seeded protocol bug for mutation testing the exploration tooling
+    /// (`dex-check explore`). Default: [`ProtocolMutation::None`].
+    pub mutation: ProtocolMutation,
+    /// Schedule policy to install on the engine — the hook `dex-check
+    /// explore` drives alternative interleavings through. `None` runs
+    /// the engine's built-in (deterministic heap-order) scheduling.
+    pub schedule_policy: Option<SchedulePolicyHandle>,
 }
 
 impl ClusterConfig {
@@ -90,6 +98,8 @@ impl ClusterConfig {
             event_budget: u64::MAX,
             heap_pages: 1 << 18, // 1 GiB of address space; frames on demand
             fault_plan: None,
+            mutation: ProtocolMutation::None,
+            schedule_policy: None,
         }
     }
 
@@ -151,6 +161,19 @@ impl ClusterConfig {
         self.fault_plan = Some(plan);
         self
     }
+
+    /// Injects a seeded protocol bug (mutation testing of the checker).
+    pub fn with_mutation(mut self, mutation: ProtocolMutation) -> Self {
+        self.mutation = mutation;
+        self
+    }
+
+    /// Installs a schedule policy on the engine, routing every scheduling
+    /// tie and value choice through it (systematic exploration).
+    pub fn with_schedule_policy(mut self, policy: SchedulePolicyHandle) -> Self {
+        self.schedule_policy = Some(policy);
+        self
+    }
 }
 
 /// A simulated DEX cluster, ready to run distributed processes.
@@ -210,6 +233,9 @@ impl Cluster {
     {
         let cfg = &self.config;
         let engine = Engine::with_event_budget(cfg.event_budget);
+        if let Some(policy) = &cfg.schedule_policy {
+            engine.set_schedule_policy(policy.clone());
+        }
         let schedule = cfg
             .record_schedule
             .then(|| engine.record_schedule(format!("dex run, {} nodes", cfg.nodes)));
@@ -329,6 +355,7 @@ impl<'e> ClusterHandle<'e> {
             self.metrics.clone(),
             race,
             self.config.heap_pages,
+            self.config.mutation,
         );
         self.registry.insert(Arc::clone(&shared));
         self.created.borrow_mut().push(Arc::clone(&shared));

@@ -21,6 +21,7 @@ use dex_sim::{SimChannel, SimCtx, SimDuration};
 
 use crate::directory::DirAction;
 use crate::msg::{DexMsg, MigrationPhases, VmaOp};
+use crate::mutation::ProtocolMutation;
 use crate::process::{DelegationJob, ProcessShared, Reply};
 use crate::span::{Span, SpanId, SpanKind};
 use crate::trace::{FaultEvent, FaultKind};
@@ -332,6 +333,11 @@ pub(crate) fn apply_origin_actions(
                         // pulling 4 KiB of zeros over the wire.
                         let data = if with_data {
                             match space.frame(vpn) {
+                                // Mutation: grant a zeroed page instead of
+                                // the live frame, losing every write.
+                                Some(_) if shared.mutation == ProtocolMutation::StaleGrantData => {
+                                    Some(PageFrame::zeroed())
+                                }
                                 Some(frame) => Some(frame.clone()),
                                 None if shared.cost.zero_page_optimization => {
                                     shared.stats.counters.incr("protocol.zero_page_grants");
@@ -405,6 +411,12 @@ pub(crate) fn apply_origin_actions(
                     ));
                 }
                 DirAction::ClearOriginPte => {
+                    // Mutation: the origin keeps its PTE after handing
+                    // ownership away, so origin accesses bypass the
+                    // protocol and read stale data.
+                    if shared.mutation == ProtocolMutation::KeepOriginPte {
+                        continue;
+                    }
                     space.page_table.clear(vpn);
                 }
                 DirAction::DowngradeOriginPte => {
@@ -505,12 +517,22 @@ fn handle_invalidate(
     let data = {
         let mut space = shared.space(node).lock();
         let data = if needs_data {
-            Some(space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed))
+            // Mutation: ack with a zeroed page instead of the dirty
+            // frame, dropping this node's writes on ownership transfer.
+            if shared.mutation == ProtocolMutation::LoseInvalidateData {
+                Some(PageFrame::zeroed())
+            } else {
+                Some(space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed))
+            }
         } else {
             None
         };
-        space.page_table.clear(vpn);
-        space.evict_frame(vpn);
+        // Mutation: ack the invalidation but keep the local PTE and
+        // frame, so this node keeps reading its stale copy.
+        if shared.mutation != ProtocolMutation::SkipInvalidateClear {
+            space.page_table.clear(vpn);
+            space.evict_frame(vpn);
+        }
         data
     };
     if shared.trace.is_enabled() {

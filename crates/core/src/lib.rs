@@ -59,6 +59,7 @@ mod directory;
 mod dispatch;
 mod handle;
 mod msg;
+mod mutation;
 mod process;
 mod race;
 mod span;
@@ -72,6 +73,7 @@ pub use directory::model;
 pub use directory::{DirAction, DirStats, Directory, NodeSet, Requester};
 pub use handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};
 pub use msg::{DelegatedOp, DexMsg, MigrationPhases, VmaOp};
+pub use mutation::{ProtocolMutation, ALL_MUTATIONS};
 pub use process::{MigrationSample, ObjectSpan, ProcessShared, RunStats};
 pub use race::{RaceEvent, RaceEventKind, RaceTrace};
 pub use span::{Span, SpanBuffer, SpanId, SpanKind};

@@ -1,0 +1,93 @@
+//! Seeded protocol mutations for validating the systematic-exploration
+//! tooling (`dex-check explore`).
+//!
+//! A mutation testing campaign only proves something if the checker
+//! actually catches injected bugs. Each [`ProtocolMutation`] variant
+//! disables one load-bearing step of the *real* coherence fault path in
+//! `crate::dispatch`, producing a protocol that silently violates
+//! sequential consistency. `dex-check explore --mutation <name>` runs
+//! the explorer + SC oracle against the mutated protocol and must report
+//! a violation with a replayable counterexample schedule.
+//!
+//! Mutations are carried per-cluster in `ClusterConfig` (no globals), so
+//! mutated and healthy clusters coexist in one test process.
+
+/// A seeded bug in the ownership/invalidation protocol.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ProtocolMutation {
+    /// The real protocol — no bug injected.
+    #[default]
+    None,
+    /// `handle_invalidate` acknowledges the invalidation but keeps the
+    /// local PTE and frame, so the node keeps reading its stale copy
+    /// after ownership moved.
+    SkipInvalidateClear,
+    /// An invalidated writer acks with a *zeroed* page instead of its
+    /// dirty frame, so the writes it made are dropped on the floor when
+    /// ownership transfers.
+    LoseInvalidateData,
+    /// The origin keeps its own PTE when ownership is granted to a
+    /// remote node, so origin-local accesses bypass the protocol and
+    /// read stale data.
+    KeepOriginPte,
+    /// Ownership grants to a remote node carry a zeroed page instead of
+    /// the current frame contents, losing every write made so far.
+    StaleGrantData,
+}
+
+/// Every injectable mutation (excludes [`ProtocolMutation::None`]).
+pub const ALL_MUTATIONS: [ProtocolMutation; 4] = [
+    ProtocolMutation::SkipInvalidateClear,
+    ProtocolMutation::LoseInvalidateData,
+    ProtocolMutation::KeepOriginPte,
+    ProtocolMutation::StaleGrantData,
+];
+
+impl ProtocolMutation {
+    /// Stable kebab-case name (CLI flag value and report label).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMutation::None => "none",
+            ProtocolMutation::SkipInvalidateClear => "skip-invalidate-clear",
+            ProtocolMutation::LoseInvalidateData => "lose-invalidate-data",
+            ProtocolMutation::KeepOriginPte => "keep-origin-pte",
+            ProtocolMutation::StaleGrantData => "stale-grant-data",
+        }
+    }
+
+    /// Parses a [`ProtocolMutation::name`] back to the variant.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(ProtocolMutation::None),
+            "skip-invalidate-clear" => Some(ProtocolMutation::SkipInvalidateClear),
+            "lose-invalidate-data" => Some(ProtocolMutation::LoseInvalidateData),
+            "keep-origin-pte" => Some(ProtocolMutation::KeepOriginPte),
+            "stale-grant-data" => Some(ProtocolMutation::StaleGrantData),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolMutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(
+            ProtocolMutation::parse("none"),
+            Some(ProtocolMutation::None)
+        );
+        for m in ALL_MUTATIONS {
+            assert_eq!(ProtocolMutation::parse(m.name()), Some(m));
+            assert_ne!(m, ProtocolMutation::None);
+        }
+        assert_eq!(ProtocolMutation::parse("bogus"), None);
+    }
+}

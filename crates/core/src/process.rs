@@ -207,6 +207,9 @@ pub struct ProcessShared {
     pub metrics: Option<Arc<MetricsRegistry>>,
     /// Synchronization/access event sink for dynamic race detection.
     pub race: crate::race::RaceTrace,
+    /// Seeded protocol bug, consulted by the coherence fault path
+    /// (mutation testing of `dex-check explore`).
+    pub mutation: crate::ProtocolMutation,
     /// Tagged object spans for fault attribution.
     pub objects: Mutex<Vec<ObjectSpan>>,
     /// Number of application threads currently executing on each node
@@ -239,6 +242,7 @@ impl ProcessShared {
         metrics: Option<Arc<MetricsRegistry>>,
         race: crate::race::RaceTrace,
         heap_pages: u64,
+        mutation: crate::ProtocolMutation,
     ) -> Arc<Self> {
         let mut spaces: Vec<Mutex<AddressSpace>> = (0..nodes)
             .map(|_| Mutex::new(AddressSpace::new()))
@@ -291,6 +295,7 @@ impl ProcessShared {
             spans,
             metrics,
             race,
+            mutation,
             objects: Mutex::new(Vec::new()),
             node_threads: Mutex::new(vec![0; nodes]),
             crashes_handled: Mutex::new(vec![false; nodes]),
@@ -722,6 +727,7 @@ mod tests {
             None,
             crate::race::RaceTrace::disabled(),
             1024,
+            crate::ProtocolMutation::None,
         )
     }
 

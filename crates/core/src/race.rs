@@ -43,6 +43,10 @@ pub enum RaceEventKind {
         is_write: bool,
         /// Performed with cluster-wide atomicity (`rmw_bytes` family).
         atomic: bool,
+        /// The value observed (load) or deposited (store): the first
+        /// `min(len, 8)` bytes, little-endian. The sequential-consistency
+        /// oracle (`dex-check explore`) uses it to infer reads-from edges.
+        value: u64,
     },
     /// A lock (mutex or rwlock) was acquired.
     LockAcquire {

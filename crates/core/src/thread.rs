@@ -35,6 +35,16 @@ fn span_ctx(span: Option<SpanId>) -> SpanContext {
 /// `EAGAIN`-style result of a futex wait whose word changed first.
 pub const FUTEX_EAGAIN: i64 = -11;
 
+/// The value an access event records: the first `min(len, 8)` bytes of
+/// the transferred data, little-endian. Enough for the SC oracle to
+/// distinguish the word-sized writes application workloads use.
+fn access_value(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    u64::from_le_bytes(buf)
+}
+
 /// Error from [`ThreadCtx::migrate`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MigrateError {
@@ -263,12 +273,6 @@ impl<'a> ThreadCtx<'a> {
 
     /// Reads `dst.len()` bytes at `addr` through the consistency protocol.
     pub fn read_bytes(&self, addr: VirtAddr, dst: &mut [u8]) {
-        self.record_race_event(RaceEventKind::Access {
-            addr,
-            len: dst.len() as u32,
-            is_write: false,
-            atomic: false,
-        });
         let mut cursor = addr;
         let mut filled = 0usize;
         while filled < dst.len() {
@@ -282,6 +286,15 @@ impl<'a> ThreadCtx<'a> {
             filled += chunk;
             cursor = cursor.add(chunk as u64);
         }
+        // Recorded after the copy so the event carries the value the
+        // application actually observed (reads-from for the SC oracle).
+        self.record_race_event(RaceEventKind::Access {
+            addr,
+            len: dst.len() as u32,
+            is_write: false,
+            atomic: false,
+            value: access_value(dst),
+        });
     }
 
     /// Writes `src` at `addr` through the consistency protocol.
@@ -291,6 +304,7 @@ impl<'a> ThreadCtx<'a> {
             len: src.len() as u32,
             is_write: true,
             atomic: false,
+            value: access_value(src),
         });
         let mut cursor = addr;
         let mut written = 0usize;
@@ -334,18 +348,24 @@ impl<'a> ThreadCtx<'a> {
             addr.page_offset() + len <= PAGE_SIZE,
             "atomic access must not straddle a page boundary"
         );
+        self.ensure(addr, Access::Write);
+        let buf = {
+            let mut space = self.shared.space(self.node.get()).lock();
+            let mut buf = vec![0u8; len];
+            space.read(addr, &mut buf);
+            f(&mut buf);
+            space.write(addr, &buf);
+            buf
+        };
+        // Recorded after the update so the event carries the value the
+        // atomic deposited (reads-from for the SC oracle).
         self.record_race_event(RaceEventKind::Access {
             addr,
             len: len as u32,
             is_write: true,
             atomic: true,
+            value: access_value(&buf),
         });
-        self.ensure(addr, Access::Write);
-        let mut space = self.shared.space(self.node.get()).lock();
-        let mut buf = vec![0u8; len];
-        space.read(addr, &mut buf);
-        f(&mut buf);
-        space.write(addr, &buf);
     }
 
     /// Atomic compare-and-swap on a `u32`; returns the previous value.

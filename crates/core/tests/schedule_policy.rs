@@ -1,0 +1,72 @@
+//! Default-policy determinism regression.
+//!
+//! Installing a [`dex_sim::SchedulePolicy`] routes every scheduling
+//! choice point through the policy object. The contract (relied on by
+//! `dex-check explore`) is that the *default* policy is behaviorally
+//! invisible: a run with [`dex_sim::DefaultSchedulePolicy`] installed
+//! produces a byte-identical schedule to a run with no policy at all.
+//!
+//! The workload is the Table II migration microbenchmark shape — a
+//! thread bouncing between two nodes ten times — which exercises the
+//! fault path, the dispatcher, and the fabric choice points. The
+//! contract must hold with spans and metrics both off and on, because
+//! instrumentation shares the same "must not perturb the schedule"
+//! guarantee.
+
+use dex_core::{Cluster, ClusterConfig};
+use dex_sim::{DefaultSchedulePolicy, SchedulePolicyHandle};
+
+/// The Table II workload: ten forward/backward migration round trips.
+fn table2_workload(p: &dex_core::DexProcess<'_>) {
+    p.spawn(|ctx| {
+        for _ in 0..10 {
+            ctx.migrate(1).expect("node 1 exists");
+            ctx.migrate_back().expect("origin exists");
+        }
+    });
+}
+
+/// Runs the workload and returns the recorded schedule text.
+fn schedule_of(configure: impl FnOnce(ClusterConfig) -> ClusterConfig) -> String {
+    let config = configure(ClusterConfig::new(2).with_schedule_recording());
+    let report = Cluster::new(config).run(table2_workload);
+    report.schedule.expect("schedule recording was enabled")
+}
+
+#[test]
+fn default_policy_is_byte_identical_without_instrumentation() {
+    let bare = schedule_of(|c| c);
+    let hooked =
+        schedule_of(|c| c.with_schedule_policy(SchedulePolicyHandle::new(DefaultSchedulePolicy)));
+    assert_eq!(bare, hooked, "default policy must not perturb the schedule");
+    assert!(!bare.is_empty(), "the workload produced a schedule");
+}
+
+#[test]
+fn default_policy_is_byte_identical_with_spans_and_metrics() {
+    let bare = schedule_of(|c| c.with_spans().with_metrics());
+    let hooked = schedule_of(|c| {
+        c.with_spans()
+            .with_metrics()
+            .with_schedule_policy(SchedulePolicyHandle::new(DefaultSchedulePolicy))
+    });
+    assert_eq!(
+        bare, hooked,
+        "default policy must not perturb the instrumented schedule"
+    );
+}
+
+#[test]
+fn instrumentation_itself_does_not_perturb_the_schedule() {
+    // The pre-existing guarantee the policy hook must not regress: spans
+    // and metrics are schedule-invisible, with or without the hook.
+    let plain = schedule_of(|c| c);
+    let instrumented = schedule_of(|c| c.with_spans().with_metrics());
+    assert_eq!(plain, instrumented);
+    let hooked_instrumented = schedule_of(|c| {
+        c.with_spans()
+            .with_metrics()
+            .with_schedule_policy(SchedulePolicyHandle::new(DefaultSchedulePolicy))
+    });
+    assert_eq!(plain, hooked_instrumented);
+}

@@ -657,6 +657,31 @@ impl<M: WireMessage> Endpoint<M> {
                 match inner.heap.peek() {
                     Some(Reverse(head)) if head.deliver_at <= ctx.now() => {
                         let Reverse(q) = inner.heap.pop().expect("peeked entry exists");
+                        // Delivery choice point: when several envelopes have
+                        // already arrived, an exploration policy may deliver
+                        // any of them first (real NICs do not order across
+                        // connections). Without a policy the head is taken
+                        // unconditionally — the hot path is untouched.
+                        let q = if ctx.has_schedule_policy() {
+                            let now = ctx.now();
+                            let mut arrived = vec![q];
+                            while inner
+                                .heap
+                                .peek()
+                                .is_some_and(|Reverse(h)| h.deliver_at <= now)
+                            {
+                                let Reverse(next) = inner.heap.pop().expect("peeked entry exists");
+                                arrived.push(next);
+                            }
+                            let pick = ctx.choose("fabric.recv", arrived.len());
+                            let chosen = arrived.swap_remove(pick);
+                            for other in arrived {
+                                inner.heap.push(Reverse(other));
+                            }
+                            chosen
+                        } else {
+                            q
+                        };
                         drop(inner);
                         return Some(self.finish_delivery(ctx, q.env));
                     }

@@ -87,6 +87,92 @@ impl std::error::Error for SimError {}
 /// distinguish engine shutdown from a genuine panic.
 pub struct ShutdownToken;
 
+/// One candidate event at a scheduling frontier — an event the driver
+/// could legally accept next. All candidates handed to a policy are
+/// pending at the *same* virtual instant; picking among them permutes a
+/// same-timestamp tie, never reorders virtual time itself.
+#[derive(Clone, Debug)]
+pub struct ScheduleChoice {
+    /// The thread the event would resume.
+    pub tid: ThreadId,
+    /// The thread's name (as given at spawn).
+    pub name: String,
+    /// `true` for a park-timeout timer firing, `false` for an ordinary
+    /// resume (advance, unpark, first run).
+    pub is_timer: bool,
+}
+
+/// Hook through which every nondeterministic decision of the engine is
+/// routed: which same-instant event runs next ([`choose_event`]) and
+/// auxiliary value choices raised by simulated code via
+/// [`SimCtx::choose`] ([`choose_value`]).
+///
+/// The engine without a policy installed behaves byte-identically to
+/// [`DefaultSchedulePolicy`] (always picks the lowest sequence number —
+/// today's fixed heap order). Exploration tools install policies that
+/// permute the ties to enumerate alternative schedules.
+///
+/// [`choose_event`]: SchedulePolicy::choose_event
+/// [`choose_value`]: SchedulePolicy::choose_value
+pub trait SchedulePolicy: Send {
+    /// Picks which of `candidates` runs next. All candidates are pending
+    /// at virtual instant `now` and are presented in queue order (lowest
+    /// sequence number first), so returning `0` reproduces the default
+    /// schedule. Out-of-range returns are clamped.
+    fn choose_event(&mut self, now: SimTime, candidates: &[ScheduleChoice]) -> usize {
+        let _ = (now, candidates);
+        0
+    }
+
+    /// Resolves an `n`-way value choice raised by simulated code (e.g.
+    /// which of several already-arrived messages to deliver first). `tag`
+    /// identifies the choice site. Returning `0` reproduces the default
+    /// behavior. Out-of-range returns are clamped.
+    fn choose_value(&mut self, tag: &str, n: usize) -> usize {
+        let _ = (tag, n);
+        0
+    }
+}
+
+/// The identity policy: always picks candidate `0`, reproducing the
+/// engine's built-in `(time, seq)` heap order byte for byte. Installing
+/// it is indistinguishable from installing no policy at all (enforced by
+/// test).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DefaultSchedulePolicy;
+
+impl SchedulePolicy for DefaultSchedulePolicy {}
+
+/// Shared, cloneable handle to a [`SchedulePolicy`], installable via
+/// [`Engine::set_schedule_policy`].
+#[derive(Clone)]
+pub struct SchedulePolicyHandle {
+    inner: Arc<Mutex<Box<dyn SchedulePolicy>>>,
+}
+
+impl SchedulePolicyHandle {
+    /// Wraps a policy for installation.
+    pub fn new(policy: impl SchedulePolicy + 'static) -> Self {
+        SchedulePolicyHandle {
+            inner: Arc::new(Mutex::new(Box::new(policy))),
+        }
+    }
+
+    fn choose_event(&self, now: SimTime, candidates: &[ScheduleChoice]) -> usize {
+        self.inner.lock().choose_event(now, candidates)
+    }
+
+    fn choose_value(&self, tag: &str, n: usize) -> usize {
+        self.inner.lock().choose_value(tag, n)
+    }
+}
+
+impl std::fmt::Debug for SchedulePolicyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SchedulePolicyHandle(..)")
+    }
+}
+
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum ParkState {
     /// Running or scheduled to run; not waiting for an unpark.
@@ -163,6 +249,9 @@ struct State {
     /// (pure bookkeeping: recording never schedules, parks, or advances,
     /// so it cannot perturb the run it observes).
     schedule: Option<Arc<Mutex<ScheduleLog>>>,
+    /// When present, same-instant event ties and `SimCtx::choose` calls
+    /// are routed through this policy instead of the fixed heap order.
+    policy: Option<SchedulePolicyHandle>,
 }
 
 impl State {
@@ -189,6 +278,98 @@ impl State {
         self.next_seq += 1;
         self.queue.push(Reverse((key, tid, epoch)));
     }
+
+    /// Whether a popped timer event is still live: the thread must be
+    /// parked in the same `park_until` call that queued it.
+    fn timer_valid(&self, tid: ThreadId, epoch: u64) -> bool {
+        self.threads
+            .get(&tid)
+            .is_some_and(|s| !s.exited && s.park_epoch == epoch && s.park == ParkState::Parked)
+    }
+
+    /// Accepts an event: advances the clock, counts it, and records it to
+    /// the schedule log if recording is on. The single point every
+    /// scheduling decision — default or policy-picked — flows through.
+    fn accept(&mut self, time: SimTime, tid: ThreadId) {
+        self.events_processed += 1;
+        self.clock = time;
+        if self.schedule.is_some() {
+            let label = format!(
+                "t={} {}",
+                time.as_nanos(),
+                self.threads
+                    .get(&tid)
+                    .map(|s| s.name.as_str())
+                    .unwrap_or("?")
+            );
+            if let Some(log) = &self.schedule {
+                log.lock().push(tid.0, label);
+            }
+        }
+    }
+}
+
+/// The policy scheduling path: collects the full frontier (every event
+/// pending at the earliest instant, stale timers discarded), asks the
+/// policy which candidate runs, re-queues the rest with their original
+/// keys (they are re-validated when the next frontier is built), and
+/// accepts the chosen event exactly as the default path would.
+fn pick_with_policy(st: &mut State, policy: &SchedulePolicyHandle) -> Option<(SimTime, ThreadId)> {
+    // Find the first live event; its time defines the frontier.
+    let mut frontier: Vec<(EventKey, ThreadId, u64)> = Vec::new();
+    let time = loop {
+        let Reverse((key, tid, epoch)) = st.queue.pop()?;
+        if epoch != NORMAL_EVENT && !st.timer_valid(tid, epoch) {
+            continue;
+        }
+        let t = key.time;
+        frontier.push((key, tid, epoch));
+        break t;
+    };
+    // Gather every other live event at the same instant. Candidates come
+    // off the min-heap in ascending sequence order, so index 0 is exactly
+    // what the default path would have popped.
+    while let Some(Reverse((key, _, _))) = st.queue.peek() {
+        if key.time != time {
+            break;
+        }
+        let Reverse((key, tid, epoch)) = st.queue.pop().expect("peeked entry exists");
+        if epoch != NORMAL_EVENT && !st.timer_valid(tid, epoch) {
+            continue;
+        }
+        frontier.push((key, tid, epoch));
+    }
+    let candidates: Vec<ScheduleChoice> = frontier
+        .iter()
+        .map(|(_, tid, epoch)| ScheduleChoice {
+            tid: *tid,
+            name: st
+                .threads
+                .get(tid)
+                .map(|s| s.name.clone())
+                .unwrap_or_else(|| "?".to_string()),
+            is_timer: *epoch != NORMAL_EVENT,
+        })
+        .collect();
+    let chosen = policy
+        .choose_event(time, &candidates)
+        .min(frontier.len() - 1);
+    let mut picked = None;
+    for (i, (key, tid, epoch)) in frontier.into_iter().enumerate() {
+        if i == chosen {
+            picked = Some((tid, epoch));
+        } else {
+            st.queue.push(Reverse((key, tid, epoch)));
+        }
+    }
+    let (tid, epoch) = picked.expect("chosen index within frontier");
+    if epoch != NORMAL_EVENT {
+        if let Some(slot) = st.threads.get_mut(&tid) {
+            slot.timed_out = true;
+        }
+    }
+    st.accept(time, tid);
+    Some((time, tid))
 }
 
 struct Shared {
@@ -252,6 +433,7 @@ impl Engine {
                     yield_tx,
                     events_processed: 0,
                     schedule: None,
+                    policy: None,
                 }),
             }),
             yield_rx,
@@ -273,6 +455,15 @@ impl Engine {
         let log = Arc::new(Mutex::new(ScheduleLog::new(header)));
         self.shared.state.lock().schedule = Some(Arc::clone(&log));
         log
+    }
+
+    /// Installs a [`SchedulePolicy`]: every same-instant event tie (and
+    /// every [`SimCtx::choose`] call) is resolved by the policy instead of
+    /// the fixed `(time, seq)` heap order. With no policy installed — or
+    /// with [`DefaultSchedulePolicy`] — the engine produces byte-identical
+    /// schedules to builds that predate the hook.
+    pub fn set_schedule_policy(&self, policy: SchedulePolicyHandle) {
+        self.shared.state.lock().policy = Some(policy);
     }
 
     /// Spawns a non-daemon simulated thread that first runs at the current
@@ -319,6 +510,8 @@ impl Engine {
                 if st.events_processed >= self.event_budget {
                     budget_hit = true;
                     None
+                } else if let Some(policy) = st.policy.clone() {
+                    pick_with_policy(&mut st, &policy)
                 } else {
                     loop {
                         let Some(Reverse((key, tid, epoch))) = st.queue.pop() else {
@@ -330,28 +523,14 @@ impl Engine {
                             // timers are discarded *before* the clock/event
                             // counter update so runs that never time out are
                             // indistinguishable from runs without timers.
-                            let valid = st.threads.get(&tid).is_some_and(|s| {
-                                !s.exited && s.park_epoch == epoch && s.park == ParkState::Parked
-                            });
-                            if !valid {
+                            if !st.timer_valid(tid, epoch) {
                                 continue;
                             }
                             if let Some(slot) = st.threads.get_mut(&tid) {
                                 slot.timed_out = true;
                             }
                         }
-                        st.events_processed += 1;
-                        st.clock = key.time;
-                        if st.schedule.is_some() {
-                            let label = format!(
-                                "t={} {}",
-                                key.time.as_nanos(),
-                                st.threads.get(&tid).map(|s| s.name.as_str()).unwrap_or("?")
-                            );
-                            if let Some(log) = &st.schedule {
-                                log.lock().push(tid.0, label);
-                            }
-                        }
+                        st.accept(key.time, tid);
                         break Some((key.time, tid));
                     }
                 }
@@ -559,6 +738,30 @@ impl SimCtx {
     /// deterministic activity measure).
     pub fn events_processed(&self) -> u64 {
         self.shared.state.lock().events_processed
+    }
+
+    /// Resolves an `n`-way nondeterministic value choice through the
+    /// installed [`SchedulePolicy`] (`tag` names the choice site, e.g.
+    /// `"fabric.recv"`). Returns `0` — the canonical deterministic pick —
+    /// when no policy is installed or `n <= 1`. Never touches the
+    /// schedule log or the event queue, so calling it is pure observation
+    /// under the default policy.
+    pub fn choose(&self, tag: &str, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let policy = self.shared.state.lock().policy.clone();
+        match policy {
+            Some(p) => p.choose_value(tag, n).min(n - 1),
+            None => 0,
+        }
+    }
+
+    /// `true` when a [`SchedulePolicy`] is installed (exploration mode).
+    /// Lets hot paths skip building candidate sets for [`SimCtx::choose`]
+    /// when nobody is listening.
+    pub fn has_schedule_policy(&self) -> bool {
+        self.shared.state.lock().policy.is_some()
     }
 
     /// Advances this thread's virtual time by `d`, letting other threads run
@@ -916,6 +1119,146 @@ mod tests {
         let log = ScheduleLog::parse(&text_a).unwrap();
         assert!(!log.is_empty());
         assert!(log.steps()[0].label.starts_with("t="));
+    }
+
+    fn policy_workload(engine: &Engine) {
+        // A mix of same-time spawns (t=0 ties), park/unpark, and a
+        // park_until whose timer goes stale — every choice-point class.
+        let waiter_tid = StdArc::new(Mutex::new(None));
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            engine.spawn("waiter", move |ctx| {
+                *waiter_tid.lock() = Some(ctx.id());
+                let timed_out = ctx.park_until(SimTime::from_nanos(90_000));
+                assert!(!timed_out);
+                ctx.advance(SimDuration::from_nanos(3));
+            });
+        }
+        {
+            let waiter_tid = StdArc::clone(&waiter_tid);
+            engine.spawn("waker", move |ctx| {
+                ctx.advance(SimDuration::from_micros(1));
+                let tid = waiter_tid.lock().unwrap();
+                ctx.unpark(tid);
+            });
+        }
+        for i in 0..3u64 {
+            engine.spawn(format!("t{i}"), move |ctx| {
+                for k in 0..4 {
+                    ctx.advance(SimDuration::from_nanos((i * 5 + k * 3) % 11 + 1));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn default_policy_is_byte_identical_to_no_policy() {
+        fn run_once(install: bool) -> (SimTime, String) {
+            let engine = Engine::new();
+            let log = engine.record_schedule("policy-identity");
+            if install {
+                engine.set_schedule_policy(SchedulePolicyHandle::new(DefaultSchedulePolicy));
+            }
+            policy_workload(&engine);
+            let end = engine.run().unwrap();
+            let text = log.lock().to_text();
+            (end, text)
+        }
+        let (plain_end, plain_text) = run_once(false);
+        let (policy_end, policy_text) = run_once(true);
+        assert_eq!(plain_end, policy_end);
+        assert_eq!(plain_text, policy_text, "default policy must not perturb");
+        assert!(!plain_text.is_empty());
+    }
+
+    #[test]
+    fn policy_can_flip_same_time_ties() {
+        struct LastPick;
+        impl SchedulePolicy for LastPick {
+            fn choose_event(&mut self, _now: SimTime, candidates: &[ScheduleChoice]) -> usize {
+                candidates.len() - 1
+            }
+        }
+        fn run_once(flip: bool) -> Vec<&'static str> {
+            let engine = Engine::new();
+            if flip {
+                engine.set_schedule_policy(SchedulePolicyHandle::new(LastPick));
+            }
+            let order = StdArc::new(Mutex::new(Vec::new()));
+            for name in ["a", "b", "c"] {
+                let order = StdArc::clone(&order);
+                // No advance: the t=0 spawn tie alone decides the order.
+                engine.spawn(name, move |_ctx| {
+                    order.lock().push(name);
+                });
+            }
+            engine.run().unwrap();
+            let v = order.lock().clone();
+            v
+        }
+        assert_eq!(run_once(false), vec!["a", "b", "c"]);
+        assert_eq!(run_once(true), vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn policy_sees_candidate_names_and_timer_flags() {
+        struct Spy(StdArc<Mutex<Vec<(String, bool)>>>);
+        impl SchedulePolicy for Spy {
+            fn choose_event(&mut self, _now: SimTime, candidates: &[ScheduleChoice]) -> usize {
+                if candidates.len() > 1 {
+                    self.0
+                        .lock()
+                        .extend(candidates.iter().map(|c| (c.name.clone(), c.is_timer)));
+                }
+                0
+            }
+        }
+        let engine = Engine::new();
+        let seen = StdArc::new(Mutex::new(Vec::new()));
+        engine.set_schedule_policy(SchedulePolicyHandle::new(Spy(StdArc::clone(&seen))));
+        engine.spawn("left", |ctx| ctx.advance(SimDuration::from_nanos(1)));
+        engine.spawn("right", |ctx| ctx.advance(SimDuration::from_nanos(2)));
+        engine.run().unwrap();
+        let seen = seen.lock();
+        // The t=0 spawn tie exposes both threads as non-timer candidates.
+        assert!(seen.contains(&("left".to_string(), false)), "{seen:?}");
+        assert!(seen.contains(&("right".to_string(), false)), "{seen:?}");
+    }
+
+    #[test]
+    fn choose_routes_through_policy_and_defaults_to_zero() {
+        struct PickOne;
+        impl SchedulePolicy for PickOne {
+            fn choose_value(&mut self, tag: &str, n: usize) -> usize {
+                assert_eq!(tag, "test.choice");
+                assert_eq!(n, 3);
+                1
+            }
+        }
+        let engine = Engine::new();
+        let picks = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let picks = StdArc::clone(&picks);
+            engine.spawn("chooser", move |ctx| {
+                picks.lock().push(ctx.choose("test.choice", 3));
+                picks.lock().push(ctx.choose("test.choice", 1)); // n<=1: no policy call
+            });
+        }
+        engine.set_schedule_policy(SchedulePolicyHandle::new(PickOne));
+        engine.run().unwrap();
+        assert_eq!(*picks.lock(), vec![1, 0]);
+
+        let engine = Engine::new();
+        let got = StdArc::new(Mutex::new(None));
+        {
+            let got = StdArc::clone(&got);
+            engine.spawn("no-policy", move |ctx| {
+                assert!(!ctx.has_schedule_policy());
+                *got.lock() = Some(ctx.choose("test.choice", 5));
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*got.lock(), Some(0));
     }
 
     #[test]

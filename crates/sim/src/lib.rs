@@ -17,6 +17,9 @@
 //! * [`SimRng`] — a self-contained deterministic PRNG for workloads.
 //! * [`FaultPlan`] — seeded, replayable schedules of link faults and
 //!   node crashes for fault-injection runs.
+//! * [`SchedulePolicy`] — pluggable resolution of same-instant scheduling
+//!   ties and value choices, the hook systematic concurrency testing
+//!   (`dex-check explore`) drives alternative interleavings through.
 //! * [`Histogram`] / [`Counters`] — measurement collection.
 //!
 //! # Examples
@@ -56,7 +59,10 @@ mod stats;
 mod time;
 
 pub use channel::{SendError, SimChannel};
-pub use engine::{Engine, ShutdownToken, SimCtx, SimError, ThreadId};
+pub use engine::{
+    DefaultSchedulePolicy, Engine, ScheduleChoice, SchedulePolicy, SchedulePolicyHandle,
+    ShutdownToken, SimCtx, SimError, ThreadId,
+};
 pub use fault::{FaultPlan, LinkFault, LinkFaultKind, NodeCrash};
 pub use replay::{ReplayCursor, ScheduleLog, ScheduleStep};
 pub use resource::{MultiResource, Resource};

@@ -91,6 +91,10 @@ impl ScheduleLog {
     /// # <header>
     /// <seq>\t<actor>\t<label>
     /// ```
+    ///
+    /// Labels are escaped reversibly (`\\`, `\t`, `\n`, `\r` — the same
+    /// scheme the `dex-prof` codecs use), so arbitrary label content
+    /// round-trips byte for byte through [`ScheduleLog::parse`].
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str("# ");
@@ -101,7 +105,7 @@ impl ScheduleLog {
                 "{}\t{}\t{}\n",
                 step.seq,
                 step.actor,
-                step.label.replace(['\t', '\n'], " ")
+                escape_label(&step.label)
             ));
         }
         out
@@ -112,8 +116,8 @@ impl ScheduleLog {
     pub fn parse(text: &str) -> Result<Self, String> {
         let mut log = ScheduleLog::default();
         for (lineno, line) in text.lines().enumerate() {
-            let line = line.trim_end();
-            if line.is_empty() {
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.trim().is_empty() {
                 continue;
             }
             if let Some(rest) = line.strip_prefix('#') {
@@ -136,7 +140,8 @@ impl ScheduleLog {
                 .trim()
                 .parse()
                 .map_err(|e| format!("line {}: bad actor: {e}", lineno + 1))?;
-            let label = parts.next().unwrap_or("").to_string();
+            let label = unescape_label(parts.next().unwrap_or(""))
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if seq != log.steps.len() as u64 {
                 return Err(format!(
                     "line {}: out-of-order seq {seq} (expected {})",
@@ -148,6 +153,47 @@ impl ScheduleLog {
         }
         Ok(log)
     }
+}
+
+/// Escapes a label for one tab-separated field: `\\`, `\t`, `\n`, `\r`
+/// (matching the `dex-prof` codec escaping, so tooling that understands
+/// one format understands both).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape_label`]. Unknown or truncated escapes are errors.
+fn unescape_label(s: &str) -> Result<String, String> {
+    if !s.contains('\\') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad label escape `\\{other}`")),
+            None => return Err("truncated label escape at end of field".to_string()),
+        }
+    }
+    Ok(out)
 }
 
 /// Feeds a [`ScheduleLog`] back one decision at a time, verifying the
@@ -185,11 +231,28 @@ impl ReplayCursor {
     /// the same actor the recording did. A mismatch means the replayed
     /// system diverged from the recorded one (nondeterminism bug).
     pub fn advance_checked(&mut self, actor: u64) -> Result<&ScheduleStep, String> {
+        self.advance_checked_named(actor, "?")
+    }
+
+    /// Like [`ReplayCursor::advance_checked`], but the caller also names
+    /// the actor the replayed run chose, so divergence reports read as
+    /// expected-vs-actual *names* (with step position and the expected
+    /// step's label) rather than bare ids.
+    pub fn advance_checked_named(
+        &mut self,
+        actor: u64,
+        name: &str,
+    ) -> Result<&ScheduleStep, String> {
         let idx = self.next;
+        let len = self.log.steps.len();
         match self.log.steps.get(idx) {
-            None => Err(format!("replay ran past the end of the log (step {idx})")),
+            None => Err(format!(
+                "replay ran past the end of the log (step {idx} of {len}): \
+                 run chose actor {actor} (`{name}`) but the recording has no more steps"
+            )),
             Some(step) if step.actor != actor => Err(format!(
-                "replay diverged at step {idx}: log says actor {} ({}), run chose actor {actor}",
+                "replay diverged at step {idx} of {len}: log expected actor {} (`{}`), \
+                 run chose actor {actor} (`{name}`)",
                 step.actor, step.label
             )),
             Some(_) => {
@@ -219,13 +282,10 @@ mod tests {
         let mut log = ScheduleLog::new("model nodes=3 pages=2 mutation=skip-invalidate");
         log.push(1, "T1: write page 0");
         log.push(42, "deliver message #0");
-        log.push(7, "label with\ttab and\nnewline");
+        log.push(7, "label with\ttab and\nnewline plus back\\slash");
+        log.push(9, "trailing space \u{1F9EA} unicode ");
         let back = ScheduleLog::parse(&log.to_text()).unwrap();
-        assert_eq!(back.header, log.header);
-        assert_eq!(back.len(), 3);
-        assert_eq!(back.steps()[1].actor, 42);
-        // Control characters are flattened to spaces, content preserved.
-        assert_eq!(back.steps()[2].label, "label with tab and newline");
+        assert_eq!(back, log, "hostile labels round-trip byte for byte");
     }
 
     #[test]
@@ -233,6 +293,8 @@ mod tests {
         assert!(ScheduleLog::parse("0\t1\tok\n2\t1\tskipped-a-step\n").is_err());
         assert!(ScheduleLog::parse("zero\t1\tbad-seq\n").is_err());
         assert!(ScheduleLog::parse("0\tnope\tbad-actor\n").is_err());
+        assert!(ScheduleLog::parse("0\t1\tbad escape \\x\n").is_err());
+        assert!(ScheduleLog::parse("0\t1\ttruncated escape \\").is_err());
     }
 
     #[test]
@@ -243,11 +305,17 @@ mod tests {
         let mut cur = ReplayCursor::new(log);
         assert_eq!(cur.peek().unwrap().actor, 5);
         assert!(cur.advance_checked(5).is_ok());
-        let err = cur.advance_checked(9).unwrap_err();
-        assert!(err.contains("diverged"), "{err}");
+        let err = cur.advance_checked_named(9, "node-9").unwrap_err();
+        assert!(err.contains("diverged at step 1 of 2"), "{err}");
+        assert!(err.contains("`second`"), "expected label named: {err}");
+        assert!(err.contains("`node-9`"), "actual name named: {err}");
         assert!(cur.advance_checked(6).is_ok());
         assert!(cur.is_finished());
-        assert!(cur.advance_checked(0).is_err(), "past the end");
+        let err = cur.advance_checked(0).unwrap_err();
+        assert!(
+            err.contains("past the end of the log (step 2 of 2)"),
+            "{err}"
+        );
     }
 
     #[test]
