@@ -17,13 +17,13 @@ use dex_sim::SimDuration;
 
 /// Hot-page microbenchmark: `threads` threads on one remote node all read
 /// a freshly-written page repeatedly.
-fn coalescing_run(coalesce: bool) -> (SimDuration, u64) {
+fn coalescing_run(coalesce: bool) -> dex_core::RunReport {
     let cost = CostModel {
         coalesce_faults: coalesce,
         ..CostModel::default()
     };
     let cluster = Cluster::new(ClusterConfig::new(2).with_cost(cost));
-    let report = cluster.run(|p| {
+    cluster.run(|p| {
         let data = p.alloc_vec_aligned::<u64>(512, "hot_page");
         let barrier = p.new_barrier(9, "round");
         // A writer at the origin dirties the page each round...
@@ -46,8 +46,7 @@ fn coalescing_run(coalesce: bool) -> (SimDuration, u64) {
                 }
             });
         }
-    });
-    (report.virtual_time, report.stats.total_faults())
+    })
 }
 
 /// Page-streaming microbenchmark for RDMA strategies: seven remote nodes
@@ -77,8 +76,10 @@ fn rdma_run(strategy: RdmaStrategy) -> SimDuration {
 
 fn main() {
     println!("Ablation 1: leader-follower fault coalescing (8 threads, hot page)\n");
-    let (t_on, faults_on) = coalescing_run(true);
-    let (t_off, faults_off) = coalescing_run(false);
+    let coalesced = coalescing_run(true);
+    let (t_on, faults_on) = (coalesced.virtual_time, coalesced.stats.total_faults());
+    let uncoalesced = coalescing_run(false);
+    let (t_off, faults_off) = (uncoalesced.virtual_time, uncoalesced.stats.total_faults());
     println!(
         "{}",
         render_table(
@@ -119,8 +120,13 @@ fn main() {
     );
 
     println!("\nAblation 3: false-sharing optimization delta (4 nodes)\n");
+    let apps: &[&str] = if dex_bench::smoke() {
+        &["GRP"]
+    } else {
+        &["GRP", "KMN"]
+    };
     let mut rows = Vec::new();
-    for app in ["GRP", "KMN"] {
+    for &app in apps {
         let base = run_app(app, &AppParams::new(1, Variant::Baseline))
             .elapsed
             .as_secs_f64();
@@ -175,6 +181,17 @@ fn main() {
     assert!(t_zp_on < t_zp_off);
 
     println!("\nall ablation shape checks passed");
+
+    // Regression-track the coalescing microbenchmark (the pure-protocol
+    // run) and carry the other studies' headline numbers as extras.
+    dex_bench::BenchResult::from_report("ablation", &coalesced)
+        .with_extra("uncoalesced_faults", faults_off)
+        .with_extra("rdma_sink_ns", sink.as_nanos())
+        .with_extra("rdma_verb_ns", verb.as_nanos())
+        .with_extra("zero_page_pages_sent", pages_on)
+        .with_extra("stock_pages_sent", pages_off)
+        .write()
+        .expect("write bench result");
 }
 
 /// First-touch write microbenchmark: a remote thread writes 256 fresh

@@ -98,4 +98,17 @@ fn main() {
         span_total += m.remote_side.as_micros_f64();
     }
     println!("span cross-check passed: {span_total:.1} us of remote-side work covered by spans");
+
+    dex_bench::BenchResult::from_report("fig3", &report)
+        .with_extra("forward_migrations", fwd.len() as u64)
+        .with_extra("first_remote_side_ns", fwd[0].remote_side.as_nanos())
+        .with_extra(
+            "repeat_remote_side_ns",
+            fwd.last()
+                .expect("at least one migration")
+                .remote_side
+                .as_nanos(),
+        )
+        .write()
+        .expect("write bench result");
 }

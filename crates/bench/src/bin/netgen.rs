@@ -33,8 +33,14 @@ fn main() {
     println!("Network-generation study: optimized apps, {nodes} nodes, speedup vs");
     println!("the unmodified single-node run, across four fabric generations\n");
 
+    let apps: &[&str] = if dex_bench::smoke() {
+        &["KMN"]
+    } else {
+        &["KMN", "EP", "BLK"]
+    };
     let mut rows = Vec::new();
-    for app in ["KMN", "EP", "BLK"] {
+    let mut representative = None;
+    for app in apps {
         let base = run_app(app, &AppParams::new(1, Variant::Baseline))
             .elapsed
             .as_secs_f64();
@@ -44,7 +50,11 @@ fn main() {
             let config = params.cluster_config().with_net(net.clone());
             // Run through the cluster built with the custom fabric.
             let result = run_with_net(app, &params, config);
-            row.push(format!("{:.2}", base / result));
+            row.push(format!("{:.2}", base / result.elapsed.as_secs_f64()));
+            // Regression-track the first app on the paper's testbed fabric.
+            if app == &apps[0] && std::ptr::eq(net, &fabrics[2].1) {
+                representative = Some(result);
+            }
         }
         rows.push(row);
         eprintln!("  finished {app}");
@@ -58,15 +68,25 @@ fn main() {
     println!("machine — the paper's explanation for why classic DSM was abandoned.");
     println!("The crossover arrives with RDMA-class networks, and the headroom");
     println!("keeps growing with the next generation.");
+
+    let rep = representative.expect("the sweep ran");
+    dex_bench::BenchResult::from_report("netgen", &rep.report)
+        .with_extra("nodes", nodes as u64)
+        .write()
+        .expect("write bench result");
 }
 
-/// Runs `app` at `params` with a custom fabric, returning virtual seconds.
-fn run_with_net(app: &str, params: &AppParams, config: dex_core::ClusterConfig) -> f64 {
+/// Runs `app` at `params` with a custom fabric, verifying correctness.
+fn run_with_net(
+    app: &str,
+    params: &AppParams,
+    config: dex_core::ClusterConfig,
+) -> dex_apps::AppResult {
     let result = dex_apps::run_app_with_config(app, params, config);
     assert_eq!(
         result.checksum,
         reference_checksum(app, params),
         "{app} must stay correct on every fabric"
     );
-    result.elapsed.as_secs_f64()
+    result
 }

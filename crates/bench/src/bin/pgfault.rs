@@ -131,4 +131,12 @@ fn main() {
         "retry mode dominated by the back-off"
     );
     println!("\nshape checks passed: bimodal distribution reproduced");
+
+    dex_bench::BenchResult::from_report("pgfault", &two)
+        .with_extra("fast_faults", fast_n)
+        .with_extra("slow_faults", slow_n)
+        .with_extra("contended_retries", three.stats.retried_faults)
+        .with_extra("page_retrieval_ns", probe.fault_hist.mean().as_nanos())
+        .write()
+        .expect("write bench result");
 }

@@ -11,12 +11,18 @@ use dex_bench::render_table;
 use dex_core::{Cluster, ClusterConfig, CostModel};
 
 fn main() {
-    let total_ops: u64 = 200_000_000;
+    let smoke = dex_bench::smoke();
+    let total_ops: u64 = if smoke { 20_000_000 } else { 200_000_000 };
+    let thread_counts: &[usize] = if smoke {
+        &[1, 4, 16]
+    } else {
+        &[1, 2, 4, 8, 16, 32, 64]
+    };
     println!("Scale-up baseline: one 224-core machine, {total_ops} total ops\n");
 
     let mut rows = Vec::new();
     let mut first_time = None;
-    for threads in [1usize, 2, 4, 8, 16, 32, 64] {
+    for &threads in thread_counts {
         let cost = CostModel {
             cores_per_node: 224,
             // Xeon Platinum 8180 x8: ~6x the memory bandwidth of the
@@ -56,7 +62,8 @@ fn main() {
     println!("\nEP (NPB) on the scale-up machine:\n");
     let mut rows = Vec::new();
     let mut first = None;
-    for threads in [1usize, 2, 4, 8, 16, 32, 64] {
+    let mut representative = None;
+    for &threads in thread_counts {
         let mut params = AppParams::new(1, Variant::Baseline);
         params.threads_per_node = threads;
         let cost = CostModel {
@@ -74,6 +81,7 @@ fn main() {
             format!("{:.2}", t1 / secs),
             format!("{:.2}", t1 / secs / threads as f64),
         ]);
+        representative = Some((threads, result));
     }
     println!(
         "{}",
@@ -81,4 +89,11 @@ fn main() {
     );
     println!("Paper: completion times were inversely proportional to thread");
     println!("count for all applications, so the workloads are scale-ready.");
+
+    let (threads, rep) = representative.expect("the sweep ran");
+    dex_bench::BenchResult::from_report("scaleup", &rep.report)
+        .with_extra("threads", threads as u64)
+        .with_extra("total_ops", total_ops)
+        .write()
+        .expect("write bench result");
 }

@@ -125,4 +125,12 @@ fn main() {
         mean("context_install"),
         mean("worker_reuse"),
     );
+
+    dex_bench::BenchResult::from_report("table2", &report)
+        .with_extra("forward_migrations", report.stats.forward_migrations)
+        .with_extra("backward_migrations", report.stats.backward_migrations)
+        .with_extra("first_forward_total_ns", fwd[0].total.as_nanos())
+        .with_extra("repeat_forward_total_ns", fwd[1].total.as_nanos())
+        .write()
+        .expect("write bench result");
 }

@@ -15,8 +15,19 @@
 //! Run any of them with `cargo run -p dex-bench --release --bin <name>`.
 //! The `benches/` directory additionally holds criterion benchmarks of the
 //! simulator's host-side performance.
+//!
+//! Every binary also distills its run into a machine-readable
+//! `BENCH_<name>.json` result in one stable schema ([`BenchResult`]),
+//! written to `DEX_BENCH_OUT` (default: the current directory). The
+//! `dex-check perf` subcommand diffs those files against the committed
+//! baselines with tolerance bands. `--smoke` (or `DEX_BENCH_SMOKE=1`)
+//! selects the reduced configuration the CI gate runs.
 
 #![warn(missing_docs)]
+
+mod perf;
+
+pub use perf::{smoke, BenchResult, BENCH_SCHEMA};
 
 use std::fmt::Write as _;
 

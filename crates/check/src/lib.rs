@@ -35,6 +35,10 @@
 //!   timeline` / `dex-check metrics`: runs with spans and metrics on,
 //!   exports the Chrome trace-event JSON and the critical-path report,
 //!   and verifies cross-node span stitching.
+//! * [`perf`] — the perf-regression gate: diffs fresh `BENCH_*.json`
+//!   results from the bench binaries against committed baselines with
+//!   tolerance bands, and self-tests that a seeded regression is
+//!   caught.
 //!
 //! The `dex-check` binary wires all of them into CI:
 //!
@@ -45,6 +49,7 @@
 //! dex-check lint
 //! dex-check timeline --out trace.json
 //! dex-check metrics
+//! dex-check perf --results target/bench
 //! dex-check all
 //! ```
 
@@ -56,6 +61,7 @@ pub mod faults;
 pub mod lint;
 pub mod model_check;
 pub mod observe;
+pub mod perf;
 pub mod races;
 pub mod sc;
 pub mod scenarios;
@@ -75,6 +81,9 @@ pub use model_check::{
     CheckOptions, CheckOutcome, Counterexample, PassReport, ReplayOutcome,
 };
 pub use observe::{run_observed_workload, ObserveOutcome};
+pub use perf::{
+    compare_dirs, compare_results, load_results, self_test, PerfTolerance, PerfViolation,
+};
 pub use races::{analyze_races, render_race_report, Conflict, LockCycle, RaceReport};
 pub use sc::{check_sequential_consistency, render_sc_report, ScReport, ScViolation};
 pub use scenarios::{run_scenario, scenario_names, Scenario, SCENARIOS};

@@ -11,6 +11,8 @@
 //! dex-check lint   [--root DIR]
 //! dex-check timeline [--out FILE] [--spans-out FILE]
 //! dex-check metrics
+//! dex-check perf [--results DIR] [--baselines DIR] [--tolerance PCT]
+//!                [--update] [--self-test]
 //! dex-check all
 //! ```
 //!
@@ -53,6 +55,8 @@ USAGE:
   dex-check lint   [--root DIR]
   dex-check timeline [--out FILE] [--spans-out FILE]
   dex-check metrics
+  dex-check perf [--results DIR] [--baselines DIR] [--tolerance PCT]
+                 [--update] [--self-test]
   dex-check all
 
 SUBCOMMANDS:
@@ -84,9 +88,16 @@ SUBCOMMANDS:
            stitches requester -> origin -> requester across nodes.
   metrics  run the sample workload with a MetricsRegistry attached and
            print the per-node / per-link counter and histogram snapshot
+  perf     diff fresh BENCH_*.json results (written by the crates/bench
+           binaries, see DEX_BENCH_OUT) against the committed baselines
+           in baselines/perf with a tolerance band; --update rewrites
+           the baselines from the results dir; --self-test perturbs
+           each committed baseline past the band and verifies the
+           comparison fails (proves the gate has teeth)
   all      lint + races + faults + explore (small budget + mutation
-           sweep) + timeline + metrics + model (2 nodes x 2 pages, and
-           the 3-node coalescing world, with a full mutation sweep)
+           sweep) + timeline + metrics + perf self-test + model (2
+           nodes x 2 pages, and the 3-node coalescing world, with a
+           full mutation sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
@@ -108,6 +119,15 @@ EXPLORE OPTIONS:
                      to catch it; `all` sweeps every mutation
   --write-trace F    write minimized counterexample schedule log(s) to F
                      (sweep mode appends `.<mutation>`)
+
+PERF OPTIONS:
+  --results DIR      directory with fresh BENCH_*.json files (default
+                     $DEX_BENCH_OUT, then the current directory)
+  --baselines DIR    committed baselines (default <workspace>/baselines/perf)
+  --tolerance PCT    relative band in percent, 1..=400 (default 25)
+  --update           rewrite the baselines from the results directory
+  --self-test        skip the comparison; verify seeded regressions in
+                     each committed baseline are caught by the band
 ";
 
 fn main() -> ExitCode {
@@ -128,6 +148,7 @@ fn main() -> ExitCode {
         "lint" => cmd_lint(rest),
         "timeline" => cmd_timeline(rest),
         "metrics" => cmd_metrics(rest),
+        "perf" => cmd_perf(rest),
         "all" => cmd_all(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -614,6 +635,93 @@ fn cmd_metrics(args: &[String]) -> Result<bool, String> {
     Ok(ok)
 }
 
+fn cmd_perf(args: &[String]) -> Result<bool, String> {
+    let mut results: Option<PathBuf> = None;
+    let mut baselines: Option<PathBuf> = None;
+    let mut tolerance = dex_check::PerfTolerance::default();
+    let mut update = false;
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--results" => results = Some(PathBuf::from(value("--results")?)),
+            "--baselines" => baselines = Some(PathBuf::from(value("--baselines")?)),
+            "--tolerance" => {
+                tolerance.relative = parse_num(value("--tolerance")?, 1, 400)? as f64 / 100.0
+            }
+            "--update" => update = true,
+            "--self-test" => self_test = true,
+            other => return Err(format!("unknown flag `{other}` for `perf`\n\n{USAGE}")),
+        }
+    }
+    let baseline_dir = match baselines {
+        Some(dir) => dir,
+        None => workspace_root()?.join("baselines/perf"),
+    };
+
+    if self_test {
+        println!(
+            "perf self-test: seeding regressions past the ±{:.0}% band in {}",
+            tolerance.relative * 100.0,
+            baseline_dir.display()
+        );
+        let lines = dex_check::self_test(&baseline_dir, &tolerance)?;
+        for line in &lines {
+            println!("  {line}");
+        }
+        println!(
+            "perf self-test PASS ({} baseline(s) have teeth)",
+            lines.len()
+        );
+        return Ok(true);
+    }
+
+    let results_dir = results.unwrap_or_else(|| {
+        PathBuf::from(std::env::var("DEX_BENCH_OUT").unwrap_or_else(|_| ".".to_string()))
+    });
+
+    if update {
+        let fresh = dex_check::load_results(&results_dir)?;
+        if fresh.is_empty() {
+            return Err(format!(
+                "no BENCH_*.json results in {} to baseline",
+                results_dir.display()
+            ));
+        }
+        std::fs::create_dir_all(&baseline_dir)
+            .map_err(|e| format!("{}: {e}", baseline_dir.display()))?;
+        for result in fresh.values() {
+            let path = baseline_dir.join(result.file_name());
+            std::fs::write(&path, result.to_json())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("baselined {}", path.display());
+        }
+        println!("perf baselines updated ({})", fresh.len());
+        return Ok(true);
+    }
+
+    println!(
+        "perf gate: {} vs baselines in {} (±{:.0}% band, absolute floor {})",
+        results_dir.display(),
+        baseline_dir.display(),
+        tolerance.relative * 100.0,
+        tolerance.absolute
+    );
+    let (lines, violations) = dex_check::compare_dirs(&baseline_dir, &results_dir, &tolerance)?;
+    for line in &lines {
+        println!("  {line}");
+    }
+    for violation in &violations {
+        println!("  VIOLATION {violation}");
+    }
+    let ok = violations.is_empty();
+    println!("perf {}", if ok { "PASS" } else { "FAIL" });
+    Ok(ok)
+}
+
 fn cmd_all(args: &[String]) -> Result<bool, String> {
     if !args.is_empty() {
         return Err(format!("`all` takes no flags\n\n{USAGE}"));
@@ -645,6 +753,9 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
 
     println!("\n== metrics ==");
     ok &= cmd_metrics(&[])?;
+
+    println!("\n== perf: baseline self-test ==");
+    ok &= cmd_perf(&["--self-test".into()])?;
 
     println!("\n== model: 2 nodes x 2 pages, mutation sweep ==");
     ok &= cmd_model(&[

@@ -1,0 +1,367 @@
+//! The perf-regression gate behind `dex-check perf`.
+//!
+//! Every bench binary writes a `BENCH_<name>.json` result in the
+//! [`BenchResult`] schema; this module diffs a directory of fresh
+//! results against the committed baselines with a tolerance band. The
+//! simulator is deterministic, so the band absorbs *intentional*
+//! evolution of the cost model and protocol — anything outside it is a
+//! perf regression (or an improvement worth re-baselining with
+//! `dex-check perf --update`).
+//!
+//! The gate must be falsifiable: [`self_test`] takes each baseline,
+//! perturbs one field just past the band, and verifies the comparison
+//! fails — run as part of `dex-check all` so CI proves the gate has
+//! teeth on every commit.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use dex_bench::BenchResult;
+
+/// How far a fresh result may drift from its baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfTolerance {
+    /// Relative band, e.g. `0.25` allows ±25 % around the baseline.
+    pub relative: f64,
+    /// Absolute floor in field units, so tiny baselines (a handful of
+    /// faults, sub-microsecond latencies) don't fail on ±1 jitter.
+    pub absolute: u64,
+}
+
+impl Default for PerfTolerance {
+    fn default() -> Self {
+        PerfTolerance {
+            relative: 0.25,
+            absolute: 16,
+        }
+    }
+}
+
+impl PerfTolerance {
+    /// The maximum allowed absolute difference for a baseline value.
+    pub fn allowed_diff(&self, baseline: u64) -> u64 {
+        ((baseline as f64 * self.relative).ceil() as u64).max(self.absolute)
+    }
+}
+
+/// One field-level tolerance violation.
+#[derive(Clone, Debug)]
+pub struct PerfViolation {
+    /// The bench the field belongs to.
+    pub bench: String,
+    /// Field label (`virtual_time_ns`, `extra.runs`, ...).
+    pub field: String,
+    /// Committed baseline value (`None`: the field is new).
+    pub baseline: Option<u64>,
+    /// Fresh value (`None`: the field disappeared).
+    pub current: Option<u64>,
+}
+
+impl std::fmt::Display for PerfViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => {
+                let pct = if b > 0 {
+                    format!(" ({:+.1}%)", 100.0 * (c as f64 - b as f64) / b as f64)
+                } else {
+                    String::new()
+                };
+                write!(
+                    f,
+                    "{}: {} drifted out of band: baseline {b}, got {c}{pct}",
+                    self.bench, self.field
+                )
+            }
+            (Some(b), None) => write!(
+                f,
+                "{}: {} (baseline {b}) missing from the fresh result",
+                self.bench, self.field
+            ),
+            (None, Some(c)) => write!(
+                f,
+                "{}: new field {} = {c} not in the baseline (re-baseline with --update)",
+                self.bench, self.field
+            ),
+            (None, None) => write!(f, "{}: {} missing on both sides", self.bench, self.field),
+        }
+    }
+}
+
+/// Compares one fresh result against its baseline. Returns every
+/// field-level violation (empty = within tolerance).
+pub fn compare_results(
+    baseline: &BenchResult,
+    current: &BenchResult,
+    tol: &PerfTolerance,
+) -> Vec<PerfViolation> {
+    let mut violations = Vec::new();
+    let base: BTreeMap<String, u64> = baseline.numeric_fields().into_iter().collect();
+    let cur: BTreeMap<String, u64> = current.numeric_fields().into_iter().collect();
+    for (field, b) in &base {
+        match cur.get(field) {
+            None => violations.push(PerfViolation {
+                bench: baseline.name.clone(),
+                field: field.clone(),
+                baseline: Some(*b),
+                current: None,
+            }),
+            Some(c) => {
+                if c.abs_diff(*b) > tol.allowed_diff(*b) {
+                    violations.push(PerfViolation {
+                        bench: baseline.name.clone(),
+                        field: field.clone(),
+                        baseline: Some(*b),
+                        current: Some(*c),
+                    });
+                }
+            }
+        }
+    }
+    for (field, c) in &cur {
+        if !base.contains_key(field) {
+            violations.push(PerfViolation {
+                bench: baseline.name.clone(),
+                field: field.clone(),
+                baseline: None,
+                current: Some(*c),
+            });
+        }
+    }
+    violations
+}
+
+/// Loads every `BENCH_*.json` in `dir`, keyed by bench name.
+pub fn load_results(dir: &Path) -> Result<BTreeMap<String, BenchResult>, String> {
+    let mut results = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let path = entry.path();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let result =
+            BenchResult::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        results.insert(result.name.clone(), result);
+    }
+    Ok(results)
+}
+
+/// Diffs a results directory against a baseline directory. Returns
+/// `(status lines, violations)`; the gate passes when `violations` is
+/// empty. Every baseline must have a fresh result and vice versa.
+pub fn compare_dirs(
+    baseline_dir: &Path,
+    results_dir: &Path,
+    tol: &PerfTolerance,
+) -> Result<(Vec<String>, Vec<PerfViolation>), String> {
+    let baselines = load_results(baseline_dir)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+    }
+    let results = load_results(results_dir)?;
+    let mut lines = Vec::new();
+    let mut violations = Vec::new();
+    for (name, baseline) in &baselines {
+        match results.get(name) {
+            None => {
+                violations.push(PerfViolation {
+                    bench: name.clone(),
+                    field: "<result file>".to_string(),
+                    baseline: Some(0),
+                    current: None,
+                });
+                lines.push(format!("{name}: MISSING (no fresh BENCH_{name}.json)"));
+            }
+            Some(current) => {
+                let v = compare_results(baseline, current, tol);
+                lines.push(format!(
+                    "{name}: {} ({} fields checked, {} out of band)",
+                    if v.is_empty() { "ok" } else { "FAIL" },
+                    baseline.numeric_fields().len(),
+                    v.len()
+                ));
+                violations.extend(v);
+            }
+        }
+    }
+    for name in results.keys() {
+        if !baselines.contains_key(name) {
+            violations.push(PerfViolation {
+                bench: name.clone(),
+                field: "<baseline file>".to_string(),
+                baseline: None,
+                current: Some(0),
+            });
+            lines.push(format!(
+                "{name}: UNTRACKED (no committed baseline; add with --update)"
+            ));
+        }
+    }
+    Ok((lines, violations))
+}
+
+/// Proves the gate has teeth: for every committed baseline, (a) the
+/// baseline compared to itself passes, and (b) a copy with
+/// `virtual_time_ns` (or, for run-less benches, the first extra)
+/// perturbed just past the band fails. Returns the per-bench status
+/// lines; errors if any seeded regression slips through.
+pub fn self_test(baseline_dir: &Path, tol: &PerfTolerance) -> Result<Vec<String>, String> {
+    let baselines = load_results(baseline_dir)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            baseline_dir.display()
+        ));
+    }
+    let mut lines = Vec::new();
+    for (name, baseline) in &baselines {
+        if !compare_results(baseline, baseline, tol).is_empty() {
+            return Err(format!("{name}: baseline does not match itself"));
+        }
+        let mut seeded = baseline.clone();
+        let field = if seeded.virtual_time_ns > 0 {
+            seeded.virtual_time_ns += tol.allowed_diff(seeded.virtual_time_ns) + 1;
+            "virtual_time_ns".to_string()
+        } else {
+            let (key, value) = seeded
+                .extra
+                .iter()
+                .next()
+                .map(|(k, v)| (k.clone(), *v))
+                .ok_or_else(|| format!("{name}: baseline has no perturbable field"))?;
+            seeded
+                .extra
+                .insert(key.clone(), value + tol.allowed_diff(value) + 1);
+            format!("extra.{key}")
+        };
+        if compare_results(baseline, &seeded, tol).is_empty() {
+            return Err(format!(
+                "{name}: seeded regression in {field} passed the gate — the band is toothless"
+            ));
+        }
+        lines.push(format!("{name}: seeded regression in {field} caught"));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str) -> BenchResult {
+        BenchResult {
+            name: name.into(),
+            virtual_time_ns: 1_000_000,
+            read_faults: 100,
+            write_faults: 200,
+            retried_faults: 4,
+            msgs_sent: 500,
+            bytes_sent: 100_000,
+            fault_p50_ns: 20_000,
+            fault_p99_ns: 160_000,
+            extra: [("rounds".to_string(), 50_u64)].into(),
+        }
+    }
+
+    #[test]
+    fn identical_results_pass() {
+        let r = sample("x");
+        assert!(compare_results(&r, &r, &PerfTolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn drift_inside_the_band_passes_outside_fails() {
+        let base = sample("x");
+        let tol = PerfTolerance::default();
+        let mut near = base.clone();
+        near.virtual_time_ns = 1_200_000; // +20% < 25%
+        assert!(compare_results(&base, &near, &tol).is_empty());
+        let mut far = base.clone();
+        far.virtual_time_ns = 1_300_000; // +30% > 25%
+        let v = compare_results(&base, &far, &tol);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field, "virtual_time_ns");
+        assert!(v[0].to_string().contains("+30.0%"), "{}", v[0]);
+    }
+
+    #[test]
+    fn small_values_get_the_absolute_floor() {
+        let mut base = sample("x");
+        base.retried_faults = 2;
+        let mut cur = base.clone();
+        cur.retried_faults = 10; // |diff| = 8 <= absolute floor 16
+        assert!(compare_results(&base, &cur, &PerfTolerance::default()).is_empty());
+        cur.retried_faults = 30; // 28 > 16
+        assert_eq!(
+            compare_results(&base, &cur, &PerfTolerance::default()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn added_and_removed_extras_are_violations() {
+        let base = sample("x");
+        let mut cur = base.clone();
+        cur.extra.remove("rounds");
+        cur.extra.insert("new_thing".into(), 1);
+        let v = compare_results(&base, &cur, &PerfTolerance::default());
+        assert_eq!(v.len(), 2);
+        assert!(v
+            .iter()
+            .any(|v| v.field == "extra.rounds" && v.current.is_none()));
+        assert!(v
+            .iter()
+            .any(|v| v.field == "extra.new_thing" && v.baseline.is_none()));
+    }
+
+    #[test]
+    fn dir_comparison_and_self_test_round_trip() {
+        let tmp = std::env::temp_dir().join(format!("dex-perf-test-{}", std::process::id()));
+        let base_dir = tmp.join("baselines");
+        let res_dir = tmp.join("results");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&res_dir).unwrap();
+        let r = sample("table9");
+        std::fs::write(base_dir.join(r.file_name()), r.to_json()).unwrap();
+        std::fs::write(res_dir.join(r.file_name()), r.to_json()).unwrap();
+
+        let tol = PerfTolerance::default();
+        let (lines, violations) = compare_dirs(&base_dir, &res_dir, &tol).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(lines.len(), 1);
+
+        // The self-test proves a seeded regression is caught.
+        let lines = self_test(&base_dir, &tol).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("caught"));
+
+        // A missing fresh result fails the gate.
+        std::fs::remove_file(res_dir.join(r.file_name())).unwrap();
+        let (_, violations) = compare_dirs(&base_dir, &res_dir, &tol).unwrap();
+        assert_eq!(violations.len(), 1);
+
+        // A run-less baseline (virtual_time_ns = 0) perturbs an extra.
+        let static_bench = BenchResult {
+            name: "table9".into(),
+            ..Default::default()
+        }
+        .with_extra("loc", 40);
+        std::fs::write(
+            base_dir.join(static_bench.file_name()),
+            static_bench.to_json(),
+        )
+        .unwrap();
+        let lines = self_test(&base_dir, &tol).unwrap();
+        assert!(lines[0].contains("extra.loc"), "{lines:?}");
+
+        std::fs::remove_dir_all(&tmp).unwrap();
+    }
+}

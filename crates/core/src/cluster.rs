@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use dex_net::{MetricsRegistry, MetricsSnapshot, NetConfig, NodeId};
+use dex_net::{MetricsRegistry, MetricsSnapshot, NetConfig, NodeId, TimeSeries};
 use dex_os::{Pid, VirtAddr, PAGE_SIZE};
 use dex_sim::{Engine, Histogram, SchedulePolicyHandle, SimDuration, SimTime};
 
@@ -23,6 +23,7 @@ use crate::span::{Span, SpanBuffer};
 use crate::sync::{
     new_barrier, new_condvar, new_mutex, new_rwlock, DexBarrier, DexCondvar, DexMutex, DexRwLock,
 };
+use crate::telemetry::{HealthEvent, Telemetry, TelemetryConfig};
 use crate::thread::{DexThread, ThreadCtx};
 use crate::trace::{FaultEvent, TraceBuffer};
 
@@ -55,6 +56,11 @@ pub struct ClusterConfig {
     pub spans: bool,
     /// Attach a per-node/per-link [`MetricsRegistry`] to the run.
     pub metrics: bool,
+    /// Continuous telemetry: windowed time-series and online health
+    /// monitors driven by the engine's virtual-time sampler. `None` —
+    /// the default — installs no sampler; the run is byte-identical to
+    /// builds without the telemetry subsystem.
+    pub telemetry: Option<TelemetryConfig>,
     /// Record the deterministic schedule (driver accept order) for
     /// bit-identity comparisons.
     pub record_schedule: bool,
@@ -93,6 +99,7 @@ impl ClusterConfig {
             trace: false,
             spans: false,
             metrics: false,
+            telemetry: None,
             record_schedule: false,
             race: false,
             event_budget: u64::MAX,
@@ -120,6 +127,30 @@ impl ClusterConfig {
     /// Attaches a [`MetricsRegistry`]: per-node and per-link counters and
     /// wait-time histograms, snapshotted into the report.
     pub fn with_metrics(mut self) -> Self {
+        self.metrics = true;
+        self
+    }
+
+    /// Enables continuous telemetry with the given virtual-time window
+    /// and default monitor thresholds: the engine samples the metrics
+    /// registry at every window boundary into a [`TimeSeries`], and the
+    /// online health monitors watch each window for page ping-pong,
+    /// retry storms, stalled requests, and fabric queue buildup.
+    /// Implies [`ClusterConfig::with_spans`] and
+    /// [`ClusterConfig::with_metrics`].
+    pub fn with_telemetry(self, window: SimDuration) -> Self {
+        self.with_telemetry_config(TelemetryConfig {
+            window,
+            monitors: crate::telemetry::MonitorConfig::default(),
+        })
+    }
+
+    /// Enables continuous telemetry with explicit monitor thresholds.
+    /// Implies [`ClusterConfig::with_spans`] and
+    /// [`ClusterConfig::with_metrics`].
+    pub fn with_telemetry_config(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self.spans = true;
         self.metrics = true;
         self
     }
@@ -239,7 +270,11 @@ impl Cluster {
         let schedule = cfg
             .record_schedule
             .then(|| engine.record_schedule(format!("dex run, {} nodes", cfg.nodes)));
-        let metrics = cfg.metrics.then(|| MetricsRegistry::new(cfg.nodes));
+        let metrics = (cfg.metrics || cfg.telemetry.is_some()).then(|| {
+            // Telemetry needs the registry even if the caller set the
+            // `telemetry` field directly without `with_metrics`.
+            MetricsRegistry::new(cfg.nodes)
+        });
         let fabric = crate::process::Fabric::with_instrumentation(
             cfg.net.clone(),
             cfg.nodes,
@@ -263,7 +298,7 @@ impl Cluster {
             fabric,
             registry,
             config: cfg,
-            metrics,
+            metrics: metrics.clone(),
             created: std::cell::RefCell::new(Vec::new()),
         };
         setup(&handle);
@@ -273,11 +308,38 @@ impl Cluster {
             "setup must create at least one process"
         );
 
+        // Telemetry: install the virtual-time sampler after setup so the
+        // monitors see every created process's span buffer. The sampler
+        // is pure observation (it snapshots counters and drains the span
+        // cursor between events) — installing it adds no events.
+        let telemetry = cfg.telemetry.as_ref().map(|tcfg| {
+            let registry = metrics.clone().expect("telemetry implies metrics");
+            let buffers = created.iter().map(|s| s.spans.clone()).collect();
+            let state = Arc::new(parking_lot::Mutex::new(Some(Telemetry::new(
+                registry, tcfg, buffers,
+            ))));
+            let sampler_state = Arc::clone(&state);
+            engine.set_sampler(tcfg.window, move |boundary| {
+                if let Some(t) = sampler_state.lock().as_mut() {
+                    t.on_boundary(boundary);
+                }
+            });
+            state
+        });
+
         let end: SimTime = match engine.run() {
             Ok(end) => end,
             Err(e) => panic!("dex simulation failed: {e}"),
         };
 
+        let (series, health) = match telemetry {
+            Some(state) => {
+                let t = state.lock().take().expect("telemetry finishes once");
+                let (series, health) = t.finish(end);
+                (Some(series), health)
+            }
+            None => (None, Vec::new()),
+        };
         let schedule_text = schedule.map(|log| log.lock().to_text());
         created
             .into_iter()
@@ -297,6 +359,8 @@ impl Cluster {
                     trace,
                     spans,
                     metrics,
+                    series: series.clone(),
+                    health: health.clone(),
                     schedule: schedule_text.clone(),
                     race_events,
                     shared,
@@ -620,6 +684,13 @@ pub struct RunReport {
     /// Cluster-wide counters/histograms (present only when
     /// [`ClusterConfig::with_metrics`] was set).
     pub metrics: Option<MetricsSnapshot>,
+    /// Windowed time-series (present only when
+    /// [`ClusterConfig::with_telemetry`] was set). Cluster-wide: every
+    /// process of a multi-process run reports the same series.
+    pub series: Option<TimeSeries>,
+    /// Health events from the online monitors (empty unless
+    /// [`ClusterConfig::with_telemetry`] was set). Cluster-wide.
+    pub health: Vec<HealthEvent>,
     /// Text rendering of the deterministic schedule (present only when
     /// [`ClusterConfig::with_schedule_recording`] was set).
     pub schedule: Option<String>,

@@ -64,6 +64,7 @@ mod process;
 mod race;
 mod span;
 mod sync;
+mod telemetry;
 mod thread;
 mod trace;
 
@@ -78,6 +79,7 @@ pub use process::{MigrationSample, ObjectSpan, ProcessShared, RunStats};
 pub use race::{RaceEvent, RaceEventKind, RaceTrace};
 pub use span::{Span, SpanBuffer, SpanId, SpanKind};
 pub use sync::{DexBarrier, DexCondvar, DexMutex, DexRwLock};
+pub use telemetry::{HealthEvent, HealthEventKind, MonitorConfig, TelemetryConfig};
 pub use thread::{DexThread, MigrateError, ThreadCtx, FUTEX_EAGAIN};
 pub use trace::{FaultEvent, FaultKind, TraceBuffer};
 

@@ -290,6 +290,30 @@ impl SpanBuffer {
         self.inner.lock().spans.iter().cloned().collect()
     }
 
+    /// Copies the spans recorded at position `from` or later, where
+    /// positions count every span ever recorded (evicted ones included —
+    /// an evicted span in the range is simply absent from the result).
+    /// Returns the spans and the next cursor value, letting a consumer
+    /// stream the buffer incrementally:
+    ///
+    /// ```
+    /// # use dex_core::SpanBuffer;
+    /// let spans = SpanBuffer::enabled();
+    /// let (batch, cursor) = spans.snapshot_since(0);
+    /// assert!(batch.is_empty());
+    /// let (_, again) = spans.snapshot_since(cursor);
+    /// assert_eq!(cursor, again);
+    /// ```
+    pub fn snapshot_since(&self, from: u64) -> (Vec<Span>, u64) {
+        let inner = self.inner.lock();
+        let total = inner.dropped + inner.spans.len() as u64;
+        let skip = from
+            .saturating_sub(inner.dropped)
+            .min(inner.spans.len() as u64);
+        let spans = inner.spans.iter().skip(skip as usize).cloned().collect();
+        (spans, total)
+    }
+
     /// Spans evicted by the capacity bound (0 for unbounded buffers).
     pub fn dropped(&self) -> u64 {
         self.inner.lock().dropped
@@ -359,6 +383,33 @@ mod tests {
         assert_eq!(b.len(), 2);
         assert_eq!(b.dropped(), 1);
         assert_eq!(b.snapshot()[0].id, SpanId(2));
+    }
+
+    #[test]
+    fn snapshot_since_streams_incrementally() {
+        let b = SpanBuffer::enabled();
+        b.record(span(1, SpanKind::Fault));
+        b.record(span(2, SpanKind::Fault));
+        let (batch, cursor) = b.snapshot_since(0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cursor, 2);
+        b.record(span(3, SpanKind::FaultRetry));
+        let (batch, cursor) = b.snapshot_since(cursor);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].id, SpanId(3));
+        assert_eq!(cursor, 3);
+        assert!(b.snapshot_since(cursor).0.is_empty());
+
+        // Eviction shifts nothing: positions count evicted spans too.
+        let b = SpanBuffer::bounded(2);
+        b.record(span(1, SpanKind::Fault));
+        let (_, cursor) = b.snapshot_since(0);
+        for i in 2..=4 {
+            b.record(span(i, SpanKind::Fault));
+        }
+        let (batch, _) = b.snapshot_since(cursor);
+        // Span 2 was evicted before this drain; 3 and 4 remain.
+        assert_eq!(batch.iter().map(|s| s.id.0).collect::<Vec<_>>(), vec![3, 4]);
     }
 
     #[test]

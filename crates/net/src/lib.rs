@@ -44,8 +44,13 @@ mod config;
 mod fabric;
 mod metrics;
 mod pool;
+mod series;
 
 pub use config::{NetConfig, RdmaStrategy};
 pub use fabric::{Delivery, Endpoint, Fabric, NodeId, SpanContext, WireMessage, HEADER_BYTES};
-pub use metrics::{HistogramSummary, LinkMetrics, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    HistogramStats, HistogramSummary, LinkMetrics, MetricsRegistry, MetricsSnapshot,
+    DEFAULT_HIST_CAP,
+};
 pub use pool::{ChunkGrant, CreditPool, TimedPool};
+pub use series::{CounterPoint, HistPoint, SeriesBuilder, SeriesScope, TimeSeries, WindowPoints};

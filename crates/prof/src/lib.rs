@@ -44,14 +44,18 @@ mod analyze;
 pub mod codec;
 mod critical_path;
 mod report;
+pub mod series_codec;
 pub mod span_codec;
 mod timeline;
+mod top;
 
 pub use analyze::{FalseSharingSuspect, NodeTraffic, PageStat, Profile, SiteStat};
 pub use codec::{decode_trace, decode_trace_with_dropped, encode_trace, encode_trace_with_dropped};
 pub use critical_path::{migration_phases, render_critical_path, PhaseStat};
 pub use report::{render_report, ReportOptions};
+pub use series_codec::{decode_series, encode_series};
 pub use span_codec::{
     decode_spans, decode_spans_with_dropped, encode_spans, encode_spans_with_dropped,
 };
-pub use timeline::export_chrome_trace;
+pub use timeline::{export_chrome_trace, export_chrome_trace_with_series};
+pub use top::render_top;

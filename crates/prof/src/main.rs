@@ -1,0 +1,120 @@
+//! `dex-prof` — the profiling CLI for the DEX reproduction.
+//!
+//! ```text
+//! dex-prof top [FILE] [--window N]
+//! ```
+//!
+//! `top` renders one window of a `# dex-series v1` telemetry time-series
+//! as a per-node dashboard: counter deltas by node, link traffic,
+//! per-window latency quantiles. Without FILE it runs the built-in
+//! sharing demo workload with telemetry enabled and renders its final
+//! window, health alarms included.
+//!
+//! Exit status: `0` on success, `1` when the rendered window carries
+//! health alarms (live mode), `2` on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use dex_core::{Cluster, ClusterConfig, DsmCell};
+use dex_prof::{decode_series, render_top};
+use dex_sim::SimDuration;
+
+const USAGE: &str = "\
+dex-prof — telemetry dashboard for DEX runs
+
+USAGE:
+  dex-prof top [FILE] [--window N]
+
+SUBCOMMANDS:
+  top      render one window of a `# dex-series v1` time-series as a
+           per-node dashboard (counters, link traffic, latency
+           quantiles). FILE is a series text file; without it, the
+           built-in sharing demo runs live with telemetry and the final
+           window is rendered together with its health alarms.
+
+OPTIONS:
+  --window N   render window N instead of the last one
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "top" => cmd_top(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("dex-prof: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<bool, String> {
+    let mut file: Option<String> = None;
+    let mut window: Option<u64> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--window" => {
+                let v = it.next().ok_or("--window needs a value")?;
+                window = Some(v.parse().map_err(|_| format!("`{v}` is not a number"))?);
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `top`\n\n{USAGE}"))
+            }
+            path if file.is_none() => file = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+
+    match file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+            let series = decode_series(&text).map_err(|e| format!("{path}: {e}"))?;
+            print!("{}", render_top(&series, &[], window));
+            Ok(true)
+        }
+        None => {
+            let report = run_demo();
+            let series = report.series.expect("telemetry was enabled");
+            print!("{}", render_top(&series, &report.health, window));
+            Ok(report.health.is_empty())
+        }
+    }
+}
+
+/// The live demo: two nodes alternately writing one cell — enough
+/// cross-node traffic to light up every dashboard section.
+fn run_demo() -> dex_core::RunReport {
+    let config = ClusterConfig::new(2).with_telemetry(SimDuration::from_millis(1));
+    Cluster::new(config).run(|p| {
+        let cell: DsmCell<u64> = p.alloc_cell_tagged(0, "shared_counter");
+        let barrier = p.new_barrier(2, "start");
+        for node in [0u16, 1u16] {
+            p.spawn(move |ctx| {
+                if node != 0 {
+                    ctx.migrate(node).expect("node exists");
+                }
+                barrier.wait(ctx);
+                for _ in 0..12 {
+                    cell.rmw(ctx, |v| v + 1);
+                    ctx.compute_ops(300_000);
+                }
+            });
+        }
+    })
+}

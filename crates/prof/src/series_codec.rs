@@ -1,0 +1,240 @@
+//! Text serialization of windowed telemetry time-series.
+//!
+//! Companion to the trace and span codecs: line-oriented, tab-separated,
+//! versioned by a header line, free-form fields escaped reversibly with
+//! the same scheme ([`escape_field`](crate::codec::escape_field)). The
+//! series preamble is carried in `#`-prefixed metadata lines so the body
+//! stays uniform:
+//!
+//! ```text
+//! # dex-series v1
+//! # window <ns>
+//! # windows <n>
+//! # end <ns>
+//! c\t<window>\t<scope>\t<name>\t<delta>
+//! h\t<window>\t<node>\t<name>\t<count>\t<p50_ns>\t<p95_ns>\t<p99_ns>
+//! ```
+//!
+//! `<scope>` is `node<N>` or `link<SRC>><DST>` (the
+//! [`SeriesScope`] display form). Counter and histogram rows may
+//! interleave; decoding preserves their original order within each kind.
+
+use dex_net::{CounterPoint, HistPoint, SeriesScope, TimeSeries};
+use dex_sim::{SimDuration, SimTime};
+
+use crate::codec::{escape_field, unescape_field};
+
+/// Magic header identifying the series format.
+pub const SERIES_HEADER: &str = "# dex-series v1";
+
+fn encode_scope(scope: SeriesScope) -> String {
+    scope.to_string()
+}
+
+fn decode_scope(s: &str) -> Option<SeriesScope> {
+    if let Some(n) = s.strip_prefix("node") {
+        return n.parse().ok().map(SeriesScope::Node);
+    }
+    let rest = s.strip_prefix("link")?;
+    let (src, dst) = rest.split_once('>')?;
+    Some(SeriesScope::Link(src.parse().ok()?, dst.parse().ok()?))
+}
+
+/// Serializes `series` into the versioned text format.
+pub fn encode_series(series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(
+        (series.counters.len() + series.hists.len()) * 48 + SERIES_HEADER.len() + 64,
+    );
+    out.push_str(SERIES_HEADER);
+    out.push('\n');
+    out.push_str(&format!("# window {}\n", series.window.as_nanos()));
+    out.push_str(&format!("# windows {}\n", series.windows));
+    out.push_str(&format!("# end {}\n", series.end.as_nanos()));
+    for p in &series.counters {
+        out.push_str(&format!(
+            "c\t{}\t{}\t{}\t{}\n",
+            p.window,
+            encode_scope(p.scope),
+            escape_field(&p.name),
+            p.delta
+        ));
+    }
+    for p in &series.hists {
+        out.push_str(&format!(
+            "h\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            p.window,
+            p.node,
+            escape_field(&p.name),
+            p.count,
+            p.p50.as_nanos(),
+            p.p95.as_nanos(),
+            p.p99.as_nanos()
+        ));
+    }
+    out
+}
+
+/// Parses the text format produced by [`encode_series`].
+pub fn decode_series(text: &str) -> Result<TimeSeries, String> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == SERIES_HEADER => {}
+        Some((_, header)) => {
+            return Err(format!(
+                "unrecognized series header {header:?} (expected {SERIES_HEADER:?})"
+            ))
+        }
+        None => return Err("empty series file".to_string()),
+    }
+    let mut series = TimeSeries::default();
+    for (lineno, line) in lines {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            let meta = |prefix: &str| line.strip_prefix(prefix).map(str::trim);
+            let parse_meta = |v: &str, what: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+            };
+            if let Some(v) = meta("# window ") {
+                series.window = SimDuration::from_nanos(parse_meta(v, "window width")?);
+            } else if let Some(v) = meta("# windows ") {
+                series.windows = parse_meta(v, "window count")?;
+            } else if let Some(v) = meta("# end ") {
+                series.end = SimTime::from_nanos(parse_meta(v, "end time")?);
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, String> {
+            s.parse()
+                .map_err(|e| format!("line {}: bad {what}: {e}", lineno + 1))
+        };
+        match fields[0] {
+            "c" => {
+                if fields.len() != 5 {
+                    return Err(format!(
+                        "line {}: expected 5 fields for a counter point, got {}",
+                        lineno + 1,
+                        fields.len()
+                    ));
+                }
+                let scope = decode_scope(fields[2])
+                    .ok_or_else(|| format!("line {}: bad scope {:?}", lineno + 1, fields[2]))?;
+                series.counters.push(CounterPoint {
+                    window: parse_u64(fields[1], "window")?,
+                    scope,
+                    name: unescape_field(fields[3])
+                        .map_err(|e| format!("line {}: name: {e}", lineno + 1))?,
+                    delta: parse_u64(fields[4], "delta")?,
+                });
+            }
+            "h" => {
+                if fields.len() != 8 {
+                    return Err(format!(
+                        "line {}: expected 8 fields for a histogram point, got {}",
+                        lineno + 1,
+                        fields.len()
+                    ));
+                }
+                series.hists.push(HistPoint {
+                    window: parse_u64(fields[1], "window")?,
+                    node: fields[2]
+                        .parse()
+                        .map_err(|e| format!("line {}: bad node: {e}", lineno + 1))?,
+                    name: unescape_field(fields[3])
+                        .map_err(|e| format!("line {}: name: {e}", lineno + 1))?,
+                    count: parse_u64(fields[4], "count")?,
+                    p50: SimDuration::from_nanos(parse_u64(fields[5], "p50")?),
+                    p95: SimDuration::from_nanos(parse_u64(fields[6], "p95")?),
+                    p99: SimDuration::from_nanos(parse_u64(fields[7], "p99")?),
+                });
+            }
+            other => {
+                return Err(format!(
+                    "line {}: unknown row kind {other:?} (expected `c` or `h`)",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TimeSeries {
+        TimeSeries {
+            window: SimDuration::from_micros(50),
+            windows: 3,
+            end: SimTime::from_nanos(123_456),
+            counters: vec![
+                CounterPoint {
+                    window: 0,
+                    scope: SeriesScope::Node(1),
+                    name: "dsm.faults_write".into(),
+                    delta: 4,
+                },
+                CounterPoint {
+                    window: 2,
+                    scope: SeriesScope::Link(0, 1),
+                    name: "bytes".into(),
+                    delta: 8_192,
+                },
+            ],
+            hists: vec![HistPoint {
+                window: 1,
+                node: 0,
+                name: "net.send_pool_wait".into(),
+                count: 12,
+                p50: SimDuration::from_nanos(900),
+                p95: SimDuration::from_nanos(2_400),
+                p99: SimDuration::from_nanos(2_500),
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_all_fields() {
+        let series = sample();
+        let decoded = decode_series(&encode_series(&series)).unwrap();
+        assert_eq!(decoded.window, series.window);
+        assert_eq!(decoded.windows, series.windows);
+        assert_eq!(decoded.end, series.end);
+        assert_eq!(decoded.counters, series.counters);
+        assert_eq!(decoded.hists, series.hists);
+    }
+
+    #[test]
+    fn rejects_bad_header_and_malformed_lines() {
+        assert!(decode_series("").is_err());
+        assert!(decode_series("# dex-spans v1\n").is_err());
+        assert!(decode_series("# dex-series v2\n").is_err());
+        let bad_kind = format!("{SERIES_HEADER}\nz\t0\tnode0\tx\t1\n");
+        assert!(decode_series(&bad_kind).is_err());
+        let short = format!("{SERIES_HEADER}\nc\t0\tnode0\n");
+        assert!(decode_series(&short).is_err());
+        let bad_scope = format!("{SERIES_HEADER}\nc\t0\tzone3\tx\t1\n");
+        assert!(decode_series(&bad_scope).is_err());
+    }
+
+    #[test]
+    fn empty_series_round_trips() {
+        let decoded = decode_series(&encode_series(&TimeSeries::default())).unwrap();
+        assert_eq!(decoded.windows, 0);
+        assert!(decoded.counters.is_empty() && decoded.hists.is_empty());
+    }
+
+    #[test]
+    fn hostile_names_round_trip() {
+        for s in ["tab\there", "-", "", "new\nline", "back\\slash"] {
+            let mut series = sample();
+            series.counters[0].name = s.to_string();
+            series.hists[0].name = s.to_string();
+            let decoded = decode_series(&encode_series(&series)).unwrap();
+            assert_eq!(decoded.counters[0].name, s);
+            assert_eq!(decoded.hists[0].name, s);
+        }
+    }
+}

@@ -8,10 +8,16 @@
 //!
 //! The output loads directly in [Perfetto](https://ui.perfetto.dev) or
 //! `chrome://tracing`. Timestamps are microseconds of virtual time.
+//!
+//! With a telemetry [`TimeSeries`] attached
+//! ([`export_chrome_trace_with_series`]), the trace additionally carries
+//! counter tracks (`ph:"C"`): per-node counter deltas and per-window
+//! latency quantiles draw as stepped graphs above each node's slices.
 
 use std::fmt::Write as _;
 
 use dex_core::Span;
+use dex_net::{SeriesScope, TimeSeries};
 
 /// The display thread id used for protocol-handler spans
 /// (`Tid(u64::MAX)` on the wire; JSON tids must stay small integers).
@@ -69,6 +75,18 @@ fn micros(ns: u64) -> f64 {
 /// assert!(json.contains("directory_handling"));
 /// ```
 pub fn export_chrome_trace(spans: &[Span]) -> String {
+    export_chrome_trace_with_series(spans, None)
+}
+
+/// Like [`export_chrome_trace`], additionally rendering a telemetry
+/// [`TimeSeries`] as Perfetto counter tracks (`ph:"C"`).
+///
+/// Every counter that ever moved gets one track per node (link counters
+/// land on the source node, named after the link), stepped at each
+/// window boundary — idle windows draw as explicit zeros so gaps are
+/// visible. Per-window histogram quantiles become `<name> p50/p99 (ns)`
+/// tracks.
+pub fn export_chrome_trace_with_series(spans: &[Span], series: Option<&TimeSeries>) -> String {
     let mut out = String::with_capacity(spans.len() * 160 + 64);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
@@ -167,6 +185,52 @@ pub fn export_chrome_trace(spans: &[Span]) -> String {
             }
         }
     }
+
+    if let Some(series) = series {
+        // One counter track per (pid, name); values stepped per window,
+        // with explicit zeros at idle windows so drops are visible.
+        let width_us = micros(series.window.as_nanos());
+        let mut tracks: std::collections::BTreeMap<
+            (u64, String),
+            std::collections::BTreeMap<u64, u64>,
+        > = std::collections::BTreeMap::new();
+        for p in &series.counters {
+            let (pid, name) = match p.scope {
+                SeriesScope::Node(n) => (u64::from(n), p.name.clone()),
+                SeriesScope::Link(s, d) => (u64::from(s), format!("link{s}>{d} {}", p.name)),
+            };
+            *tracks
+                .entry((pid, name))
+                .or_default()
+                .entry(p.window)
+                .or_insert(0) += p.delta;
+        }
+        for p in &series.hists {
+            let pid = u64::from(p.node);
+            for (q, v) in [("p50", p.p50), ("p99", p.p99)] {
+                tracks
+                    .entry((pid, format!("{} {q} (ns)", p.name)))
+                    .or_default()
+                    .insert(p.window, v.as_nanos());
+            }
+        }
+        for ((pid, name), values) in &tracks {
+            let name = json_escape(name);
+            for window in 0..series.windows {
+                let value = values.get(&window).copied().unwrap_or(0);
+                push(
+                    format!(
+                        "{{\"name\":\"{name}\",\"cat\":\"telemetry\",\"ph\":\"C\",\
+                         \"ts\":{:.3},\"pid\":{pid},\"args\":{{\"value\":{value}}}}}",
+                        window as f64 * width_us,
+                    ),
+                    &mut out,
+                    &mut first,
+                );
+            }
+        }
+    }
+
     out.push_str("\n]}\n");
     out
 }
@@ -221,5 +285,50 @@ mod tests {
         // Same-track parent: no flow events.
         let json2 = export_chrome_trace(&[span(1, 0, 1, 3), span(2, 1, 1, 3)]);
         assert!(!json2.contains("\"cat\":\"flow\""));
+    }
+
+    #[test]
+    fn series_renders_as_counter_tracks() {
+        use dex_net::{CounterPoint, HistPoint, SeriesScope, TimeSeries};
+        use dex_sim::SimDuration;
+        let series = TimeSeries {
+            window: SimDuration::from_micros(50),
+            windows: 2,
+            end: SimTime::from_nanos(100_000),
+            counters: vec![
+                CounterPoint {
+                    window: 1,
+                    scope: SeriesScope::Node(0),
+                    name: "dsm.faults_write".into(),
+                    delta: 4,
+                },
+                CounterPoint {
+                    window: 0,
+                    scope: SeriesScope::Link(0, 1),
+                    name: "bytes".into(),
+                    delta: 4_096,
+                },
+            ],
+            hists: vec![HistPoint {
+                window: 0,
+                node: 1,
+                name: "net.send_pool_wait".into(),
+                count: 3,
+                p50: SimDuration::from_nanos(900),
+                p95: SimDuration::from_nanos(950),
+                p99: SimDuration::from_nanos(990),
+            }],
+        };
+        let json = export_chrome_trace_with_series(&[span(1, 0, 0, 3)], Some(&series));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"name\":\"dsm.faults_write\""));
+        assert!(json.contains("\"name\":\"link0>1 bytes\""));
+        assert!(json.contains("\"name\":\"net.send_pool_wait p99 (ns)\""));
+        // Window 0 of the node counter is an explicit zero; window 1 at
+        // the 50µs boundary carries the delta.
+        assert!(json.contains("\"ts\":0.000,\"pid\":0,\"args\":{\"value\":0}"));
+        assert!(json.contains("\"ts\":50.000,\"pid\":0,\"args\":{\"value\":4}"));
+        // Without a series nothing changes.
+        assert!(!export_chrome_trace(&[span(1, 0, 0, 3)]).contains("\"ph\":\"C\""));
     }
 }

@@ -4,14 +4,15 @@
 //! encode/decode round trip unchanged.
 
 use dex_core::{FaultEvent, FaultKind, Span, SpanId, SpanKind};
-use dex_net::NodeId;
+use dex_net::{CounterPoint, HistPoint, NodeId, SeriesScope, TimeSeries};
 use dex_os::{Tid, VirtAddr};
 use dex_prof::codec::intern_site;
 use dex_prof::{
-    decode_spans, decode_spans_with_dropped, decode_trace, decode_trace_with_dropped, encode_spans,
-    encode_spans_with_dropped, encode_trace, encode_trace_with_dropped,
+    decode_series, decode_spans, decode_spans_with_dropped, decode_trace,
+    decode_trace_with_dropped, encode_series, encode_spans, encode_spans_with_dropped,
+    encode_trace, encode_trace_with_dropped,
 };
-use dex_sim::SimTime;
+use dex_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 /// Characters that stress the escaping: structural bytes, the `-`
@@ -95,6 +96,55 @@ fn arb_span() -> impl Strategy<Value = Span> {
         )
 }
 
+fn arb_scope() -> impl Strategy<Value = SeriesScope> {
+    prop_oneof![
+        (0u16..8).prop_map(SeriesScope::Node),
+        (0u16..8, 0u16..8).prop_map(|(s, d)| SeriesScope::Link(s, d)),
+    ]
+}
+
+fn arb_counter_point() -> impl Strategy<Value = CounterPoint> {
+    (any::<u64>(), arb_scope(), hostile_string(), any::<u64>()).prop_map(
+        |(window, scope, name, delta)| CounterPoint {
+            window,
+            scope,
+            name,
+            delta,
+        },
+    )
+}
+
+fn arb_hist_point() -> impl Strategy<Value = HistPoint> {
+    (
+        (any::<u64>(), 0u16..8, hostile_string(), 1u64..1_000_000),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((window, node, name, count), (p50, p95, p99))| HistPoint {
+            window,
+            node,
+            name,
+            count,
+            p50: SimDuration::from_nanos(p50),
+            p95: SimDuration::from_nanos(p95),
+            p99: SimDuration::from_nanos(p99),
+        })
+}
+
+fn arb_series() -> impl Strategy<Value = TimeSeries> {
+    (
+        (1u64..u64::MAX, 0u64..1_000, any::<u64>()),
+        proptest::collection::vec(arb_counter_point(), 0..20),
+        proptest::collection::vec(arb_hist_point(), 0..20),
+    )
+        .prop_map(|((window, windows, end), counters, hists)| TimeSeries {
+            window: SimDuration::from_nanos(window),
+            windows,
+            end: SimTime::from_nanos(end),
+            counters,
+            hists,
+        })
+}
+
 /// Arbitrary (often invalid-UTF-8) bytes, decoded lossily.
 fn arb_text() -> impl Strategy<Value = String> {
     proptest::collection::vec(any::<u8>(), 0..200)
@@ -144,9 +194,20 @@ proptest! {
     }
 
     #[test]
+    fn series_round_trips(series in arb_series()) {
+        let decoded = decode_series(&encode_series(&series)).unwrap();
+        prop_assert_eq!(decoded.window, series.window);
+        prop_assert_eq!(decoded.windows, series.windows);
+        prop_assert_eq!(decoded.end, series.end);
+        prop_assert_eq!(&decoded.counters, &series.counters);
+        prop_assert_eq!(&decoded.hists, &series.hists);
+    }
+
+    #[test]
     fn arbitrary_text_never_panics_the_decoders(text in arb_text()) {
         let _ = decode_trace(&text);
         let _ = decode_spans(&text);
+        let _ = decode_series(&text);
     }
 
     #[test]
@@ -158,6 +219,10 @@ proptest! {
         prop_assert!(decode_spans(&swapped).is_err());
         let wrong_trace = format!("# dex-trace v0\n{body}");
         prop_assert!(decode_trace(&wrong_trace).is_err());
+        let wrong_series = format!("# dex-series v2\n{body}");
+        prop_assert!(decode_series(&wrong_series).is_err());
+        let swapped_series = format!("# dex-spans v1\n{body}");
+        prop_assert!(decode_series(&swapped_series).is_err());
     }
 }
 

@@ -372,8 +372,27 @@ fn pick_with_policy(st: &mut State, policy: &SchedulePolicyHandle) -> Option<(Si
     Some((time, tid))
 }
 
+/// A recurring virtual-time sampler installed via [`Engine::set_sampler`].
+///
+/// The sampler is a *driver-level* callback, not a queued event: the
+/// driver invokes it between accepting an event and resuming the chosen
+/// thread, once for every window boundary at or before the accepted
+/// instant. Because it adds nothing to the event queue, touches no
+/// timers, and runs while no simulated thread does, an installed sampler
+/// is schedule-invisible — runs with and without one are byte-identical
+/// (enforced by test).
+struct Sampler {
+    period: SimDuration,
+    next_boundary: SimTime,
+    callback: Box<dyn FnMut(SimTime) + Send>,
+}
+
 struct Shared {
     state: Mutex<State>,
+    /// Separate lock from `state`: the callback runs with the state lock
+    /// released, so it may freely read shared simulation data (metric
+    /// registries, span buffers) without deadlocking against the driver.
+    sampler: Mutex<Option<Sampler>>,
 }
 
 /// The discrete-event simulation engine. See the crate-level docs for
@@ -435,6 +454,7 @@ impl Engine {
                     schedule: None,
                     policy: None,
                 }),
+                sampler: Mutex::new(None),
             }),
             yield_rx,
             event_budget: budget,
@@ -464,6 +484,40 @@ impl Engine {
     /// schedules to builds that predate the hook.
     pub fn set_schedule_policy(&self, policy: SchedulePolicyHandle) {
         self.shared.state.lock().policy = Some(policy);
+    }
+
+    /// Installs a recurring virtual-time sampler: `callback` is invoked
+    /// with each window boundary `period, 2*period, 3*period, …` as the
+    /// simulation clock crosses it. Windows are half-open `[k*period,
+    /// (k+1)*period)` — an event at exactly the boundary belongs to the
+    /// *next* window, so the callback for boundary `b` observes precisely
+    /// the events that happened strictly before `b`.
+    ///
+    /// The callback runs on the driver thread while every simulated
+    /// thread is suspended and the engine's scheduling state is unlocked:
+    /// it may read any shared simulation data, but it cannot advance
+    /// time, park, send, or spawn. Like schedule recording, sampling is
+    /// pure observation — it adds no events and is byte-identical to a
+    /// run without a sampler (enforced by test).
+    ///
+    /// Virtual instants with no events are never sampled on their own:
+    /// boundaries fire lazily when the clock next moves past them, and
+    /// any boundaries still pending when the queue drains are left to the
+    /// caller (see [`Engine::run`]'s return value for the final clock).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn set_sampler<F>(&self, period: SimDuration, callback: F)
+    where
+        F: FnMut(SimTime) + Send + 'static,
+    {
+        assert!(!period.is_zero(), "sampler period must be positive");
+        *self.shared.sampler.lock() = Some(Sampler {
+            period,
+            next_boundary: SimTime::ZERO + period,
+            callback: Box::new(callback),
+        });
     }
 
     /// Spawns a non-daemon simulated thread that first runs at the current
@@ -535,7 +589,24 @@ impl Engine {
                     }
                 }
             };
-            let Some((_, tid)) = next else { break };
+            let Some((time, tid)) = next else { break };
+
+            // Fire the sampler for every window boundary the clock just
+            // crossed, *before* the chosen thread runs: the event at
+            // `time` belongs to the window starting at the boundary, so a
+            // callback at boundary `b` sees exactly the state produced by
+            // events strictly before `b`. The state lock is released here
+            // — the callback may read shared simulation data freely.
+            {
+                let mut sampler = self.shared.sampler.lock();
+                if let Some(s) = sampler.as_mut() {
+                    while s.next_boundary <= time {
+                        let boundary = s.next_boundary;
+                        s.next_boundary = boundary + s.period;
+                        (s.callback)(boundary);
+                    }
+                }
+            }
 
             // Resume the thread and wait for it to yield back.
             {
@@ -1259,6 +1330,85 @@ mod tests {
         }
         engine.run().unwrap();
         assert_eq!(*got.lock(), Some(0));
+    }
+
+    #[test]
+    fn sampler_fires_at_boundaries_and_sees_prefix_state() {
+        // Thread bumps a counter at t = 4, 8, 12, 16, 20 µs. With a 10µs
+        // window, boundary 10µs must see the bumps strictly before it
+        // (two), and boundary 20µs must NOT see the bump at exactly 20µs
+        // (half-open windows: the boundary event is in the next window).
+        let engine = Engine::new();
+        let counter = StdArc::new(AtomicU64::new(0));
+        let samples = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let counter = StdArc::clone(&counter);
+            let samples = StdArc::clone(&samples);
+            engine.set_sampler(SimDuration::from_micros(10), move |boundary| {
+                samples
+                    .lock()
+                    .push((boundary.as_nanos(), counter.load(Ordering::Relaxed)));
+            });
+        }
+        {
+            let counter = StdArc::clone(&counter);
+            engine.spawn("worker", move |ctx| {
+                for _ in 0..5 {
+                    ctx.advance(SimDuration::from_micros(4));
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(*samples.lock(), vec![(10_000, 2), (20_000, 4)]);
+    }
+
+    #[test]
+    fn sampler_catches_up_over_idle_gaps() {
+        // One event far past several boundaries: every skipped boundary
+        // fires, in order, before the event's thread resumes.
+        let engine = Engine::new();
+        let samples = StdArc::new(Mutex::new(Vec::new()));
+        {
+            let samples = StdArc::clone(&samples);
+            engine.set_sampler(SimDuration::from_micros(1), move |boundary| {
+                samples.lock().push(boundary.as_nanos());
+            });
+        }
+        engine.spawn("jumper", |ctx| ctx.advance(SimDuration::from_micros(3)));
+        engine.run().unwrap();
+        // t=0 spawn event fires no boundary; the jump to 3µs fires 1, 2, 3.
+        assert_eq!(*samples.lock(), vec![1_000, 2_000, 3_000]);
+    }
+
+    #[test]
+    fn sampler_is_schedule_invisible() {
+        fn run_once(sample: bool) -> (SimTime, String) {
+            let engine = Engine::new();
+            let log = engine.record_schedule("sampler-identity");
+            if sample {
+                engine.set_sampler(SimDuration::from_nanos(7), |_| {});
+            }
+            policy_workload(&engine);
+            let end = engine.run().unwrap();
+            let text = log.lock().to_text();
+            (end, text)
+        }
+        let (plain_end, plain_text) = run_once(false);
+        let (sampled_end, sampled_text) = run_once(true);
+        assert_eq!(plain_end, sampled_end);
+        assert_eq!(
+            plain_text, sampled_text,
+            "an installed sampler must not perturb the schedule"
+        );
+        assert!(!plain_text.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler period must be positive")]
+    fn zero_period_sampler_is_rejected() {
+        let engine = Engine::new();
+        engine.set_sampler(SimDuration::ZERO, |_| {});
     }
 
     #[test]

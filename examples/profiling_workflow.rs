@@ -8,8 +8,13 @@
 //!
 //! The run also collects the observability layer introduced alongside
 //! the fault trace: causal *spans* (where each fault's latency went,
-//! stitched across nodes) and cluster *metrics* (per-node and per-link
-//! counters), exported as a Chrome trace-event JSON for Perfetto.
+//! stitched across nodes), cluster *metrics* (per-node and per-link
+//! counters), and *continuous telemetry* — a virtual-time series
+//! sampled every millisecond plus online health monitors, whose
+//! fabric-queue alarm fires on the packed run (the bouncing page
+//! saturates the links) and goes quiet once the counters are pulled
+//! apart. The spans and the counter tracks export together as one
+//! Chrome trace-event JSON for Perfetto.
 //!
 //! Run with:
 //!
@@ -17,8 +22,11 @@
 //! cargo run --release --example profiling_workflow
 //! ```
 
-use dex::core::{Cluster, ClusterConfig, DsmCell, RunReport};
-use dex::prof::{export_chrome_trace, render_critical_path, render_report, Profile, ReportOptions};
+use dex::core::{Cluster, ClusterConfig, DsmCell, HealthEventKind, RunReport};
+use dex::prof::{
+    export_chrome_trace_with_series, render_critical_path, render_report, render_top, Profile,
+    ReportOptions,
+};
 use dex_sim::SimDuration;
 
 fn run_workload(aligned: bool) -> RunReport {
@@ -26,7 +34,8 @@ fn run_workload(aligned: bool) -> RunReport {
         ClusterConfig::new(2)
             .with_trace()
             .with_spans()
-            .with_metrics(),
+            .with_metrics()
+            .with_telemetry(SimDuration::from_millis(1)),
     );
     cluster.run(|p| {
         // Two per-node counters. Packed: same page. Aligned: own pages.
@@ -97,7 +106,10 @@ fn main() {
     for line in critical.lines().take(16) {
         println!("{line}");
     }
-    let chrome = export_chrome_trace(&packed.spans);
+    // Spans and the sampled counter tracks export as ONE Perfetto
+    // trace: the ping-pong shows up as a sawtooth in dsm.faults_write
+    // right under the span timeline.
+    let chrome = export_chrome_trace_with_series(&packed.spans, packed.series.as_ref());
     let trace_path = std::env::temp_dir().join("dex-profiling-workflow.json");
     if std::fs::write(&trace_path, &chrome).is_ok() {
         println!(
@@ -115,7 +127,34 @@ fn main() {
         println!();
     }
 
-    println!("step 4: apply the fix (posix_memalign-style page alignment)\n");
+    println!("step 4: the live telemetry already raised the alarm\n");
+    // The 1 ms sampler fed the online health monitors while the run
+    // was still going. False sharing bounces the page on every other
+    // access, so the links carry an invalidation+transfer storm: the
+    // fabric-queue monitor fires window after window, and each alarm
+    // carries the causal span id of an exemplar operation — the entry
+    // point into the timeline exported above. (The page-ping-pong
+    // detector is tag-based and names *truly* shared objects; here the
+    // two counters are distinct tags, which is exactly why it takes
+    // the offline profiler to name the packed page.)
+    for event in &packed.health {
+        println!("  {event}");
+    }
+    assert!(
+        packed
+            .health
+            .iter()
+            .any(|e| e.kind == HealthEventKind::FabricQueueBuildup),
+        "the packed run must trip the fabric-queue monitor"
+    );
+    let series = packed.series.as_ref().expect("telemetry was on");
+    println!("\n…and the dashboard view of the hottest window:\n");
+    for line in render_top(series, &packed.health, None).lines().take(20) {
+        println!("{line}");
+    }
+    println!();
+
+    println!("step 5: apply the fix (posix_memalign-style page alignment)\n");
     let aligned = run_workload(true);
     let (aligned_time, aligned_trace) = (aligned.virtual_time, &aligned.trace);
     let aligned_profile = Profile::from_trace(aligned_trace);
@@ -128,6 +167,12 @@ fn main() {
             .iter()
             .all(|s| !s.tags.iter().any(|t| t.contains("counter"))),
         "aligned counters must not be flagged"
+    );
+    // The fix also silences the live monitors: no page bounces, no alarm.
+    assert!(
+        aligned.health.is_empty(),
+        "the aligned run must raise no health alarms: {:?}",
+        aligned.health
     );
 
     println!("packed  : {packed_time}");
