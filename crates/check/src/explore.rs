@@ -179,6 +179,9 @@ pub struct ExploreScenario {
     pub threads: usize,
     /// Whether a deterministic crash plan is composed in.
     pub with_faults: bool,
+    /// Directory shard count (1 — classic single-origin directory;
+    /// &gt;1 — sharded homes with owner-forwarded two-hop grants).
+    pub dir_shards: usize,
     setup: fn(&DexProcess<'_>),
 }
 
@@ -193,13 +196,14 @@ impl std::fmt::Debug for ExploreScenario {
 }
 
 /// All built-in exploration workloads.
-pub const EXPLORE_SCENARIOS: [ExploreScenario; 4] = [
+pub const EXPLORE_SCENARIOS: [ExploreScenario; 6] = [
     ExploreScenario {
         name: "mp",
         description: "message passing: origin writes, barrier, two nodes read (2 nodes, 3 threads)",
         nodes: 2,
         threads: 3,
         with_faults: false,
+        dir_shards: 1,
         setup: mp_setup,
     },
     ExploreScenario {
@@ -209,6 +213,7 @@ pub const EXPLORE_SCENARIOS: [ExploreScenario; 4] = [
         nodes: 2,
         threads: 2,
         with_faults: false,
+        dir_shards: 1,
         setup: invalidate_setup,
     },
     ExploreScenario {
@@ -218,6 +223,7 @@ pub const EXPLORE_SCENARIOS: [ExploreScenario; 4] = [
         nodes: 2,
         threads: 3,
         with_faults: false,
+        dir_shards: 1,
         setup: atomics_setup,
     },
     ExploreScenario {
@@ -227,7 +233,29 @@ pub const EXPLORE_SCENARIOS: [ExploreScenario; 4] = [
         nodes: 3,
         threads: 2,
         with_faults: true,
+        dir_shards: 1,
         setup: crash_setup,
+    },
+    ExploreScenario {
+        name: "mp-fwd",
+        description: "message passing under sharded directory homes: pages hash across both \
+                      nodes, so faults route via a non-origin home and grants are \
+                      owner-forwarded (2 nodes, 3 threads, 2 shards)",
+        nodes: 2,
+        threads: 3,
+        with_faults: false,
+        dir_shards: 2,
+        setup: mp_setup,
+    },
+    ExploreScenario {
+        name: "invalidate-fwd",
+        description: "ownership ping-pong under sharded homes: two-hop forwarded grants race \
+                      batched invalidation fan-out (2 nodes, 2 threads, 2 shards)",
+        nodes: 2,
+        threads: 2,
+        with_faults: false,
+        dir_shards: 2,
+        setup: invalidate_setup,
     },
 ];
 
@@ -382,6 +410,7 @@ fn run_once(scenario: &ExploreScenario, mutation: ProtocolMutation, mode: Mode) 
         .with_race_detection()
         .with_event_budget(EXEC_EVENT_BUDGET)
         .with_mutation(mutation)
+        .with_directory_shards(scenario.dir_shards)
         .with_schedule_policy(handle);
     if scenario.with_faults {
         config = config.with_fault_plan(crash_plan());
@@ -895,6 +924,32 @@ mod tests {
             let verdict = replay_explore_log(&parsed).expect("replay reproduces");
             assert!(verdict.contains("reproduced"), "{verdict}");
         }
+    }
+
+    #[test]
+    fn forwarded_scenarios_explore_clean() {
+        for name in ["mp-fwd", "invalidate-fwd"] {
+            let scenario = find_explore_scenario(name).expect("scenario registered");
+            let outcome = explore(&scenario, &small(2000, ProtocolMutation::None));
+            assert!(outcome.counterexample.is_none(), "{name}: {outcome:?}");
+            assert!(
+                outcome.executions > 1,
+                "{name} explored more than one interleaving"
+            );
+        }
+    }
+
+    #[test]
+    fn keep_origin_pte_is_caught_under_sharding() {
+        // The owner-side seeding of keep-origin-pte only fires on the
+        // forwarded path; the sharded scenarios must expose it as an SC
+        // violation (or a protocol panic) without any classic fallback.
+        let caught = ["invalidate-fwd", "mp-fwd"].iter().any(|name| {
+            let scenario = find_explore_scenario(name).expect("scenario registered");
+            let outcome = explore(&scenario, &small(2000, ProtocolMutation::KeepOriginPte));
+            outcome.counterexample.is_some()
+        });
+        assert!(caught, "keep-origin-pte escaped both sharded scenarios");
     }
 
     #[test]

@@ -168,7 +168,11 @@ fn stall_window() -> FaultOutcome {
     let first = canonical_workload(3, Some(plan.clone()));
     let second = canonical_workload(3, Some(plan));
     let deterministic = fingerprint(&first) == fingerprint(&second);
-    let invariants = first.process().directory.lock().check_invariants();
+    let invariants = first
+        .process()
+        .directories
+        .iter()
+        .try_for_each(|dir| dir.lock().check_invariants());
     let ok = deterministic && invariants.is_ok();
     let mut detail = vec![format!(
         "completed in {} µs, replay {}",
@@ -211,8 +215,8 @@ fn crash_mid_run() -> FaultOutcome {
         ok = false;
         detail.push(format!("** crash handled {handled} times, expected 1 **"));
     }
-    {
-        let directory = shared.directory.lock();
+    for dir in &shared.directories {
+        let directory = dir.lock();
         if let Err(e) = directory.check_invariants() {
             ok = false;
             detail.push(format!("** directory invariant violated: {e} **"));
@@ -240,7 +244,11 @@ pub fn replay_plan(plan: &FaultPlan) -> FaultOutcome {
     let first = canonical_workload(nodes, Some(plan.clone()));
     let second = canonical_workload(nodes, Some(plan.clone()));
     let deterministic = fingerprint(&first) == fingerprint(&second);
-    let invariants = first.process().directory.lock().check_invariants();
+    let invariants = first
+        .process()
+        .directories
+        .iter()
+        .try_for_each(|dir| dir.lock().check_invariants());
     let ok = deterministic && invariants.is_ok();
     let mut detail = vec![format!(
         "{} nodes, completed in {} µs, replay {}",

@@ -1,8 +1,8 @@
 //! `dex-check` — the verification driver for the DEX reproduction.
 //!
 //! ```text
-//! dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
-//!                  [--max-states N] [--write-trace FILE]
+//! dex-check model  [--nodes N] [--pages P] [--coalesce] [--sharded]
+//!                  [--mutation NAME|all] [--max-states N] [--write-trace FILE]
 //! dex-check explore [--scenario NAME|all] [--budget N] [--preemptions N]
 //!                   [--seed S] [--mutation NAME|all] [--write-trace FILE]
 //! dex-check replay FILE
@@ -33,11 +33,12 @@ use dex_core::model::{ModelConfig, Mutation};
 /// One-line description of a model world for status output.
 fn describe_world(config: &ModelConfig) -> String {
     format!(
-        "nodes={} pages={} threads={:?} mutation={}",
+        "nodes={} pages={} threads={:?} mutation={} sharded={}",
         config.nodes,
         config.pages,
         config.threads,
-        config.mutation.name()
+        config.mutation.name(),
+        config.sharded,
     )
 }
 
@@ -45,8 +46,8 @@ const USAGE: &str = "\
 dex-check — protocol model checker, race/deadlock analysis, and lints
 
 USAGE:
-  dex-check model  [--nodes N] [--pages P] [--coalesce] [--mutation NAME|all]
-                   [--max-states N] [--write-trace FILE]
+  dex-check model  [--nodes N] [--pages P] [--coalesce] [--sharded]
+                   [--mutation NAME|all] [--max-states N] [--write-trace FILE]
   dex-check explore [--scenario NAME|all] [--budget N] [--preemptions N]
                     [--seed S] [--mutation NAME|all] [--write-trace FILE]
   dex-check replay FILE
@@ -96,13 +97,16 @@ SUBCOMMANDS:
            comparison fails (proves the gate has teeth)
   all      lint + races + faults + explore (small budget + mutation
            sweep) + timeline + metrics + perf self-test + model (2
-           nodes x 2 pages, and the 3-node coalescing world, with a
-           full mutation sweep)
+           nodes x 2 pages, the 3-node coalescing world, and the
+           3-node sharded two-hop world, each with a full mutation
+           sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
   --pages P          number of pages, 1..=2 (default 1)
   --coalesce         add a second thread on node 1 (leader-follower paths)
+  --sharded          move the directory home to node 1 (two-hop forwarded
+                     grants, batched invalidations, home != origin paths)
   --mutation NAME    inject a protocol bug; `all` sweeps every mutation
                      and expects each to be caught (default none)
   --max-states N     state-count safety valve (default 4000000)
@@ -171,6 +175,7 @@ struct ModelArgs {
     nodes: u16,
     pages: u64,
     coalesce: bool,
+    sharded: bool,
     mutation: Option<String>,
     max_states: usize,
     write_trace: Option<PathBuf>,
@@ -181,6 +186,7 @@ fn parse_model_args(args: &[String]) -> Result<ModelArgs, String> {
         nodes: 2,
         pages: 1,
         coalesce: false,
+        sharded: false,
         mutation: None,
         max_states: CheckOptions::default().max_states,
         write_trace: None,
@@ -194,6 +200,7 @@ fn parse_model_args(args: &[String]) -> Result<ModelArgs, String> {
             "--nodes" => parsed.nodes = parse_num(value("--nodes")?, 2, 4)? as u16,
             "--pages" => parsed.pages = parse_num(value("--pages")?, 1, 2)?,
             "--coalesce" => parsed.coalesce = true,
+            "--sharded" => parsed.sharded = true,
             "--mutation" => parsed.mutation = Some(value("--mutation")?.clone()),
             "--max-states" => {
                 parsed.max_states = parse_num(value("--max-states")?, 1, u64::MAX)? as usize
@@ -220,6 +227,9 @@ fn cmd_model(args: &[String]) -> Result<bool, String> {
     let mut config = ModelConfig::new(parsed.nodes, parsed.pages);
     if parsed.coalesce {
         config = config.with_extra_thread(1);
+    }
+    if parsed.sharded {
+        config = config.with_sharding();
     }
     let opts = CheckOptions {
         max_states: parsed.max_states,
@@ -774,6 +784,17 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
         "--pages".into(),
         "1".into(),
         "--coalesce".into(),
+        "--mutation".into(),
+        "all".into(),
+    ])?;
+
+    println!("\n== model: 3 nodes x 1 page, sharded two-hop directory, mutation sweep ==");
+    ok &= cmd_model(&[
+        "--nodes".into(),
+        "3".into(),
+        "--pages".into(),
+        "1".into(),
+        "--sharded".into(),
         "--mutation".into(),
         "all".into(),
     ])?;

@@ -288,11 +288,12 @@ pub fn decode_event(actor: u64) -> Option<ModelEvent> {
 pub fn counterexample_to_log(cex: &Counterexample) -> ScheduleLog {
     let threads: Vec<String> = cex.config.threads.iter().map(|n| n.to_string()).collect();
     let mut log = ScheduleLog::new(format!(
-        "dex-check model nodes={} pages={} threads={} mutation={} kind={}",
+        "dex-check model nodes={} pages={} threads={} mutation={} sharded={} kind={}",
         cex.config.nodes,
         cex.config.pages,
         threads.join(","),
         cex.config.mutation.name(),
+        cex.config.sharded,
         cex.kind,
     ));
     for &event in &cex.events {
@@ -362,6 +363,7 @@ fn config_from_header(header: &str) -> Result<ModelConfig, String> {
     let mut pages: Option<u64> = None;
     let mut threads: Option<Vec<u16>> = None;
     let mut mutation = Mutation::None;
+    let mut sharded = false;
     for token in header.split_whitespace() {
         let Some((key, value)) = token.split_once('=') else {
             continue;
@@ -378,12 +380,20 @@ fn config_from_header(header: &str) -> Result<ModelConfig, String> {
                 mutation =
                     Mutation::parse(value).ok_or_else(|| format!("unknown mutation {value:?}"))?;
             }
+            "sharded" => {
+                sharded = value
+                    .parse()
+                    .map_err(|e| format!("bad sharded flag: {e}"))?;
+            }
             _ => {}
         }
     }
     let nodes = nodes.ok_or("log header missing nodes=")?;
     let pages = pages.ok_or("log header missing pages=")?;
     let mut config = ModelConfig::new(nodes, pages).with_mutation(mutation);
+    if sharded {
+        config = config.with_sharding();
+    }
     if let Some(threads) = threads {
         config.threads = threads;
     }
@@ -394,13 +404,14 @@ fn config_from_header(header: &str) -> Result<ModelConfig, String> {
 pub fn render_counterexample(cex: &Counterexample) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{} violation in {} steps (nodes={} pages={} threads={:?} mutation={}):\n",
+        "{} violation in {} steps (nodes={} pages={} threads={:?} mutation={} sharded={}):\n",
         cex.kind,
         cex.events.len(),
         cex.config.nodes,
         cex.config.pages,
         cex.config.threads,
         cex.config.mutation.name(),
+        cex.config.sharded,
     ));
     for v in &cex.violations {
         out.push_str(&format!("  violated: {v}\n"));
@@ -531,6 +542,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharded_three_node_world_verifies() {
+        // Three nodes with sharding puts the directory home on node 1:
+        // every remote fault is a two-hop forwarded transaction, and node
+        // 2's requests exercise home != origin != requester.
+        let config = ModelConfig::new(3, 1).with_sharding();
+        match check_model(&config, &opts()).unwrap() {
+            CheckOutcome::Pass(r) => {
+                assert!(r.states > 10, "explored {} states", r.states);
+                assert!(r.quiescent >= 1);
+            }
+            CheckOutcome::Fail(cex) => panic!("{}", render_counterexample(&cex)),
+        }
+    }
+
+    #[test]
+    fn sharded_mutations_are_caught_and_round_trip_through_replay() {
+        // The sharded world must keep its teeth: keep-origin-pte (the
+        // owner/home skipping the PTE clear on an ownership transfer)
+        // breaks owner-PTE agreement on the forwarded path, and the
+        // counterexample replays from its serialized log, sharded flag
+        // included.
+        let config = ModelConfig::new(2, 1)
+            .with_sharding()
+            .with_mutation(Mutation::KeepOriginPte);
+        let cex = match check_model(&config, &opts()).unwrap() {
+            CheckOutcome::Fail(cex) => cex,
+            CheckOutcome::Pass(_) => panic!("keep-origin-pte escaped the sharded checker"),
+        };
+        assert_eq!(cex.kind, "safety");
+        let text = counterexample_to_log(&cex).to_text();
+        assert!(text.contains("sharded=true"), "{text}");
+        let replayed = replay_log(&text).unwrap();
+        assert!(replayed.config.sharded);
+        assert_eq!(replayed.steps, cex.events.len());
+        assert!(
+            !replayed.violations.is_empty(),
+            "replay reproduces the violation"
+        );
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub struct ClusterConfig {
     /// explore` drives alternative interleavings through. `None` runs
     /// the engine's built-in (deterministic heap-order) scheduling.
     pub schedule_policy: Option<SchedulePolicyHandle>,
+    /// Directory shards for page-ownership state. `1` — the default —
+    /// keeps the classic single-origin directory and is bit-identical to
+    /// earlier builds. Values above one hash each page to a home node
+    /// (`vpn % dir_shards`) that runs its ownership transactions with
+    /// owner-forwarded grants and batched invalidation fan-out; capped
+    /// at the node count.
+    pub dir_shards: usize,
 }
 
 impl ClusterConfig {
@@ -107,6 +114,7 @@ impl ClusterConfig {
             fault_plan: None,
             mutation: ProtocolMutation::None,
             schedule_policy: None,
+            dir_shards: 1,
         }
     }
 
@@ -203,6 +211,15 @@ impl ClusterConfig {
     /// tie and value choice through it (systematic exploration).
     pub fn with_schedule_policy(mut self, policy: SchedulePolicyHandle) -> Self {
         self.schedule_policy = Some(policy);
+        self
+    }
+
+    /// Shards the page-ownership directory across `shards` home nodes
+    /// (two-hop ownership: owner-forwarded grants, batched invalidation
+    /// fan-out). `1` restores the classic single-origin directory; values
+    /// above the node count are capped to it.
+    pub fn with_directory_shards(mut self, shards: usize) -> Self {
+        self.dir_shards = shards.max(1);
         self
     }
 }
@@ -420,6 +437,7 @@ impl<'e> ClusterHandle<'e> {
             race,
             self.config.heap_pages,
             self.config.mutation,
+            self.config.dir_shards,
         );
         self.registry.insert(Arc::clone(&shared));
         self.created.borrow_mut().push(Arc::clone(&shared));

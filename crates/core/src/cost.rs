@@ -36,6 +36,10 @@ pub struct CostModel {
     /// Back-off before a requester retries after a conflicting in-flight
     /// transaction (produces the paper's 158.8 µs slow mode).
     pub retry_backoff: SimDuration,
+    /// Owner-side work to service a forwarded request (sharded directory
+    /// mode): PTE adjustment plus grant preparation, cheaper than a full
+    /// directory transition since the ownership bookkeeping stays home.
+    pub forward_handling: SimDuration,
 
     // ---- thread migration path (Table II / Figure 3) ----
     /// Origin-side context capture on the *first* migration of a thread
@@ -94,6 +98,7 @@ impl Default for CostModel {
             fault_fixup: SimDuration::from_nanos(1_200),
             protocol_handling: SimDuration::from_nanos(4_000),
             retry_backoff: SimDuration::from_micros(120),
+            forward_handling: SimDuration::from_nanos(2_500),
             context_capture_first: SimDuration::from_micros_f64(12.1),
             context_capture_next: SimDuration::from_micros_f64(6.6),
             remote_worker_setup: SimDuration::from_micros(620),

@@ -154,14 +154,45 @@ pub enum DirAction {
         needs_data: bool,
     },
     /// The origin loses its own mapping (clear PTE; keep the stale frame).
+    /// In sharded mode this applies to the *home* node's own mapping —
+    /// the node the directory shard runs on.
     ClearOriginPte,
     /// The origin's exclusive mapping becomes shared (writable bit off).
+    /// In sharded mode: the home node's own mapping.
     DowngradeOriginPte,
     /// The origin (re)gains a shared mapping of the page.
     SetOriginPteRo,
     /// Staged page contents (from a flush or a data-carrying invalidation
     /// ack) must be installed into the origin's frame.
     InstallOriginData,
+    /// (Sharded mode) Ask `to`, the page's current owner, to service the
+    /// request directly: adjust its own PTE, send the grant (with data)
+    /// straight to the requester, and acknowledge the home
+    /// asynchronously — the two-hop critical path.
+    Forward {
+        /// The current owner the request is forwarded to.
+        to: NodeId,
+        /// The requester the owner must grant directly.
+        requester: Requester,
+        /// The access requested.
+        access: Access,
+    },
+    /// (Sharded mode) Revoke every doomed replica that `to` holds for the
+    /// faulting transaction with one message and one aggregated ack.
+    SendInvalidateBatch {
+        /// The node whose replicas are revoked.
+        to: NodeId,
+        /// `(page, needs_data)` per doomed replica at that node.
+        entries: Vec<(Vpn, bool)>,
+    },
+    /// (Sharded mode) The home node itself holds a doomed replica: clear
+    /// the home's own PTE and evict the frame synchronously; when
+    /// `needs_data`, stage the frame contents for the eventual grant
+    /// first.
+    DropHomeCopy {
+        /// Whether the home's copy is the elected data source.
+        needs_data: bool,
+    },
 }
 
 /// The state the directory keeps per page.
@@ -199,6 +230,10 @@ pub struct DirStats {
     pub flushes: u64,
     /// Grants that skipped the data transfer.
     pub data_skips: u64,
+    /// (Sharded mode) Requests forwarded to the current owner.
+    pub forwards: u64,
+    /// (Sharded mode) Batched invalidation messages requested.
+    pub invalidate_batches: u64,
 }
 
 /// The per-process ownership directory living at the origin.
@@ -228,6 +263,12 @@ pub struct DirStats {
 #[derive(Clone, Debug)]
 pub struct Directory {
     origin: NodeId,
+    /// The node this directory (shard) runs on. Equal to `origin` in the
+    /// classic single-origin configuration.
+    home: NodeId,
+    /// Sharded mode: requests are serviced with owner forwarding and
+    /// batched invalidations instead of origin-mediated transfers.
+    forwarding: bool,
     pages: RadixTree<PageInfo>,
     stats: DirStats,
     /// Nodes declared fail-stopped by [`Directory::on_node_crash`]; late
@@ -241,10 +282,38 @@ impl Directory {
     pub fn new(origin: NodeId) -> Self {
         Directory {
             origin,
+            home: origin,
+            forwarding: false,
             pages: RadixTree::new(),
             stats: DirStats::default(),
             dead: NodeSet::EMPTY,
         }
+    }
+
+    /// Creates one shard of a distributed directory, living at `home`.
+    /// Untouched pages still start exclusively owned by the origin (their
+    /// frames live there), but the home reaches the origin's copy through
+    /// messages like any other owner's: requests are forwarded to the
+    /// current owner, which grants straight to the requester.
+    pub fn forwarded(home: NodeId, origin: NodeId) -> Self {
+        Directory {
+            origin,
+            home,
+            forwarding: true,
+            pages: RadixTree::new(),
+            stats: DirStats::default(),
+            dead: NodeSet::EMPTY,
+        }
+    }
+
+    /// The node this directory (shard) runs on.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Whether this directory services requests with owner forwarding.
+    pub fn is_forwarding(&self) -> bool {
+        self.forwarding
     }
 
     /// Nodes declared dead so far.
@@ -295,6 +364,9 @@ impl Directory {
     ///
     /// Panics if a local requester claims a remote node (caller bug).
     pub fn request(&mut self, vpn: Vpn, access: Access, requester: Requester) -> Vec<DirAction> {
+        if self.forwarding {
+            return self.request_forwarded(vpn, access, requester);
+        }
         let origin = self.origin;
         let node = requester.node(origin);
         if self.dead.contains(node) {
@@ -424,6 +496,280 @@ impl Directory {
         actions
     }
 
+    /// The sharded-mode request path: the home owns the metadata but not
+    /// (necessarily) the data, so exclusive pages are serviced by
+    /// forwarding to the current owner (which grants straight to the
+    /// requester — two hops on the critical path) and shared pages are
+    /// written by revoking every other owner with one batched
+    /// invalidation per destination node.
+    fn request_forwarded(
+        &mut self,
+        vpn: Vpn,
+        access: Access,
+        requester: Requester,
+    ) -> Vec<DirAction> {
+        let home = self.home;
+        let origin = self.origin;
+        let node = requester.node(home);
+        let local = matches!(requester, Requester::Local { .. });
+        if self.dead.contains(node) {
+            return Vec::new();
+        }
+        let info = self.info(vpn);
+
+        if info.txn.is_some() {
+            self.stats.retries += 1;
+            return vec![DirAction::Retry { to: requester }];
+        }
+
+        let mut actions = Vec::new();
+        match access {
+            Access::Read => match info.writer {
+                Some(w) if w == node => {
+                    self.stats.inline_grants += 1;
+                    actions.push(DirAction::Grant {
+                        to: requester,
+                        access,
+                        with_data: false,
+                    });
+                }
+                Some(w) if w == home => {
+                    // The home itself holds the page exclusively:
+                    // downgrade our own PTE and grant from the local frame.
+                    info.writer = None;
+                    info.owners.insert(node);
+                    self.stats.inline_grants += 1;
+                    actions.push(DirAction::DowngradeOriginPte);
+                    actions.push(DirAction::Grant {
+                        to: requester,
+                        access,
+                        with_data: !local,
+                    });
+                }
+                Some(w) => {
+                    // Exclusive elsewhere: forward. The owner downgrades
+                    // itself, keeps a shared copy, and grants (with data)
+                    // straight to the requester.
+                    info.txn = Some(Txn {
+                        access,
+                        requester,
+                        pending: NodeSet::single(w),
+                        requester_had_copy: false,
+                    });
+                    self.stats.transactions += 1;
+                    self.stats.forwards += 1;
+                    actions.push(DirAction::Forward {
+                        to: w,
+                        requester,
+                        access,
+                    });
+                }
+                None => {
+                    if info.owners.contains(node) {
+                        // Already a reader (a stale-PTE re-request):
+                        // inline, nothing to transfer.
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: false,
+                        });
+                    } else if info.owners.contains(home) {
+                        // The home holds a replica: serve from the local
+                        // frame, two hops total.
+                        info.owners.insert(node);
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: !local,
+                        });
+                    } else {
+                        // Forward to a deterministic owner; prefer the
+                        // origin so its frame stays the fallback copy.
+                        let target = if info.owners.contains(origin) {
+                            origin
+                        } else {
+                            info.owners
+                                .iter()
+                                .next()
+                                .expect("shared page with no owners")
+                        };
+                        info.txn = Some(Txn {
+                            access,
+                            requester,
+                            pending: NodeSet::single(target),
+                            requester_had_copy: false,
+                        });
+                        self.stats.transactions += 1;
+                        self.stats.forwards += 1;
+                        actions.push(DirAction::Forward {
+                            to: target,
+                            requester,
+                            access,
+                        });
+                    }
+                }
+            },
+            Access::Write => {
+                if info.writer == Some(node) {
+                    self.stats.inline_grants += 1;
+                    return vec![DirAction::Grant {
+                        to: requester,
+                        access,
+                        with_data: false,
+                    }];
+                }
+                if let Some(w) = info.writer {
+                    if w == home {
+                        // The home is the exclusive writer: drop our own
+                        // copy, staging its contents for the grant.
+                        info.owners = NodeSet::single(node);
+                        info.writer = Some(node);
+                        self.stats.inline_grants += 1;
+                        actions.push(DirAction::DropHomeCopy { needs_data: !local });
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: !local,
+                        });
+                    } else {
+                        // Exclusive elsewhere: forward; the owner clears
+                        // its own copy and grants exclusivity (with data)
+                        // straight to the requester.
+                        info.txn = Some(Txn {
+                            access,
+                            requester,
+                            pending: NodeSet::single(w),
+                            requester_had_copy: false,
+                        });
+                        self.stats.transactions += 1;
+                        self.stats.forwards += 1;
+                        actions.push(DirAction::Forward {
+                            to: w,
+                            requester,
+                            access,
+                        });
+                    }
+                } else {
+                    // Shared: revoke every other owner, one batched
+                    // invalidation per destination node. When the
+                    // requester has no copy, elect one doomed replica to
+                    // ship contents back: the home's own (staged locally)
+                    // when it holds one, else the smallest surviving
+                    // owner (the origin sorts first when present).
+                    let had_copy = info.owners.contains(node);
+                    let need_from = if had_copy {
+                        None
+                    } else if info.owners.contains(home) {
+                        Some(home)
+                    } else {
+                        info.owners.iter().find(|o| *o != node)
+                    };
+                    let mut pending = NodeSet::EMPTY;
+                    let mut batches_sent = 0u64;
+                    for owner in info.owners.iter() {
+                        if owner == node {
+                            continue;
+                        }
+                        if owner == home {
+                            actions.push(DirAction::DropHomeCopy {
+                                needs_data: need_from == Some(home),
+                            });
+                            info.owners.remove(home);
+                        } else {
+                            actions.push(DirAction::SendInvalidateBatch {
+                                to: owner,
+                                entries: vec![(vpn, need_from == Some(owner))],
+                            });
+                            pending.insert(owner);
+                            batches_sent += 1;
+                        }
+                    }
+                    let inline = pending.is_empty();
+                    if inline {
+                        info.owners = NodeSet::single(node);
+                        info.writer = Some(node);
+                        actions.push(DirAction::Grant {
+                            to: requester,
+                            access,
+                            with_data: !had_copy && !local,
+                        });
+                    } else {
+                        info.txn = Some(Txn {
+                            access,
+                            requester,
+                            pending,
+                            requester_had_copy: had_copy,
+                        });
+                    }
+                    self.stats.invalidations += batches_sent;
+                    self.stats.invalidate_batches += batches_sent;
+                    if inline {
+                        self.stats.inline_grants += 1;
+                        if had_copy {
+                            self.stats.data_skips += 1;
+                        }
+                    } else {
+                        self.stats.transactions += 1;
+                    }
+                }
+            }
+        }
+        actions
+    }
+
+    /// (Sharded mode) Handles the owner's asynchronous acknowledgment of
+    /// a forwarded request. The grant already went straight to the
+    /// requester, so this only commits the ownership change and closes
+    /// the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory is not in sharded mode, or if no forwarded
+    /// transaction is in flight for `vpn`.
+    pub fn owner_ack(&mut self, vpn: Vpn, from: NodeId) -> Vec<DirAction> {
+        assert!(self.forwarding, "owner acks only exist in sharded mode");
+        if self.dead.contains(from) {
+            // Late ack from a fail-stopped owner; `on_node_crash` already
+            // force-completed the transaction.
+            return Vec::new();
+        }
+        let home = self.home;
+        let origin = self.origin;
+        let info = self
+            .pages
+            .get_mut(vpn.index())
+            .expect("owner ack for untracked page");
+        let txn = info.txn.take().expect("owner ack without transaction");
+        assert!(txn.pending.contains(from), "owner ack from unexpected node");
+        let rnode = txn.requester.node(home);
+        if self.dead.contains(rnode) {
+            // The requester fail-stopped after the owner serviced it; the
+            // origin's frame becomes the fallback surviving copy.
+            info.owners = NodeSet::single(origin);
+            info.writer = None;
+            return Vec::new();
+        }
+        match txn.access {
+            Access::Read => {
+                // The owner kept a shared copy (downgrading itself if it
+                // was the exclusive writer); the requester joined the
+                // reader set.
+                if info.writer == Some(from) {
+                    info.writer = None;
+                }
+                info.owners.insert(from);
+                info.owners.insert(rnode);
+            }
+            Access::Write => {
+                info.owners = NodeSet::single(rnode);
+                info.writer = Some(rnode);
+            }
+        }
+        Vec::new()
+    }
+
     /// Handles the writer's flush acknowledgment for `vpn`.
     ///
     /// # Panics
@@ -475,6 +821,8 @@ impl Directory {
             return Vec::new();
         }
         let origin = self.origin;
+        let home = self.home;
+        let forwarding = self.forwarding;
         let info = self
             .pages
             .get_mut(vpn.index())
@@ -490,23 +838,27 @@ impl Directory {
         txn.pending.remove(from);
 
         let mut actions = Vec::new();
-        if carried_data {
+        if carried_data && !forwarding {
             // The revoked writer shipped the only up-to-date copy; stage
             // it in the origin frame so the grant can source from it.
+            // (In sharded mode the home stages carried data out of band —
+            // its own frame is not part of the transfer.)
             actions.push(DirAction::InstallOriginData);
         }
         if !txn.pending.is_empty() {
             return actions;
         }
         let txn = info.txn.take().expect("still present");
-        let node = txn.requester.node(origin);
+        let node = txn.requester.node(home);
         if self.dead.contains(node) {
             // The requester fail-stopped while its invalidations were in
             // flight: ownership reverts to the origin frame (which holds
             // the freshest surviving copy) instead of a dead node.
             info.owners = NodeSet::single(origin);
             info.writer = None;
-            actions.push(DirAction::SetOriginPteRo);
+            if !forwarding {
+                actions.push(DirAction::SetOriginPteRo);
+            }
             return actions;
         }
         info.owners = NodeSet::single(node);
@@ -567,42 +919,54 @@ impl Directory {
                 txn.pending.remove(dead);
                 if txn.pending.is_empty() {
                     let txn = info.txn.take().expect("still present");
-                    let rnode = txn.requester.node(origin);
-                    match txn.access {
-                        Access::Read => {
-                            // The dead node was the writer being flushed;
-                            // its dirty data is lost. The origin's (stale)
-                            // frame becomes the authoritative copy.
-                            info.writer = None;
-                            info.owners.insert(origin);
-                            actions.push(DirAction::SetOriginPteRo);
-                            if !all_dead.contains(rnode) {
-                                info.owners.insert(rnode);
-                                actions.push(DirAction::Grant {
-                                    to: txn.requester,
-                                    access: Access::Read,
-                                    with_data: !matches!(txn.requester, Requester::Local { .. }),
-                                });
-                            }
+                    let rnode = txn.requester.node(self.home);
+                    if self.forwarding {
+                        // The home holds no frame to grant from, so a
+                        // surviving requester is told to retry against
+                        // the post-crash state instead.
+                        if !all_dead.contains(rnode) {
+                            actions.push(DirAction::Retry { to: txn.requester });
                         }
-                        Access::Write => {
-                            if all_dead.contains(rnode) {
-                                info.owners = NodeSet::single(origin);
+                    } else {
+                        match txn.access {
+                            Access::Read => {
+                                // The dead node was the writer being flushed;
+                                // its dirty data is lost. The origin's (stale)
+                                // frame becomes the authoritative copy.
                                 info.writer = None;
+                                info.owners.insert(origin);
                                 actions.push(DirAction::SetOriginPteRo);
-                            } else {
-                                info.owners = NodeSet::single(rnode);
-                                info.writer = Some(rnode);
-                                let with_data = !txn.requester_had_copy
-                                    && !matches!(txn.requester, Requester::Local { .. });
-                                if txn.requester_had_copy {
-                                    self.stats.data_skips += 1;
+                                if !all_dead.contains(rnode) {
+                                    info.owners.insert(rnode);
+                                    actions.push(DirAction::Grant {
+                                        to: txn.requester,
+                                        access: Access::Read,
+                                        with_data: !matches!(
+                                            txn.requester,
+                                            Requester::Local { .. }
+                                        ),
+                                    });
                                 }
-                                actions.push(DirAction::Grant {
-                                    to: txn.requester,
-                                    access: Access::Write,
-                                    with_data,
-                                });
+                            }
+                            Access::Write => {
+                                if all_dead.contains(rnode) {
+                                    info.owners = NodeSet::single(origin);
+                                    info.writer = None;
+                                    actions.push(DirAction::SetOriginPteRo);
+                                } else {
+                                    info.owners = NodeSet::single(rnode);
+                                    info.writer = Some(rnode);
+                                    let with_data = !txn.requester_had_copy
+                                        && !matches!(txn.requester, Requester::Local { .. });
+                                    if txn.requester_had_copy {
+                                        self.stats.data_skips += 1;
+                                    }
+                                    actions.push(DirAction::Grant {
+                                        to: txn.requester,
+                                        access: Access::Write,
+                                        with_data,
+                                    });
+                                }
                             }
                         }
                     }
@@ -616,8 +980,16 @@ impl Directory {
             }
 
             // 3. If nobody valid is left (the dead node held the page
-            // exclusively), the origin reclaims it.
-            if info.txn.is_none() && info.writer.is_none() && !info.owners.contains(origin) {
+            // exclusively), the origin reclaims it. In sharded mode the
+            // origin only steps back in once *no* owner survives (shared
+            // pages legally live without an origin copy there), and no
+            // PTE action is emitted: the origin's frame is the fallback
+            // and its mapping re-establishes on the next forward.
+            if self.forwarding {
+                if info.txn.is_none() && info.writer.is_none() && info.owners.is_empty() {
+                    info.owners.insert(origin);
+                }
+            } else if info.txn.is_none() && info.writer.is_none() && !info.owners.contains(origin) {
                 info.owners.insert(origin);
                 actions.push(DirAction::SetOriginPteRo);
             }
@@ -678,7 +1050,14 @@ impl Directory {
                     }
                 }
                 None => {
-                    if info.txn.is_none() && !info.owners.contains(self.origin) {
+                    if info.txn.is_none() && self.forwarding && info.owners.is_empty() {
+                        return Err(format!("page {key:#x}: shared state with no owners"));
+                    }
+                    if info.txn.is_none() && !self.forwarding && !info.owners.contains(self.origin)
+                    {
+                        // Classic mode only: sharded homes hand pages
+                        // owner-to-owner without re-replicating to the
+                        // origin.
                         return Err(format!(
                             "page {key:#x}: shared state without origin copy: {:?}",
                             info.owners
@@ -986,6 +1365,181 @@ mod tests {
         assert_eq!(dir.flush_ack(Vpn::new(1), NodeId(1)), vec![]);
         assert_eq!(dir.invalidate_ack(Vpn::new(1), NodeId(1), true), vec![]);
         assert!(!dir.owners(Vpn::new(1)).contains(NodeId(1)));
+        dir.check_invariants().unwrap();
+    }
+
+    // ---- sharded / forwarded mode ----
+
+    const HOME: NodeId = NodeId(1);
+
+    #[test]
+    fn forwarded_read_of_untouched_page_forwards_to_origin() {
+        let mut dir = Directory::forwarded(HOME, O);
+        let actions = dir.request(Vpn::new(1), Access::Read, remote(2, 1));
+        assert_eq!(
+            actions,
+            vec![DirAction::Forward {
+                to: O,
+                requester: remote(2, 1),
+                access: Access::Read,
+            }],
+            "the origin owns untouched pages and is reached by forwarding"
+        );
+        // A conflicting request while the forward is in flight retries.
+        assert_eq!(
+            dir.request(Vpn::new(1), Access::Write, remote(3, 2)),
+            vec![DirAction::Retry { to: remote(3, 2) }]
+        );
+        // The owner's async ack commits the ownership change.
+        assert_eq!(dir.owner_ack(Vpn::new(1), O), vec![]);
+        let mut expect = NodeSet::single(O);
+        expect.insert(NodeId(2));
+        assert_eq!(dir.owners(Vpn::new(1)), expect);
+        assert_eq!(dir.current_writer(Vpn::new(1)), None);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarded_write_hands_exclusivity_owner_to_owner() {
+        let mut dir = Directory::forwarded(HOME, O);
+        dir.request(Vpn::new(1), Access::Write, remote(2, 1));
+        dir.owner_ack(Vpn::new(1), O);
+        assert_eq!(dir.current_writer(Vpn::new(1)), Some(NodeId(2)));
+        // The next writer is serviced by node 2 directly; the origin
+        // never re-enters the transfer.
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(3, 2));
+        assert_eq!(
+            actions,
+            vec![DirAction::Forward {
+                to: NodeId(2),
+                requester: remote(3, 2),
+                access: Access::Write,
+            }]
+        );
+        dir.owner_ack(Vpn::new(1), NodeId(2));
+        assert_eq!(dir.owners(Vpn::new(1)), NodeSet::single(NodeId(3)));
+        assert_eq!(dir.current_writer(Vpn::new(1)), Some(NodeId(3)));
+        assert_eq!(dir.stats().forwards, 2);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarded_shared_write_batches_invalidations() {
+        let mut dir = Directory::forwarded(HOME, O);
+        // Nodes 2 and 3 become readers (origin keeps its copy after the
+        // read downgrade).
+        dir.request(Vpn::new(1), Access::Read, remote(2, 1));
+        dir.owner_ack(Vpn::new(1), O);
+        dir.request(Vpn::new(1), Access::Read, remote(3, 2));
+        dir.owner_ack(Vpn::new(1), O);
+        // Node 2 writes: every other owner gets one batched invalidation;
+        // the smallest owner (the origin) is elected... but node 2
+        // already holds a copy, so nobody ships data.
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(2, 3));
+        assert!(actions.contains(&DirAction::SendInvalidateBatch {
+            to: O,
+            entries: vec![(Vpn::new(1), false)],
+        }));
+        assert!(actions.contains(&DirAction::SendInvalidateBatch {
+            to: NodeId(3),
+            entries: vec![(Vpn::new(1), false)],
+        }));
+        assert!(grant_of(&actions).is_none(), "grant waits for the acks");
+        assert_eq!(dir.invalidate_ack(Vpn::new(1), O, false), vec![]);
+        let done = dir.invalidate_ack(Vpn::new(1), NodeId(3), false);
+        // Requester had a copy: the write grant skips the transfer, and
+        // no origin-frame staging actions appear in sharded mode.
+        assert_eq!(
+            done,
+            vec![DirAction::Grant {
+                to: remote(2, 3),
+                access: Access::Write,
+                with_data: false,
+            }]
+        );
+        assert_eq!(dir.stats().invalidate_batches, 2);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarded_shared_write_elects_one_data_source() {
+        let mut dir = Directory::forwarded(HOME, O);
+        dir.request(Vpn::new(1), Access::Read, remote(2, 1));
+        dir.owner_ack(Vpn::new(1), O);
+        // Node 3 writes without a copy: the origin (smallest owner) is
+        // elected to ship data back in its batch ack.
+        let actions = dir.request(Vpn::new(1), Access::Write, remote(3, 2));
+        assert!(actions.contains(&DirAction::SendInvalidateBatch {
+            to: O,
+            entries: vec![(Vpn::new(1), true)],
+        }));
+        assert!(actions.contains(&DirAction::SendInvalidateBatch {
+            to: NodeId(2),
+            entries: vec![(Vpn::new(1), false)],
+        }));
+        dir.invalidate_ack(Vpn::new(1), NodeId(2), false);
+        let done = dir.invalidate_ack(Vpn::new(1), O, true);
+        // Carried data is staged by the home's dispatcher, not installed
+        // into an origin frame: the only action is the grant itself.
+        assert_eq!(
+            grant_of(&done),
+            Some((remote(3, 2), Access::Write, true)),
+            "requester had no copy: grant ships the staged data"
+        );
+        assert!(!done.contains(&DirAction::InstallOriginData));
+        assert_eq!(dir.current_writer(Vpn::new(1)), Some(NodeId(3)));
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarded_home_replica_serves_reads_inline() {
+        let mut dir = Directory::forwarded(HOME, O);
+        // The home itself becomes a reader first (local thread at home).
+        let local = Requester::Local { req_id: 1 };
+        let a = dir.request(Vpn::new(1), Access::Read, local);
+        assert_eq!(
+            a,
+            vec![DirAction::Forward {
+                to: O,
+                requester: local,
+                access: Access::Read,
+            }],
+            "even the home's own fault goes through the owner"
+        );
+        dir.owner_ack(Vpn::new(1), O);
+        // Now a remote read is served inline from the home's frame: the
+        // two-hop fast path with no forwarding at all.
+        let b = dir.request(Vpn::new(1), Access::Read, remote(2, 2));
+        assert_eq!(grant_of(&b), Some((remote(2, 2), Access::Read, true)));
+        assert_eq!(b.len(), 1);
+        dir.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn forwarded_crash_mid_forward_tells_requester_to_retry() {
+        let mut dir = Directory::forwarded(HOME, O);
+        dir.request(Vpn::new(1), Access::Write, remote(2, 1));
+        dir.owner_ack(Vpn::new(1), O);
+        // Node 3's request is forwarded to owner 2, which then dies.
+        dir.request(Vpn::new(1), Access::Read, remote(3, 2));
+        let reclaimed = dir.on_node_crash(NodeId(2));
+        assert_eq!(
+            reclaimed,
+            vec![(Vpn::new(1), vec![DirAction::Retry { to: remote(3, 2) }])],
+            "no frame at the home to grant from: the survivor retries"
+        );
+        // The page reverted to the origin; the retry will be forwarded
+        // there.
+        assert_eq!(dir.owners(Vpn::new(1)), NodeSet::single(O));
+        let again = dir.request(Vpn::new(1), Access::Read, remote(3, 3));
+        assert_eq!(
+            again,
+            vec![DirAction::Forward {
+                to: O,
+                requester: remote(3, 3),
+                access: Access::Read,
+            }]
+        );
         dir.check_invariants().unwrap();
     }
 

@@ -237,8 +237,14 @@ pub enum Msg {
         /// The downgraded writer.
         from: NodeId,
     },
-    /// A grant traveling to a remote requester.
+    /// A grant traveling to a remote requester. `from` is the sending
+    /// node: the home classically, possibly a forwarding owner in
+    /// sharded mode — grants from different senders ride different
+    /// FIFO channels, which is exactly the reordering the sharded
+    /// protocol must survive.
     Grant {
+        /// Sending node (home or forwarding owner).
+        from: NodeId,
         /// Thread being granted.
         thread: usize,
         /// Granted page.
@@ -250,12 +256,56 @@ pub enum Msg {
     },
     /// A retry notice traveling to a remote requester.
     Retry {
+        /// Sending node.
+        from: NodeId,
         /// Thread being bounced.
         thread: usize,
         /// Requested page.
         vpn: Vpn,
         /// Requested access.
         access: Access,
+    },
+    /// Sharded mode: the home hands a request to the current owner,
+    /// which will grant straight to the requester (two-hop path).
+    Forward {
+        /// The owner being asked to grant.
+        to: NodeId,
+        /// The requesting thread.
+        thread: usize,
+        /// Requested page.
+        vpn: Vpn,
+        /// Requested access.
+        access: Access,
+    },
+    /// Sharded mode: the forwarding owner's asynchronous ownership
+    /// acknowledgment traveling back to the home.
+    OwnerAck {
+        /// Acknowledged page.
+        vpn: Vpn,
+        /// The owner that serviced the forward.
+        from: NodeId,
+        /// Access that was granted.
+        access: Access,
+    },
+    /// Sharded mode: a batched revocation traveling to an owner (one
+    /// page per entry here — the model's directory emits singleton
+    /// batches, which the runtime aggregates per destination).
+    InvBatch {
+        /// Target owner.
+        to: NodeId,
+        /// Page being revoked.
+        vpn: Vpn,
+        /// Target must ship page contents back.
+        needs_data: bool,
+    },
+    /// Sharded mode: the aggregated revocation acknowledgment.
+    InvBatchAck {
+        /// Acknowledged page.
+        vpn: Vpn,
+        /// Acknowledging node.
+        from: NodeId,
+        /// Ack carries the only up-to-date copy.
+        carried_data: bool,
     },
 }
 
@@ -269,7 +319,11 @@ impl Msg {
             | Msg::Flush { vpn, .. }
             | Msg::FlushAck { vpn, .. }
             | Msg::Grant { vpn, .. }
-            | Msg::Retry { vpn, .. } => vpn,
+            | Msg::Retry { vpn, .. }
+            | Msg::Forward { vpn, .. }
+            | Msg::OwnerAck { vpn, .. }
+            | Msg::InvBatch { vpn, .. }
+            | Msg::InvBatchAck { vpn, .. } => vpn,
         }
     }
 
@@ -293,21 +347,52 @@ impl Msg {
             Msg::Flush { to, vpn } => [4, to.0 as u64, vpn.index(), 0],
             Msg::FlushAck { vpn, from } => [5, from.0 as u64, vpn.index(), 0],
             Msg::Grant {
+                from,
                 thread,
                 vpn,
                 access,
                 with_data,
             } => [
                 6,
-                thread as u64,
+                thread as u64 | (from.0 as u64) << 32,
                 vpn.index(),
                 access.is_write() as u64 | (with_data as u64) << 1,
             ],
             Msg::Retry {
+                from,
                 thread,
                 vpn,
                 access,
-            } => [7, thread as u64, vpn.index(), access.is_write() as u64],
+            } => [
+                7,
+                thread as u64 | (from.0 as u64) << 32,
+                vpn.index(),
+                access.is_write() as u64,
+            ],
+            Msg::Forward {
+                to,
+                thread,
+                vpn,
+                access,
+            } => [
+                8,
+                thread as u64 | (to.0 as u64) << 32,
+                vpn.index(),
+                access.is_write() as u64,
+            ],
+            Msg::OwnerAck { vpn, from, access } => {
+                [9, from.0 as u64, vpn.index(), access.is_write() as u64]
+            }
+            Msg::InvBatch {
+                to,
+                vpn,
+                needs_data,
+            } => [10, to.0 as u64, vpn.index(), needs_data as u64],
+            Msg::InvBatchAck {
+                vpn,
+                from,
+                carried_data,
+            } => [11, from.0 as u64, vpn.index(), carried_data as u64],
         }
     }
 }
@@ -338,13 +423,44 @@ impl std::fmt::Display for Msg {
                 write!(f, "flush-ack(page {}) from node {from}", vpn.index())
             }
             Msg::Grant {
+                from,
                 thread,
                 vpn,
                 access,
                 ..
-            } => write!(f, "grant({access} page {}) to T{thread}", vpn.index()),
+            } => write!(
+                f,
+                "grant({access} page {}) to T{thread} from node {from}",
+                vpn.index()
+            ),
             Msg::Retry { thread, vpn, .. } => {
                 write!(f, "retry(page {}) to T{thread}", vpn.index())
+            }
+            Msg::Forward {
+                to,
+                thread,
+                vpn,
+                access,
+            } => write!(
+                f,
+                "forward({access} page {} for T{thread}) to owner node {to}",
+                vpn.index()
+            ),
+            Msg::OwnerAck { vpn, from, .. } => {
+                write!(f, "owner-ack(page {}) from node {from}", vpn.index())
+            }
+            Msg::InvBatch {
+                to,
+                vpn,
+                needs_data,
+            } => write!(
+                f,
+                "inv-batch(page {}) to node {to}{}",
+                vpn.index(),
+                if *needs_data { " +data" } else { "" }
+            ),
+            Msg::InvBatchAck { vpn, from, .. } => {
+                write!(f, "inv-batch-ack(page {}) from node {from}", vpn.index())
             }
         }
     }
@@ -373,16 +489,21 @@ pub enum Mutation {
     /// waiting for the leader — the directory may grant the follower
     /// before the leader.
     FollowerBypass,
+    /// The node handing exclusivity away (the origin classically, a
+    /// forwarding owner in sharded mode) keeps its writable mapping —
+    /// broken ownership transfer.
+    KeepOriginPte,
 }
 
 impl Mutation {
     /// All injectable mutations (excludes [`Mutation::None`]).
-    pub const ALL: [Mutation; 5] = [
+    pub const ALL: [Mutation; 6] = [
         Mutation::SkipInvalidateApply,
         Mutation::DropInvAck,
         Mutation::SkipOriginDowngrade,
         Mutation::DropWakeup,
         Mutation::FollowerBypass,
+        Mutation::KeepOriginPte,
     ];
 
     /// Parses the CLI spelling of a mutation.
@@ -394,6 +515,7 @@ impl Mutation {
             "skip-downgrade" => Mutation::SkipOriginDowngrade,
             "drop-wakeup" => Mutation::DropWakeup,
             "follower-bypass" => Mutation::FollowerBypass,
+            "keep-origin-pte" => Mutation::KeepOriginPte,
             _ => return None,
         })
     }
@@ -407,6 +529,7 @@ impl Mutation {
             Mutation::SkipOriginDowngrade => "skip-downgrade",
             Mutation::DropWakeup => "drop-wakeup",
             Mutation::FollowerBypass => "follower-bypass",
+            Mutation::KeepOriginPte => "keep-origin-pte",
         }
     }
 }
@@ -423,16 +546,22 @@ pub struct ModelConfig {
     pub threads: Vec<u16>,
     /// Injected protocol bug.
     pub mutation: Mutation,
+    /// Model the sharded-directory variant: the directory lives at a
+    /// non-origin home node (node 1 when the world has one) and runs
+    /// the two-hop protocol — owner-forwarded grants and batched
+    /// invalidations — instead of the classic origin-centric one.
+    pub sharded: bool,
 }
 
 impl ModelConfig {
-    /// One thread per node, no mutation.
+    /// One thread per node, no mutation, classic (unsharded) directory.
     pub fn new(nodes: u16, pages: u64) -> Self {
         ModelConfig {
             nodes,
             pages,
             threads: (0..nodes).collect(),
             mutation: Mutation::None,
+            sharded: false,
         }
     }
 
@@ -447,6 +576,19 @@ impl ModelConfig {
     pub fn with_mutation(mut self, mutation: Mutation) -> Self {
         self.mutation = mutation;
         self
+    }
+
+    /// Switches the model to the sharded-directory (two-hop) variant.
+    pub fn with_sharding(mut self) -> Self {
+        self.sharded = true;
+        self
+    }
+
+    /// The node hosting the directory: the origin classically; node 1
+    /// in the sharded variant (so home ≠ origin paths are exercised)
+    /// when the world has more than one node.
+    pub fn home(&self) -> NodeId {
+        NodeId(if self.sharded && self.nodes > 1 { 1 } else { 0 })
     }
 }
 
@@ -496,6 +638,11 @@ pub struct ModelState {
     ptes: Vec<PageTable>,
     msgs: Vec<Msg>,
     threads: Vec<ThreadState>,
+    /// Sharded mode: protocol messages a node has parked because a
+    /// grant for the same page is still in flight to it (the runtime's
+    /// requester-side deferral). Released when the grant (or retry)
+    /// lands.
+    deferred: Vec<(NodeId, Msg)>,
 }
 
 impl ModelState {
@@ -509,11 +656,17 @@ impl ModelState {
             ptes[0].set(Vpn::new(vpn), Pte::READ_WRITE);
         }
         let threads = vec![ThreadState::Idle; config.threads.len()];
+        let dir = if config.sharded {
+            Directory::forwarded(config.home(), NodeId(0))
+        } else {
+            Directory::new(NodeId(0))
+        };
         ModelState {
-            dir: Directory::new(NodeId(0)),
+            dir,
             ptes,
             msgs: Vec::new(),
             threads,
+            deferred: Vec::new(),
             config,
         }
     }
@@ -538,6 +691,12 @@ impl ModelState {
         &self.msgs
     }
 
+    /// Number of parked messages awaiting an in-flight grant (sharded
+    /// mode's requester-side deferral).
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
     /// Thread states, indexed by thread id.
     pub fn threads(&self) -> &[ThreadState] {
         &self.threads
@@ -550,7 +709,7 @@ impl ModelState {
 
     fn requester_for(&self, thread: usize) -> Requester {
         let node = self.thread_node(thread);
-        if node.0 == 0 {
+        if node == self.config.home() {
             Requester::Local {
                 req_id: thread as u64,
             }
@@ -578,14 +737,24 @@ impl ModelState {
     /// only enables delivery of the *oldest* in-flight message on each
     /// channel; messages on distinct channels still interleave freely.
     fn channel_of(&self, m: &Msg) -> (NodeId, NodeId) {
-        let origin = NodeId(0);
+        let home = self.config.home();
         match *m {
-            Msg::Request { thread, .. } => (self.thread_node(thread), origin),
-            Msg::Invalidate { to, .. } | Msg::Flush { to, .. } => (origin, to),
-            Msg::InvAck { from, .. } | Msg::FlushAck { from, .. } => (from, origin),
-            Msg::Grant { thread, .. } | Msg::Retry { thread, .. } => {
-                (origin, self.thread_node(thread))
+            Msg::Request { thread, .. } => (self.thread_node(thread), home),
+            Msg::Invalidate { to, .. } | Msg::Flush { to, .. } | Msg::InvBatch { to, .. } => {
+                (home, to)
             }
+            Msg::InvAck { from, .. }
+            | Msg::FlushAck { from, .. }
+            | Msg::OwnerAck { from, .. }
+            | Msg::InvBatchAck { from, .. } => (from, home),
+            // Grants/retries travel from their actual sender: a
+            // forwarded grant (owner → requester) rides a different
+            // channel than the home's own traffic, so the two reorder
+            // freely — the hazard requester-side deferral absorbs.
+            Msg::Grant { from, thread, .. } | Msg::Retry { from, thread, .. } => {
+                (from, self.thread_node(thread))
+            }
+            Msg::Forward { to, .. } => (home, to),
         }
     }
 
@@ -600,6 +769,7 @@ impl ModelState {
     /// co-reachable from every reachable state.
     pub fn is_quiescent(&self) -> bool {
         self.msgs.is_empty()
+            && self.deferred.is_empty()
             && self.threads.iter().all(|t| *t == ThreadState::Idle)
             && (0..self.config.pages).all(|v| !self.dir.has_txn(Vpn::new(v)))
     }
@@ -608,6 +778,7 @@ impl ModelState {
     fn page_in_flight(&self, vpn: Vpn) -> bool {
         self.dir.has_txn(vpn)
             || self.msgs.iter().any(|m| m.vpn() == vpn)
+            || self.deferred.iter().any(|(_, m)| m.vpn() == vpn)
             || self.threads.iter().any(|t| match *t {
                 ThreadState::Idle => false,
                 ThreadState::Waiting { vpn: v, .. }
@@ -800,15 +971,155 @@ impl ModelState {
                 vpn,
                 access,
                 ..
-            } => self.complete_grant(thread, vpn, access, violations),
+            } => {
+                self.complete_grant(thread, vpn, access, violations);
+                self.maybe_release_deferred(self.thread_node(thread), vpn);
+            }
             Msg::Retry {
                 thread,
                 vpn,
                 access,
+                ..
             } => {
                 self.threads[thread] = ThreadState::Backoff { vpn, access };
+                self.maybe_release_deferred(self.thread_node(thread), vpn);
+            }
+            Msg::Forward {
+                to,
+                thread,
+                vpn,
+                access,
+            } => {
+                if self.node_waiting_on(to, vpn) {
+                    // A grant for this page is still in flight to the
+                    // new owner: servicing the forward now would grant
+                    // from a copy the node does not hold yet. Park it.
+                    self.deferred.push((
+                        to,
+                        Msg::Forward {
+                            to,
+                            thread,
+                            vpn,
+                            access,
+                        },
+                    ));
+                } else {
+                    self.apply_forward(to, thread, vpn, access);
+                }
+            }
+            Msg::OwnerAck { vpn, from, .. } => {
+                let actions = self.dir.owner_ack(vpn, from);
+                self.run_actions(vpn, actions, violations);
+            }
+            Msg::InvBatch {
+                to,
+                vpn,
+                needs_data,
+            } => {
+                if self.node_waiting_on(to, vpn) {
+                    // The revocation overtook the grant it revokes
+                    // (different channels): defer until the grant lands.
+                    self.deferred.push((
+                        to,
+                        Msg::InvBatch {
+                            to,
+                            vpn,
+                            needs_data,
+                        },
+                    ));
+                } else {
+                    self.apply_inv_batch(to, vpn, needs_data);
+                }
+            }
+            Msg::InvBatchAck {
+                vpn,
+                from,
+                carried_data,
+            } => {
+                let actions = self.dir.invalidate_ack(vpn, from, carried_data);
+                self.run_actions(vpn, actions, violations);
             }
         }
+    }
+
+    /// Whether some thread homed at `node` still awaits a grant for
+    /// `vpn` — the model analogue of the runtime's in-flight mark.
+    fn node_waiting_on(&self, node: NodeId, vpn: Vpn) -> bool {
+        self.threads.iter().enumerate().any(|(t, s)| {
+            self.thread_node(t) == node
+                && matches!(*s, ThreadState::Waiting { vpn: v, .. } if v == vpn)
+        })
+    }
+
+    /// Releases work parked at `(node, vpn)` once no grant is in flight
+    /// to that node for that page anymore.
+    fn maybe_release_deferred(&mut self, node: NodeId, vpn: Vpn) {
+        if self.node_waiting_on(node, vpn) {
+            return; // another same-page grant is still outstanding
+        }
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].0 == node && self.deferred[i].1.vpn() == vpn {
+                let (_, m) = self.deferred.remove(i);
+                match m {
+                    Msg::Forward {
+                        to,
+                        thread,
+                        vpn,
+                        access,
+                    } => self.apply_forward(to, thread, vpn, access),
+                    Msg::InvBatch {
+                        to,
+                        vpn,
+                        needs_data,
+                    } => self.apply_inv_batch(to, vpn, needs_data),
+                    other => panic!("non-deferrable message parked: {other}"),
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Owner-side servicing of a forwarded request: adjust the local
+    /// mapping, grant straight to the requester, ack the home.
+    fn apply_forward(&mut self, to: NodeId, thread: usize, vpn: Vpn, access: Access) {
+        if access.is_write() {
+            // Mutation: the forwarding owner keeps its mapping after
+            // handing exclusivity away.
+            if self.config.mutation != Mutation::KeepOriginPte {
+                self.ptes[to.0 as usize].clear(vpn);
+            }
+        } else {
+            self.ptes[to.0 as usize].downgrade(vpn);
+        }
+        self.msgs.push(Msg::Grant {
+            from: to,
+            thread,
+            vpn,
+            access,
+            with_data: true,
+        });
+        self.msgs.push(Msg::OwnerAck {
+            vpn,
+            from: to,
+            access,
+        });
+    }
+
+    /// A node's handling of one batched-revocation entry.
+    fn apply_inv_batch(&mut self, to: NodeId, vpn: Vpn, needs_data: bool) {
+        if self.config.mutation != Mutation::SkipInvalidateApply {
+            self.ptes[to.0 as usize].clear(vpn);
+        }
+        if self.config.mutation == Mutation::DropInvAck {
+            return; // The ack is lost in the fabric.
+        }
+        self.msgs.push(Msg::InvBatchAck {
+            vpn,
+            from: to,
+            carried_data: needs_data,
+        });
     }
 
     fn run_actions(&mut self, vpn: Vpn, actions: Vec<DirAction>, violations: &mut Vec<Violation>) {
@@ -821,10 +1132,11 @@ impl ModelState {
                 } => {
                     let thread = self.thread_of(to);
                     if matches!(to, Requester::Local { .. }) {
-                        // Origin-local grants complete synchronously.
+                        // Home-local grants complete synchronously.
                         self.complete_grant(thread, vpn, access, violations);
                     } else {
                         self.msgs.push(Msg::Grant {
+                            from: self.config.home(),
                             thread,
                             vpn,
                             access,
@@ -858,6 +1170,7 @@ impl ModelState {
                         self.threads[thread] = ThreadState::Backoff { vpn, access };
                     } else {
                         self.msgs.push(Msg::Retry {
+                            from: self.config.home(),
                             thread,
                             vpn,
                             access,
@@ -870,14 +1183,49 @@ impl ModelState {
                     vpn,
                     needs_data,
                 }),
-                DirAction::ClearOriginPte => self.ptes[0].clear(vpn),
-                DirAction::DowngradeOriginPte => {
-                    if self.config.mutation != Mutation::SkipOriginDowngrade {
-                        self.ptes[0].downgrade(vpn);
+                DirAction::ClearOriginPte => {
+                    // Mutation: the handling node keeps its mapping after
+                    // handing ownership away.
+                    if self.config.mutation != Mutation::KeepOriginPte {
+                        self.ptes[self.config.home().0 as usize].clear(vpn);
                     }
                 }
-                DirAction::SetOriginPteRo => self.ptes[0].set(vpn, Pte::READ_ONLY),
+                DirAction::DowngradeOriginPte => {
+                    if self.config.mutation != Mutation::SkipOriginDowngrade {
+                        self.ptes[self.config.home().0 as usize].downgrade(vpn);
+                    }
+                }
+                DirAction::SetOriginPteRo => {
+                    self.ptes[self.config.home().0 as usize].set(vpn, Pte::READ_ONLY);
+                }
                 DirAction::InstallOriginData => {} // Data movement: no protocol state.
+                DirAction::Forward {
+                    to,
+                    requester,
+                    access,
+                } => {
+                    let thread = self.thread_of(requester);
+                    self.msgs.push(Msg::Forward {
+                        to,
+                        thread,
+                        vpn,
+                        access,
+                    });
+                }
+                DirAction::SendInvalidateBatch { to, entries } => {
+                    for (v, needs_data) in entries {
+                        self.msgs.push(Msg::InvBatch {
+                            to,
+                            vpn: v,
+                            needs_data,
+                        });
+                    }
+                }
+                DirAction::DropHomeCopy { .. } => {
+                    // The home's own replica is one of the doomed copies;
+                    // data staging is not protocol state.
+                    self.ptes[self.config.home().0 as usize].clear(vpn);
+                }
             }
         }
     }
@@ -1026,6 +1374,19 @@ impl ModelState {
             key.extend_from_slice(&m);
         }
         key.push(u64::MAX);
+        let mut parked: Vec<[u64; 5]> = self
+            .deferred
+            .iter()
+            .map(|(n, m)| {
+                let c = m.canonical();
+                [n.0 as u64, c[0], c[1], c[2], c[3]]
+            })
+            .collect();
+        parked.sort_unstable();
+        for p in parked {
+            key.extend_from_slice(&p);
+        }
+        key.push(u64::MAX);
         for t in &self.threads {
             key.push(match *t {
                 ThreadState::Idle => 0,
@@ -1071,7 +1432,13 @@ impl ModelState {
                 mapped.join(",")
             );
         }
-        let _ = write!(out, "msgs={} threads={:?}", self.msgs.len(), self.threads);
+        let _ = write!(
+            out,
+            "msgs={} deferred={} threads={:?}",
+            self.msgs.len(),
+            self.deferred.len(),
+            self.threads
+        );
         out
     }
 }
@@ -1290,6 +1657,109 @@ mod tests {
         assert_eq!(after.writer, None);
         assert!(after.txn.is_none());
         dir.check_invariants().unwrap();
+    }
+
+    fn deliver_where(state: &mut ModelState, pred: impl Fn(&Msg) -> bool) -> Vec<Violation> {
+        let idx = state
+            .messages()
+            .iter()
+            .position(pred)
+            .expect("expected message in flight");
+        state.apply(ModelEvent::Deliver { msg: idx })
+    }
+
+    #[test]
+    fn sharded_remote_write_transfers_ownership_via_forward() {
+        // Home = node 1, origin = node 0: the write by node 2 must be
+        // forwarded by the home to the origin, which grants directly.
+        let mut state = ModelState::new(ModelConfig::new(3, 1).with_sharding());
+        let vpn = Vpn::new(0);
+        let mut violations = state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        violations.extend(drain(&mut state));
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(state.is_quiescent());
+        assert_eq!(state.directory().current_writer(vpn), Some(NodeId(2)));
+        assert!(state.page_table(NodeId(2)).entry(vpn).writable);
+        assert!(!state.page_table(NodeId(0)).entry(vpn).present);
+    }
+
+    #[test]
+    fn sharded_keep_origin_pte_mutation_is_caught() {
+        let cfg = ModelConfig::new(3, 1)
+            .with_sharding()
+            .with_mutation(Mutation::KeepOriginPte);
+        let mut state = ModelState::new(cfg);
+        let vpn = Vpn::new(0);
+        let mut violations = state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        violations.extend(drain(&mut state));
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.invariant.contains("exclusivity") || v.invariant.contains("agreement")),
+            "forwarding owner keeping its PTE must be detected: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn sharded_invalidate_overtaking_forwarded_grant_is_deferred() {
+        let mut state = ModelState::new(ModelConfig::new(3, 1).with_sharding());
+        let vpn = Vpn::new(0);
+        // Make node 2 the exclusive writer.
+        let mut v = state.apply(ModelEvent::Issue {
+            thread: 2,
+            op: Op::Write(vpn),
+        });
+        v.extend(drain(&mut state));
+        assert!(v.is_empty(), "{v:?}");
+        // T0 (origin) read-faults; the home forwards to owner node 2,
+        // which grants straight to node 0 and acks the home. Complete
+        // the home's transaction first, leaving the grant in flight.
+        v.extend(state.apply(ModelEvent::Issue {
+            thread: 0,
+            op: Op::Read(vpn),
+        }));
+        v.extend(deliver_where(&mut state, |m| {
+            matches!(*m, Msg::Request { .. })
+        }));
+        v.extend(deliver_where(&mut state, |m| {
+            matches!(*m, Msg::Forward { .. })
+        }));
+        v.extend(deliver_where(&mut state, |m| {
+            matches!(*m, Msg::OwnerAck { .. })
+        }));
+        // The home's own thread write-faults: revocations fan out while
+        // node 0's grant is still traveling on another channel.
+        v.extend(state.apply(ModelEvent::Issue {
+            thread: 1,
+            op: Op::Write(vpn),
+        }));
+        v.extend(deliver_where(&mut state, |m| {
+            matches!(*m, Msg::Request { .. })
+        }));
+        // Deliver the revocation aimed at node 0 ahead of its grant: it
+        // must park instead of acking a copy that never arrived.
+        v.extend(deliver_where(
+            &mut state,
+            |m| matches!(*m, Msg::InvBatch { to, .. } if to == NodeId(0)),
+        ));
+        assert_eq!(state.deferred_len(), 1, "revocation parked behind grant");
+        // The grant lands; the parked revocation applies right after it.
+        v.extend(deliver_where(&mut state, |m| {
+            matches!(*m, Msg::Grant { thread: 0, .. })
+        }));
+        assert_eq!(state.deferred_len(), 0, "parked revocation released");
+        v.extend(drain(&mut state));
+        assert!(v.is_empty(), "{v:?}");
+        assert!(state.is_quiescent());
+        assert_eq!(state.directory().current_writer(vpn), Some(NodeId(1)));
+        assert!(!state.page_table(NodeId(0)).entry(vpn).present);
+        assert!(state.page_table(NodeId(1)).entry(vpn).writable);
     }
 
     #[test]

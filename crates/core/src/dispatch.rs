@@ -22,7 +22,7 @@ use dex_sim::{SimChannel, SimCtx, SimDuration};
 use crate::directory::DirAction;
 use crate::msg::{DexMsg, MigrationPhases, VmaOp};
 use crate::mutation::ProtocolMutation;
-use crate::process::{DelegationJob, ProcessShared, Reply};
+use crate::process::{DeferredWork, DelegationJob, ProcessShared, Reply};
 use crate::span::{Span, SpanId, SpanKind};
 use crate::trace::{FaultEvent, FaultKind};
 
@@ -74,7 +74,9 @@ pub(crate) fn dispatcher_loop(
                 req_id,
             } => {
                 let shared = registry.get(pid);
-                handle_page_request(ctx, &shared, &endpoint, from, vpn, access, req_id, span);
+                handle_page_request(
+                    ctx, &shared, &endpoint, node, from, vpn, access, req_id, span,
+                );
             }
             DexMsg::PageGrant {
                 pid,
@@ -85,7 +87,9 @@ pub(crate) fn dispatcher_loop(
                 req_id,
             } => {
                 let shared = registry.get(pid);
-                handle_page_grant(ctx, &shared, node, vpn, access, data, retry, req_id, span);
+                handle_page_grant(
+                    ctx, &shared, &endpoint, node, vpn, access, data, retry, req_id, span,
+                );
             }
             DexMsg::Invalidate {
                 pid,
@@ -98,13 +102,75 @@ pub(crate) fn dispatcher_loop(
             DexMsg::InvalidateAck { pid, vpn, data } => {
                 let shared = registry.get(pid);
                 ctx.advance(shared.cost.protocol_handling);
-                let actions = shared
-                    .directory
-                    .lock()
-                    .invalidate_ack(vpn, from, data.is_some());
+                let actions =
+                    shared
+                        .directory_for(vpn)
+                        .lock()
+                        .invalidate_ack(vpn, from, data.is_some());
                 // `span` is the original directory-handling span, echoed
                 // back by the sharer so the deferred grant stays stitched.
-                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, data, span);
+                apply_origin_actions(ctx, &shared, &endpoint, node, vpn, actions, data, span);
+            }
+            DexMsg::OwnerForward {
+                pid,
+                vpn,
+                access,
+                requester,
+                req_id,
+            } => {
+                let shared = registry.get(pid);
+                if shared.inflight(node, vpn) {
+                    // This node's own grant for the page is still in
+                    // flight on another channel: it cannot service the
+                    // forward until it actually owns the copy.
+                    shared.defer_work(
+                        node,
+                        vpn,
+                        DeferredWork::Forward {
+                            home: from,
+                            access,
+                            requester,
+                            req_id,
+                            span,
+                        },
+                    );
+                } else {
+                    handle_owner_forward(
+                        ctx, &shared, &endpoint, node, from, vpn, access, requester, req_id, span,
+                    );
+                }
+            }
+            DexMsg::OwnerAck { pid, vpn, .. } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                let actions = shared.directory_for(vpn).lock().owner_ack(vpn, from);
+                apply_origin_actions(ctx, &shared, &endpoint, node, vpn, actions, None, span);
+            }
+            DexMsg::InvalidateBatch { pid, entries } => {
+                let shared = registry.get(pid);
+                handle_invalidate_batch(ctx, &shared, &endpoint, node, from, entries, span);
+            }
+            DexMsg::InvalidateBatchAck { pid, entries } => {
+                let shared = registry.get(pid);
+                ctx.advance(shared.cost.protocol_handling);
+                for (vpn, data) in entries {
+                    let carried = data.is_some();
+                    if let Some(frame) = data {
+                        // Stage the contents out of band: the home's own
+                        // frame is not part of a forwarded transfer, and
+                        // the grant may wait on further acks.
+                        shared.stage_frame(node, vpn, frame);
+                    }
+                    let actions = shared
+                        .directory_for(vpn)
+                        .lock()
+                        .invalidate_ack(vpn, from, carried);
+                    if actions.is_empty() {
+                        continue;
+                    }
+                    let staged = shared.take_staged(node, vpn);
+                    apply_origin_actions(ctx, &shared, &endpoint, node, vpn, actions, staged, span);
+                }
             }
             DexMsg::Flush { pid, vpn } => {
                 let shared = registry.get(pid);
@@ -119,8 +185,17 @@ pub(crate) fn dispatcher_loop(
             DexMsg::FlushAck { pid, vpn, data } => {
                 let shared = registry.get(pid);
                 ctx.advance(shared.cost.protocol_handling);
-                let actions = shared.directory.lock().flush_ack(vpn, from);
-                apply_origin_actions(ctx, &shared, &endpoint, vpn, actions, Some(data), span);
+                let actions = shared.directory_for(vpn).lock().flush_ack(vpn, from);
+                apply_origin_actions(
+                    ctx,
+                    &shared,
+                    &endpoint,
+                    node,
+                    vpn,
+                    actions,
+                    Some(data),
+                    span,
+                );
             }
             DexMsg::VmaRequest { pid, addr, req_id } => {
                 let shared = registry.get(pid);
@@ -255,13 +330,15 @@ pub(crate) fn dispatcher_loop(
     }
 }
 
-/// Origin-side handling of a remote page request: run the directory state
-/// machine and apply/dispatch its actions.
+/// Home-side handling of a remote page request: run the directory state
+/// machine and apply/dispatch its actions. `node` is the handling node —
+/// the origin classically, the page's home shard otherwise.
 #[allow(clippy::too_many_arguments)]
 fn handle_page_request(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
     endpoint: &crate::process::Endpoint,
+    node: NodeId,
     from: NodeId,
     vpn: Vpn,
     access: Access,
@@ -271,7 +348,7 @@ fn handle_page_request(
     let t0 = ctx.now();
     let handling = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
     ctx.advance(shared.cost.protocol_handling);
-    let actions = shared.directory.lock().request(
+    let actions = shared.directory_for(vpn).lock().request(
         vpn,
         access,
         crate::directory::Requester::Remote { node: from, req_id },
@@ -280,13 +357,13 @@ fn handle_page_request(
     // requester-side fixup becomes its child; with spans off the incoming
     // context (necessarily NONE then) is forwarded unchanged.
     let out = handling.map_or(span, |id| SpanContext(id.0));
-    apply_origin_actions(ctx, shared, endpoint, vpn, actions, None, out);
+    apply_origin_actions(ctx, shared, endpoint, node, vpn, actions, None, out);
     if let Some(id) = handling {
         shared.spans.record(Span {
             id,
             parent: SpanId(span.0),
             kind: SpanKind::DirectoryHandling,
-            node: shared.origin,
+            node,
             task: PROTOCOL_TASK,
             start: t0,
             end: ctx.now(),
@@ -300,25 +377,28 @@ fn handle_page_request(
     }
 }
 
-/// Applies directory actions at the origin: local PTE/frame changes happen
-/// atomically (no yield), then grants/messages are sent. Also the engine
-/// behind crash recovery's page reclamation (`handle_node_crash`).
+/// Applies directory actions at the handling node (`home`: the origin
+/// classically, the page's home shard otherwise): local PTE/frame changes
+/// happen atomically (no yield), then grants/messages are sent. Also the
+/// engine behind crash recovery's page reclamation (`handle_node_crash`).
 ///
 /// `span` rides every outgoing message, so grants/invalidations carry the
 /// directory-handling span of the transaction that produced them.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_origin_actions(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
     endpoint: &crate::process::Endpoint,
+    home: NodeId,
     vpn: Vpn,
     actions: Vec<DirAction>,
-    staged: Option<PageFrame>,
+    mut staged: Option<PageFrame>,
     span: SpanContext,
 ) {
     let mut sends: Vec<(NodeId, DexMsg)> = Vec::new();
     let mut local_completions: Vec<(u64, Reply)> = Vec::new();
     {
-        let mut space = shared.space(shared.origin).lock();
+        let mut space = shared.space(home).lock();
         for action in actions {
             match action {
                 DirAction::Grant {
@@ -327,18 +407,21 @@ pub(crate) fn apply_origin_actions(
                     with_data,
                 } => match to {
                     crate::directory::Requester::Remote { node, req_id } => {
-                        // A page the origin never materialized is the
-                        // kernel zero page; with the optimization enabled
-                        // the receiver zero-fills locally instead of
-                        // pulling 4 KiB of zeros over the wire.
+                        // Data source: contents staged by this transaction
+                        // (a data-carrying ack or the home's own dropped
+                        // copy), else the handling node's frame. A page
+                        // the origin never materialized is the kernel
+                        // zero page; with the optimization enabled the
+                        // receiver zero-fills locally instead of pulling
+                        // 4 KiB of zeros over the wire.
                         let data = if with_data {
-                            match space.frame(vpn) {
+                            match staged.take().or_else(|| space.frame(vpn).cloned()) {
                                 // Mutation: grant a zeroed page instead of
                                 // the live frame, losing every write.
                                 Some(_) if shared.mutation == ProtocolMutation::StaleGrantData => {
                                     Some(PageFrame::zeroed())
                                 }
-                                Some(frame) => Some(frame.clone()),
+                                Some(frame) => Some(frame),
                                 None if shared.cost.zero_page_optimization => {
                                     shared.stats.counters.incr("protocol.zero_page_grants");
                                     None
@@ -361,6 +444,11 @@ pub(crate) fn apply_origin_actions(
                         ));
                     }
                     crate::directory::Requester::Local { req_id } => {
+                        if let Some(frame) = staged.take() {
+                            // A completed forwarded transaction staged the
+                            // contents for the home's own waiter.
+                            space.install_frame(vpn, frame);
+                        }
                         space.page_table.set(
                             vpn,
                             if access.is_write() {
@@ -430,25 +518,65 @@ pub(crate) fn apply_origin_actions(
                         space.install_frame(vpn, frame);
                     }
                 }
+                DirAction::Forward {
+                    to,
+                    requester,
+                    access,
+                } => {
+                    let (rnode, req_id) = match requester {
+                        crate::directory::Requester::Remote { node, req_id } => (node, req_id),
+                        crate::directory::Requester::Local { req_id } => (home, req_id),
+                    };
+                    shared.stats.counters.incr("protocol.forwards");
+                    sends.push((
+                        to,
+                        DexMsg::OwnerForward {
+                            pid: shared.pid,
+                            vpn,
+                            access,
+                            requester: rnode,
+                            req_id,
+                        },
+                    ));
+                }
+                DirAction::SendInvalidateBatch { to, entries } => {
+                    sends.push((
+                        to,
+                        DexMsg::InvalidateBatch {
+                            pid: shared.pid,
+                            entries,
+                        },
+                    ));
+                }
+                DirAction::DropHomeCopy { needs_data } => {
+                    if needs_data {
+                        // The home's copy is the elected data source:
+                        // stage it for the grant before dropping it.
+                        staged = Some(space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed));
+                    }
+                    space.page_table.clear(vpn);
+                    space.evict_frame(vpn);
+                }
             }
         }
     }
-    // Local waiters were parked at the origin: retry completions must be
-    // delivered like grants.
+    // Local waiters were parked at the handling node: retry completions
+    // must be delivered like grants.
     for (req_id, reply) in local_completions {
-        shared.complete_pending(ctx, shared.origin, req_id, reply);
+        shared.complete_pending(ctx, home, req_id, reply);
     }
     for (to, msg) in sends {
         endpoint.send_traced(ctx, to, msg, span);
     }
 }
 
-/// Requester-side handling of a page grant: install data + PTE, then wake
-/// the leader.
+/// Requester-side handling of a page grant: install data + PTE, run any
+/// protocol work deferred behind the grant, then wake the leader.
 #[allow(clippy::too_many_arguments)]
 fn handle_page_grant(
     ctx: &SimCtx,
     shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
     node: NodeId,
     vpn: Vpn,
     access: Access,
@@ -496,7 +624,262 @@ fn handle_page_grant(
             tag: None,
         });
     }
+    // Sharded mode: the grant the deferred work was waiting for has
+    // landed (or been turned into a retry) — run it before waking the
+    // requester so the node's state is protocol-consistent.
+    if let Some(work) = shared.unmark_inflight(node, vpn) {
+        run_deferred(ctx, shared, endpoint, node, vpn, work);
+    }
     shared.complete_pending(ctx, node, req_id, Reply::PageGrant { retry });
+}
+
+/// Runs protocol work a node deferred until its in-flight grant landed.
+fn run_deferred(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    node: NodeId,
+    vpn: Vpn,
+    work: DeferredWork,
+) {
+    shared.stats.counters.incr("protocol.deferred_work");
+    match work {
+        DeferredWork::Invalidate {
+            home,
+            needs_data,
+            span,
+        } => {
+            let data = invalidate_local(shared, node, vpn, needs_data);
+            shared.stats.counters.incr("protocol.invalidations");
+            if let Some(m) = &shared.metrics {
+                m.node(node).incr("dsm.invalidations");
+            }
+            endpoint.send_traced(
+                ctx,
+                home,
+                DexMsg::InvalidateBatchAck {
+                    pid: shared.pid,
+                    entries: vec![(vpn, data)],
+                },
+                span,
+            );
+        }
+        DeferredWork::Forward {
+            home,
+            access,
+            requester,
+            req_id,
+            span,
+        } => {
+            handle_owner_forward(
+                ctx, shared, endpoint, node, home, vpn, access, requester, req_id, span,
+            );
+        }
+    }
+}
+
+/// Owner-side handling of a forwarded request (sharded mode): adjust the
+/// local mapping, grant (with data) straight to the requester — the
+/// two-hop critical path — and acknowledge the ownership change to the
+/// home asynchronously.
+#[allow(clippy::too_many_arguments)]
+fn handle_owner_forward(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    node: NodeId,
+    from: NodeId,
+    vpn: Vpn,
+    access: Access,
+    requester: NodeId,
+    req_id: u64,
+    span: SpanContext,
+) {
+    let t0 = ctx.now();
+    let handling = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+    ctx.advance(shared.cost.forward_handling);
+    let data = {
+        let mut space = shared.space(node).lock();
+        let frame = space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed);
+        if access.is_write() {
+            // Mutation: the owner keeps its mapping after handing
+            // exclusivity away (the sharded analogue of keep-origin-pte),
+            // so its threads keep reading the stale copy.
+            if shared.mutation != ProtocolMutation::KeepOriginPte {
+                space.page_table.clear(vpn);
+                space.evict_frame(vpn);
+            }
+        } else {
+            // The owner keeps a shared copy, downgrading if it was the
+            // exclusive writer.
+            space.page_table.downgrade(vpn);
+        }
+        if shared.mutation == ProtocolMutation::StaleGrantData {
+            PageFrame::zeroed()
+        } else {
+            frame
+        }
+    };
+    shared.stats.counters.incr("protocol.forwards_serviced");
+    let out = handling.map_or(span, |id| SpanContext(id.0));
+    endpoint.send_traced(
+        ctx,
+        requester,
+        DexMsg::PageGrant {
+            pid: shared.pid,
+            vpn,
+            access,
+            data: Some(data),
+            retry: false,
+            req_id,
+        },
+        out,
+    );
+    endpoint.send_traced(
+        ctx,
+        from,
+        DexMsg::OwnerAck {
+            pid: shared.pid,
+            vpn,
+            access,
+        },
+        out,
+    );
+    if let Some(id) = handling {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId(span.0),
+            kind: SpanKind::DirectoryHandling,
+            node,
+            task: PROTOCOL_TASK,
+            start: t0,
+            end: ctx.now(),
+            label: if access.is_write() {
+                "owner_forward_write"
+            } else {
+                "owner_forward_read"
+            },
+            tag: None,
+        });
+    }
+}
+
+/// Clears a node's copy of one page for an invalidation, returning the
+/// contents when the ack must carry them. Shared by the unicast and
+/// batched invalidation paths.
+fn invalidate_local(
+    shared: &Arc<ProcessShared>,
+    node: NodeId,
+    vpn: Vpn,
+    needs_data: bool,
+) -> Option<PageFrame> {
+    let mut space = shared.space(node).lock();
+    let data = if needs_data {
+        // Mutation: ack with a zeroed page instead of the dirty frame,
+        // dropping this node's writes on ownership transfer.
+        if shared.mutation == ProtocolMutation::LoseInvalidateData {
+            Some(PageFrame::zeroed())
+        } else {
+            Some(space.frame(vpn).cloned().unwrap_or_else(PageFrame::zeroed))
+        }
+    } else {
+        None
+    };
+    // Mutation: ack the invalidation but keep the local PTE and frame,
+    // so this node keeps reading its stale copy.
+    if shared.mutation != ProtocolMutation::SkipInvalidateClear {
+        space.page_table.clear(vpn);
+        space.evict_frame(vpn);
+    }
+    data
+}
+
+/// A node's handling of a batched ownership revocation (sharded mode):
+/// every doomed replica the home condemned at this node is cleared in one
+/// message, acknowledged with one aggregated ack, and accounted as one
+/// span. Entries whose page has a grant still in flight are deferred and
+/// acknowledged in a later partial ack.
+fn handle_invalidate_batch(
+    ctx: &SimCtx,
+    shared: &Arc<ProcessShared>,
+    endpoint: &crate::process::Endpoint,
+    node: NodeId,
+    from: NodeId,
+    entries: Vec<(Vpn, bool)>,
+    span: SpanContext,
+) {
+    let t0 = ctx.now();
+    let inval = shared.spans.is_enabled().then(|| shared.spans.alloc_id());
+    ctx.advance(shared.cost.protocol_handling);
+    let mut acks: Vec<(Vpn, Option<PageFrame>)> = Vec::new();
+    let mut carried = false;
+    for (vpn, needs_data) in entries {
+        if shared.inflight(node, vpn) {
+            // The grant for this page is still in flight on another
+            // channel: revoking now would ack a copy the node does not
+            // hold yet. Defer; the ack follows the grant.
+            shared.defer_work(
+                node,
+                vpn,
+                DeferredWork::Invalidate {
+                    home: from,
+                    needs_data,
+                    span,
+                },
+            );
+            continue;
+        }
+        let data = invalidate_local(shared, node, vpn, needs_data);
+        carried |= data.is_some();
+        shared.stats.counters.incr("protocol.invalidations");
+        if let Some(m) = &shared.metrics {
+            m.node(node).incr("dsm.invalidations");
+        }
+        if shared.trace.is_enabled() {
+            shared.trace.record(FaultEvent {
+                time: ctx.now(),
+                node,
+                task: Tid(u64::MAX),
+                kind: FaultKind::Invalidate,
+                site: "protocol.invalidate_batch",
+                addr: vpn.base(),
+                tag: shared.tag_for(shared.origin, vpn.base()),
+            });
+        }
+        acks.push((vpn, data));
+    }
+    shared.stats.counters.incr("protocol.invalidate_batches");
+    if let Some(id) = inval {
+        shared.spans.record(Span {
+            id,
+            parent: SpanId(span.0),
+            kind: SpanKind::Invalidation,
+            node,
+            task: PROTOCOL_TASK,
+            start: t0,
+            end: ctx.now(),
+            label: if carried {
+                "invalidate_batch_flush"
+            } else {
+                "invalidate_batch_drop"
+            },
+            tag: None,
+        });
+    }
+    // One aggregated ack for every entry applied now; deferred entries
+    // follow in partial acks of their own. The ack echoes the incoming
+    // directory span so the home's deferred grant stays stitched.
+    if !acks.is_empty() {
+        endpoint.send_traced(
+            ctx,
+            from,
+            DexMsg::InvalidateBatchAck {
+                pid: shared.pid,
+                entries: acks,
+            },
+            span,
+        );
+    }
 }
 
 /// A node's handling of an ownership revocation.

@@ -7,7 +7,7 @@
 //! variants carrying page data report 4 KiB of page payload and take the
 //! RDMA path in the messaging layer.
 
-use dex_net::WireMessage;
+use dex_net::{NodeId, WireMessage};
 use dex_os::{
     Access, ExecutionContext, PageFrame, Pid, Prot, Tid, VirtAddr, Vma, Vpn, CONTEXT_BYTES,
     PAGE_SIZE,
@@ -165,6 +165,54 @@ pub enum DexMsg {
         data: PageFrame,
     },
 
+    // ---- sharded directory / owner forwarding ----
+    /// The page's home asks the current owner to service a request
+    /// directly: the owner adjusts its own PTE, sends the grant (with
+    /// data) straight to the requester, and acknowledges the ownership
+    /// change back to the home asynchronously. This keeps the home off
+    /// the data critical path (three hops become two).
+    OwnerForward {
+        /// Owning process.
+        pid: Pid,
+        /// Requested page.
+        vpn: Vpn,
+        /// Access the requester asked for.
+        access: Access,
+        /// The node the grant must be delivered to.
+        requester: NodeId,
+        /// Correlates the grant with the requester's waiting thread.
+        req_id: u64,
+    },
+    /// The owner's asynchronous acknowledgment that a forwarded request
+    /// was serviced; closes the home's transaction.
+    OwnerAck {
+        /// Owning process.
+        pid: Pid,
+        /// Page whose forwarded transaction completes.
+        vpn: Vpn,
+        /// Access that was granted to the requester.
+        access: Access,
+    },
+    /// One batched invalidation per destination node: every doomed
+    /// replica of the faulting transaction held by that node, revoked
+    /// with a single message and a single aggregated ack.
+    InvalidateBatch {
+        /// Owning process.
+        pid: Pid,
+        /// `(page, needs_data)` for each replica to revoke; `needs_data`
+        /// marks the replica elected to ship contents back.
+        entries: Vec<(Vpn, bool)>,
+    },
+    /// Aggregated acknowledgment of an [`DexMsg::InvalidateBatch`]. May
+    /// cover a subset of the batch when some pages had in-flight grants
+    /// at the destination (those are acked after the grant lands).
+    InvalidateBatchAck {
+        /// Owning process.
+        pid: Pid,
+        /// `(page, contents)` per acknowledged replica.
+        entries: Vec<(Vpn, Option<PageFrame>)>,
+    },
+
     // ---- on-demand VMA synchronization (§III-D) ----
     /// A remote replica saw an address with no local VMA.
     VmaRequest {
@@ -285,6 +333,11 @@ impl WireMessage for DexMsg {
             DexMsg::InvalidateAck { .. } => 24,
             DexMsg::Flush { .. } => 16,
             DexMsg::FlushAck { .. } => 16,
+            DexMsg::OwnerForward { .. } => 32,
+            DexMsg::OwnerAck { .. } => 24,
+            // 16-byte header plus a packed (vpn, flags) word per entry.
+            DexMsg::InvalidateBatch { entries, .. } => 16 + entries.len() * 9,
+            DexMsg::InvalidateBatchAck { entries, .. } => 16 + entries.len() * 9,
             DexMsg::VmaRequest { .. } => 24,
             DexMsg::VmaReply { .. } => 64,
             DexMsg::VmaUpdate { .. } => 40,
@@ -304,6 +357,9 @@ impl WireMessage for DexMsg {
             DexMsg::PageGrant { data: Some(_), .. } => PAGE_SIZE,
             DexMsg::InvalidateAck { data: Some(_), .. } => PAGE_SIZE,
             DexMsg::FlushAck { .. } => PAGE_SIZE,
+            DexMsg::InvalidateBatchAck { entries, .. } => {
+                entries.iter().filter(|(_, d)| d.is_some()).count() * PAGE_SIZE
+            }
             _ => 0,
         }
     }

@@ -15,7 +15,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dex_net::{MetricsRegistry, NodeId, SpanContext};
-use dex_os::{AddressSpace, FutexTable, Pid, Tid, VirtAddr, Vma, Vpn, PAGE_SIZE};
+use dex_os::{
+    Access, AddressSpace, FutexTable, PageFrame, Pid, Tid, VirtAddr, Vma, Vpn, PAGE_SIZE,
+};
 use dex_sim::{
     Counters, Histogram, MultiResource, Resource, SimChannel, SimCtx, SimDuration, ThreadId,
 };
@@ -83,6 +85,40 @@ struct Pending {
 #[derive(Default)]
 pub(crate) struct PendingTable {
     map: HashMap<u64, Pending>,
+}
+
+/// Protocol work a node postponed because the page it targets has a
+/// grant still in flight: in the sharded configuration a forwarded grant
+/// (owner → requester) and the home's next message about the same page
+/// travel different channels and may be delivered out of order. The
+/// dispatcher runs the deferred work as soon as the grant lands.
+#[derive(Debug)]
+pub(crate) enum DeferredWork {
+    /// A batched-invalidation entry whose revocation must wait for the
+    /// in-flight grant (otherwise the node would ack before holding the
+    /// copy being revoked).
+    Invalidate {
+        /// The home to send the (partial) batch ack to.
+        home: NodeId,
+        /// Whether the ack must carry the page contents.
+        needs_data: bool,
+        /// The directory-handling span the ack echoes.
+        span: SpanContext,
+    },
+    /// A forwarded request targeting ownership this node has not
+    /// finished acquiring yet.
+    Forward {
+        /// The home that forwarded the request.
+        home: NodeId,
+        /// The access requested.
+        access: Access,
+        /// The node the grant must go straight to.
+        requester: NodeId,
+        /// Correlation id of the requester's fault.
+        req_id: u64,
+        /// The incoming forward's span context.
+        span: SpanContext,
+    },
 }
 
 /// A job routed to a thread's original (pair) thread at the origin.
@@ -178,8 +214,25 @@ pub struct ProcessShared {
     /// Per-node address-space replicas (`spaces[origin]` is authoritative
     /// for VMAs).
     pub spaces: Vec<Mutex<AddressSpace>>,
-    /// Origin-side ownership directory.
-    pub directory: Mutex<Directory>,
+    /// Ownership-directory shards. The classic configuration has exactly
+    /// one, living at the origin; with `dir_shards > 1` pages hash across
+    /// per-node homes and each shard services its pages with owner
+    /// forwarding. Route by page via [`ProcessShared::directory_for`].
+    pub directories: Vec<Mutex<Directory>>,
+    /// Number of directory homes pages hash across (1 = classic
+    /// single-origin directory).
+    pub dir_shards: usize,
+    /// Per-node count of in-flight page requests keyed by page. Only
+    /// maintained in the sharded configuration: protocol messages about
+    /// a page with a grant still in flight are deferred until it lands.
+    pub(crate) inflight_pages: Vec<Mutex<HashMap<Vpn, u32>>>,
+    /// Per-node deferred protocol work (see [`DeferredWork`]), at most
+    /// one entry per page (homes serialize transactions per page).
+    pub(crate) deferred_work: Vec<Mutex<HashMap<Vpn, DeferredWork>>>,
+    /// Page contents a home received in a batch-invalidation ack, staged
+    /// until the transaction's grant consumes them (in sharded mode the
+    /// home's own frame is not part of the transfer).
+    pub(crate) staged_frames: Mutex<HashMap<(NodeId, Vpn), PageFrame>>,
     /// Origin-side futex wait queues (waiters keyed by request id).
     pub futex: Mutex<FutexTable>,
     /// Node each futex waiter's reply must be sent to.
@@ -243,6 +296,7 @@ impl ProcessShared {
         race: crate::race::RaceTrace,
         heap_pages: u64,
         mutation: crate::ProtocolMutation,
+        dir_shards: usize,
     ) -> Arc<Self> {
         let mut spaces: Vec<Mutex<AddressSpace>> = (0..nodes)
             .map(|_| Mutex::new(AddressSpace::new()))
@@ -264,6 +318,21 @@ impl ProcessShared {
         let cores = (0..nodes)
             .map(|_| MultiResource::new(cost.cores_per_node))
             .collect();
+        // The sharded configuration caps the home count at the cluster
+        // size (a home must be a real node); `<= 1` is the classic
+        // single-origin directory.
+        let dir_shards = if dir_shards > 1 {
+            dir_shards.min(nodes)
+        } else {
+            1
+        };
+        let directories = if dir_shards > 1 {
+            (0..dir_shards)
+                .map(|n| Mutex::new(Directory::forwarded(NodeId(n as u16), origin)))
+                .collect()
+        } else {
+            vec![Mutex::new(Directory::new(origin))]
+        };
         Arc::new(ProcessShared {
             pid,
             origin,
@@ -271,7 +340,11 @@ impl ProcessShared {
             cost,
             fabric,
             spaces,
-            directory: Mutex::new(Directory::new(origin)),
+            directories,
+            dir_shards,
+            inflight_pages: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            deferred_work: (0..nodes).map(|_| Mutex::new(HashMap::new())).collect(),
+            staged_frames: Mutex::new(HashMap::new()),
             futex: Mutex::new(FutexTable::new()),
             futex_nodes: Mutex::new(HashMap::new()),
             fault_tables: (0..nodes)
@@ -332,6 +405,102 @@ impl ProcessShared {
     /// The address-space replica of `node`.
     pub fn space(&self, node: NodeId) -> &Mutex<AddressSpace> {
         &self.spaces[node.0 as usize]
+    }
+
+    /// Whether the sharded (owner-forwarding) directory configuration is
+    /// active.
+    pub fn is_sharded(&self) -> bool {
+        self.dir_shards > 1
+    }
+
+    /// The directory home of `vpn`: the origin in the classic
+    /// configuration, else the shard the page hashes to.
+    pub fn home_of(&self, vpn: Vpn) -> NodeId {
+        if self.dir_shards <= 1 {
+            self.origin
+        } else {
+            NodeId((vpn.index() % self.dir_shards as u64) as u16)
+        }
+    }
+
+    /// The directory (shard) responsible for `vpn`.
+    pub fn directory_for(&self, vpn: Vpn) -> &Mutex<Directory> {
+        if self.dir_shards <= 1 {
+            &self.directories[0]
+        } else {
+            &self.directories[self.home_of(vpn).0 as usize]
+        }
+    }
+
+    // ---- in-flight grant tracking (sharded configuration only) ----
+
+    /// Records an in-flight page request at `node`. No-op in the classic
+    /// configuration (grants and invalidations share the origin channel
+    /// there, so they cannot reorder).
+    pub(crate) fn mark_inflight(&self, node: NodeId, vpn: Vpn) {
+        if !self.is_sharded() {
+            return;
+        }
+        *self.inflight_pages[node.0 as usize]
+            .lock()
+            .entry(vpn)
+            .or_insert(0) += 1;
+    }
+
+    /// Whether `node` has a page request for `vpn` still awaiting its
+    /// grant.
+    pub(crate) fn inflight(&self, node: NodeId, vpn: Vpn) -> bool {
+        self.is_sharded()
+            && self.inflight_pages[node.0 as usize]
+                .lock()
+                .contains_key(&vpn)
+    }
+
+    /// Drops one in-flight mark for `vpn` at `node`; when the last mark
+    /// goes, returns the protocol work that was deferred behind the
+    /// grant (the caller must run it now).
+    pub(crate) fn unmark_inflight(&self, node: NodeId, vpn: Vpn) -> Option<DeferredWork> {
+        if !self.is_sharded() {
+            return None;
+        }
+        {
+            let mut map = self.inflight_pages[node.0 as usize].lock();
+            match map.get_mut(&vpn) {
+                Some(count) => {
+                    *count -= 1;
+                    if *count > 0 {
+                        return None;
+                    }
+                    map.remove(&vpn);
+                }
+                // A grant with no mark: a home-local fault's forwarded
+                // grant (same-channel FIFO already orders those).
+                None => return None,
+            }
+        }
+        self.deferred_work[node.0 as usize].lock().remove(&vpn)
+    }
+
+    /// Defers protocol work for `vpn` at `node` until its in-flight
+    /// grant lands. Homes serialize transactions per page, so at most
+    /// one deferral can exist at a time.
+    pub(crate) fn defer_work(&self, node: NodeId, vpn: Vpn, work: DeferredWork) {
+        let prev = self.deferred_work[node.0 as usize].lock().insert(vpn, work);
+        debug_assert!(
+            prev.is_none(),
+            "two deferred protocol actions for {vpn} at {node}"
+        );
+    }
+
+    /// Stages page contents a batch-invalidation ack carried to `home`,
+    /// replacing any stale leftover for the page.
+    pub(crate) fn stage_frame(&self, home: NodeId, vpn: Vpn, frame: PageFrame) {
+        self.staged_frames.lock().insert((home, vpn), frame);
+    }
+
+    /// Takes the staged contents for `vpn` at `home`, if any.
+    pub(crate) fn take_staged(&self, home: NodeId, vpn: Vpn) -> Option<PageFrame> {
+        self.staged_frames.lock().remove(&(home, vpn))
     }
 
     /// Bump-allocates `len` bytes in the shared heap with the given
@@ -592,19 +761,31 @@ impl ProcessShared {
             "origin node crashed: unsupported (process death)"
         );
         self.stats.counters.incr("faults.crashes_handled");
-        let reclaimed = self.directory.lock().on_node_crash(dead);
-        let endpoint = self.fabric.endpoint(self.origin);
-        for (vpn, actions) in reclaimed {
-            self.stats.counters.incr("faults.pages_reclaimed");
-            crate::dispatch::apply_origin_actions(
-                ctx,
-                self,
-                &endpoint,
-                vpn,
-                actions,
-                None,
-                SpanContext::NONE,
-            );
+        for dir in &self.directories {
+            let (home, reclaimed) = {
+                let mut dir = dir.lock();
+                // A shard homed on the dead node died with it: pages
+                // hashed there are unrecoverable (their requesters see
+                // the peer crash instead).
+                if dir.home() == dead {
+                    continue;
+                }
+                (dir.home(), dir.on_node_crash(dead))
+            };
+            let endpoint = self.fabric.endpoint(home);
+            for (vpn, actions) in reclaimed {
+                self.stats.counters.incr("faults.pages_reclaimed");
+                crate::dispatch::apply_origin_actions(
+                    ctx,
+                    self,
+                    &endpoint,
+                    home,
+                    vpn,
+                    actions,
+                    None,
+                    SpanContext::NONE,
+                );
+            }
         }
         self.complete_broadcasts_for_dead(ctx, dead);
     }
@@ -728,6 +909,7 @@ mod tests {
             crate::race::RaceTrace::disabled(),
             1024,
             crate::ProtocolMutation::None,
+            1,
         )
     }
 

@@ -553,8 +553,10 @@ impl<'a> ThreadCtx<'a> {
         loop {
             rounds += 1;
             // Re-read the node each round: a crash may have re-homed the
-            // thread to the origin mid-fault.
-            let granted = if self.node.get() == shared.origin {
+            // thread to the origin mid-fault. With the sharded directory
+            // a page's transactions run at its home node — which is the
+            // origin for every page when sharding is off.
+            let granted = if self.node.get() == shared.home_of(vpn) {
                 let (granted, inline) = self.origin_fault_round(vpn, access, wire_span);
                 origin_inline = inline;
                 granted
@@ -660,18 +662,20 @@ impl<'a> ThreadCtx<'a> {
         }
     }
 
-    /// One protocol round for a fault at the origin; returns
+    /// One protocol round for a fault at the page's directory home (the
+    /// origin in classic mode, any node in sharded mode); returns
     /// `(granted, inline)` where `inline` means the directory granted
     /// immediately with no remote involvement (a minor fault).
     fn origin_fault_round(&self, vpn: Vpn, access: Access, span: SpanContext) -> (bool, bool) {
         let shared = &self.shared;
         let ctx = self.sim;
-        let node = shared.origin;
+        let node = self.node.get();
         let req_id = shared.new_req_id();
-        let actions = shared
-            .directory
-            .lock()
-            .request(vpn, access, Requester::Local { req_id });
+        let actions =
+            shared
+                .directory_for(vpn)
+                .lock()
+                .request(vpn, access, Requester::Local { req_id });
 
         // Apply local actions and gather sends *without yielding*, so the
         // directory transition and the PTE changes are atomic with respect
@@ -722,6 +726,43 @@ impl<'a> ThreadCtx<'a> {
                             },
                         ));
                     }
+                    DirAction::Forward {
+                        to,
+                        access: fwd_access,
+                        ..
+                    } => {
+                        // Sharded mode: the current owner grants straight
+                        // to us (the home); the home's directory waits for
+                        // its async ownership ack.
+                        opened_txn = true;
+                        shared.stats.counters.incr("protocol.forwards");
+                        sends.push((
+                            *to,
+                            DexMsg::OwnerForward {
+                                pid: shared.pid,
+                                vpn,
+                                access: *fwd_access,
+                                requester: node,
+                                req_id,
+                            },
+                        ));
+                    }
+                    DirAction::SendInvalidateBatch { to, entries } => {
+                        opened_txn = true;
+                        sends.push((
+                            *to,
+                            DexMsg::InvalidateBatch {
+                                pid: shared.pid,
+                                entries: entries.clone(),
+                            },
+                        ));
+                    }
+                    DirAction::DropHomeCopy { .. } => {
+                        // A local requester is never elected as a doomed
+                        // replica holder: the directory skips the
+                        // requesting node when revoking.
+                        unreachable!("home asked to drop its copy for its own request")
+                    }
                     DirAction::SetOriginPteRo | DirAction::InstallOriginData => {
                         unreachable!("ack-only action out of request()")
                     }
@@ -746,21 +787,35 @@ impl<'a> ThreadCtx<'a> {
         match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
             Ok(Reply::PageGrant { retry }) => (!retry, false),
             Ok(other) => unreachable!("page fault answered with {other:?}"),
-            Err(e) => unreachable!("origin wait failed with {e:?}: the origin cannot crash"),
+            Err(WaitError::OwnNodeCrashed) => {
+                // Only reachable in sharded mode: a non-origin home
+                // fail-stopped under its own faulting thread.
+                assert_ne!(node, shared.origin, "the origin cannot crash");
+                self.rehome_after_crash();
+                (false, false)
+            }
+            Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
         }
     }
 
-    /// One protocol round for a fault at a remote node. The fault span
-    /// rides the request so origin-side handling stitches to this fault.
+    /// One protocol round for a fault away from the page's home. The
+    /// fault span rides the request so home-side handling stitches to
+    /// this fault.
     fn remote_fault_round(&self, vpn: Vpn, access: Access, span: SpanContext) -> bool {
         let shared = &self.shared;
         let ctx = self.sim;
         let node = self.node.get();
+        let home = shared.home_of(vpn);
         let req_id = shared.new_req_id();
         let slot = shared.register_pending(ctx, node, req_id);
+        // Sharded mode: a grant for this page may be forwarded by a third
+        // node, racing protocol traffic from the home on another channel.
+        // Mark the page in flight so the dispatcher defers such traffic
+        // until the grant lands (no-op when sharding is off).
+        shared.mark_inflight(node, vpn);
         self.endpoint(node).send_traced(
             ctx,
-            shared.origin,
+            home,
             DexMsg::PageRequest {
                 pid: shared.pid,
                 vpn,
@@ -769,7 +824,8 @@ impl<'a> ThreadCtx<'a> {
             },
             span,
         );
-        match shared.wait_reply_watching(ctx, &slot, node, req_id, None, false) {
+        let peer = shared.is_sharded().then_some(home);
+        match shared.wait_reply_watching(ctx, &slot, node, req_id, peer, false) {
             Ok(Reply::PageGrant { retry }) => !retry,
             Ok(other) => unreachable!("page fault answered with {other:?}"),
             Err(WaitError::OwnNodeCrashed) => {
@@ -778,7 +834,11 @@ impl<'a> ThreadCtx<'a> {
                 self.rehome_after_crash();
                 false
             }
-            Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
+            Err(WaitError::PeerCrashed(p)) => panic!(
+                "directory home {p:?} crashed with page {vpn:?} outstanding: \
+                 sharded homes hold authoritative ownership state and are \
+                 not fault-tolerant (keep fault plans away from home shards)"
+            ),
         }
     }
 
@@ -975,7 +1035,7 @@ impl<'a> ThreadCtx<'a> {
         let shared = &self.shared;
         if self.node.get() == shared.origin {
             shared
-                .directory
+                .directory_for(addr.vpn())
                 .lock()
                 .current_writer(addr.vpn())
                 .unwrap_or(shared.origin)
@@ -1033,33 +1093,40 @@ impl<'a> ThreadCtx<'a> {
     /// for the regular fault path.
     pub fn prefetch(&self, addr: VirtAddr, len: u64, access: Access) {
         let shared = &self.shared;
-        let node = self.node.get();
-        if node == shared.origin {
+        if self.node.get() == shared.origin && !shared.is_sharded() {
             return; // the origin serves itself through the fault path
         }
         // Make sure the VMA is known first (one on-demand sync at most).
         self.ensure(addr, access);
+        // The sync above runs the regular fault path, which re-homes the
+        // thread if its node dies — re-read the node (and re-check the
+        // origin shortcut) rather than trusting a pre-fault snapshot.
+        let node = self.node.get();
+        if node == shared.origin && !shared.is_sharded() {
+            return;
+        }
         let missing: Vec<Vpn> = {
             let space = shared.space(node).lock();
             dex_os::pages_covering(addr, len)
-                .filter(|vpn| !space.page_table.entry(*vpn).permits(access))
+                .filter(|vpn| {
+                    // Pages homed here are served through the local fault
+                    // path; only remote homes are worth a request.
+                    !space.page_table.entry(*vpn).permits(access) && shared.home_of(*vpn) != node
+                })
                 .collect()
         };
         if missing.is_empty() {
             return;
         }
-        shared
-            .stats
-            .counters
-            .add("prefetch.pages", missing.len() as u64);
         let endpoint = self.endpoint(node);
         let mut slots = Vec::with_capacity(missing.len());
         for vpn in &missing {
             let req_id = shared.new_req_id();
             let slot = shared.register_pending(self.sim, node, req_id);
+            shared.mark_inflight(node, *vpn);
             endpoint.send(
                 self.sim,
-                shared.origin,
+                shared.home_of(*vpn),
                 DexMsg::PageRequest {
                     pid: shared.pid,
                     vpn: *vpn,
@@ -1067,28 +1134,49 @@ impl<'a> ThreadCtx<'a> {
                     req_id,
                 },
             );
-            slots.push((req_id, slot));
+            slots.push((*vpn, req_id, slot));
         }
+        // Prefetch is advisory end to end: grants are counted, denials
+        // (conflicting transactions answered with a retry, or anything
+        // else the protocol sends back) are left to the regular fault
+        // path on first touch — never treated as protocol errors.
+        let mut granted = 0u64;
+        let mut denied = 0u64;
         let mut outstanding = slots.into_iter();
-        while let Some((req_id, slot)) = outstanding.next() {
-            match shared.wait_reply_watching(self.sim, &slot, node, req_id, None, false) {
-                // Granted pages were installed by the dispatcher; retries
-                // are left to the normal fault path on first touch.
-                Ok(Reply::PageGrant { .. }) => {}
-                Ok(other) => unreachable!("prefetch answered with {other:?}"),
+        while let Some((vpn, req_id, slot)) = outstanding.next() {
+            let peer = shared.is_sharded().then(|| shared.home_of(vpn));
+            match shared.wait_reply_watching(self.sim, &slot, node, req_id, peer, false) {
+                // Granted pages were installed by the dispatcher.
+                Ok(Reply::PageGrant { retry: false }) => granted += 1,
+                Ok(_) => denied += 1,
                 Err(WaitError::OwnNodeCrashed) => {
-                    // Prefetch is advisory: drop the remaining requests
-                    // and go home. Grants already applied to the dead
-                    // node's page table are moot.
-                    for (rid, _) in outstanding {
+                    // Drop the remaining requests and go home. Grants
+                    // already applied to the dead node's page table are
+                    // moot.
+                    denied += 1;
+                    for (_, rid, _) in outstanding.by_ref() {
                         shared.abandon_pending(node, rid);
+                        denied += 1;
                     }
                     self.rehome_after_crash();
-                    return;
+                    break;
                 }
-                Err(WaitError::PeerCrashed(p)) => unreachable!("unwatched peer {p}"),
+                Err(WaitError::PeerCrashed(_)) => {
+                    // A directory home died mid-prefetch. Unlike the
+                    // mandatory fault path, a hint can simply be dropped:
+                    // abandon the outstanding slots and let first touch
+                    // (and crash recovery) sort the rest out.
+                    denied += 1;
+                    for (_, rid, _) in outstanding.by_ref() {
+                        shared.abandon_pending(node, rid);
+                        denied += 1;
+                    }
+                    break;
+                }
             }
         }
+        shared.stats.counters.add("prefetch.pages", granted);
+        shared.stats.counters.add("prefetch.denied", denied);
     }
 
     /// Picks the thread up off its fail-stopped node and re-homes it to
@@ -1414,7 +1502,7 @@ impl<'a> ThreadCtx<'a> {
             }
             DelegatedOp::QueryOwner { addr } => {
                 shared
-                    .directory
+                    .directory_for(addr.vpn())
                     .lock()
                     .current_writer(addr.vpn())
                     .unwrap_or(shared.origin)
@@ -1596,7 +1684,9 @@ pub(crate) fn munmap_at_origin(
         }
         pages
     };
-    let _ = shared.directory.lock().drop_pages(&pages);
+    for dir in &shared.directories {
+        let _ = dir.lock().drop_pages(&pages);
+    }
     broadcast_vma_op(ctx, shared, VmaOp::Unmap { addr, len });
 }
 
@@ -1698,7 +1788,7 @@ fn pair_thread_loop(
             }
             DelegatedOp::QueryOwner { addr } => {
                 let node = shared
-                    .directory
+                    .directory_for(addr.vpn())
                     .lock()
                     .current_writer(addr.vpn())
                     .unwrap_or(shared.origin);

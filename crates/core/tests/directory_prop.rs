@@ -11,6 +11,7 @@ use dex_net::NodeId;
 use dex_os::{Access, Vpn};
 
 const ORIGIN: NodeId = NodeId(0);
+const HOME: NodeId = NodeId(1);
 
 /// An in-flight remote transaction the harness must acknowledge.
 #[derive(Debug)]
@@ -24,11 +25,18 @@ enum PendingAck {
         from: NodeId,
         needs_data: bool,
     },
+    /// Sharded mode: the owner services the forwarded request (granting
+    /// straight to the requester) and acks the ownership change.
+    Forward {
+        vpn: Vpn,
+        from: NodeId,
+    },
 }
 
 #[derive(Debug, Default)]
 struct Harness {
     dir: Option<Directory>,
+    home: NodeId,
     acks: VecDeque<PendingAck>,
     grants: u64,
     retries: u64,
@@ -39,6 +47,17 @@ impl Harness {
     fn new() -> Self {
         Harness {
             dir: Some(Directory::new(ORIGIN)),
+            home: ORIGIN,
+            ..Default::default()
+        }
+    }
+
+    /// A sharded-mode harness: the directory lives at a non-origin home
+    /// and runs the two-hop (owner-forwarded) protocol.
+    fn forwarded() -> Self {
+        Harness {
+            dir: Some(Directory::forwarded(HOME, ORIGIN)),
+            home: HOME,
             ..Default::default()
         }
     }
@@ -62,17 +81,30 @@ impl Harness {
                         needs_data,
                     })
                 }
+                DirAction::Forward { to, .. } => {
+                    self.acks.push_back(PendingAck::Forward { vpn, from: to })
+                }
+                DirAction::SendInvalidateBatch { to, entries } => {
+                    for (v, needs_data) in entries {
+                        self.acks.push_back(PendingAck::Invalidate {
+                            vpn: v,
+                            from: to,
+                            needs_data,
+                        });
+                    }
+                }
                 DirAction::ClearOriginPte
                 | DirAction::DowngradeOriginPte
                 | DirAction::SetOriginPteRo
-                | DirAction::InstallOriginData => {}
+                | DirAction::InstallOriginData
+                | DirAction::DropHomeCopy { .. } => {}
             }
         }
     }
 
     fn request(&mut self, vpn: Vpn, access: Access, node: NodeId, req: u64) {
         self.requests += 1;
-        let requester = if node == ORIGIN {
+        let requester = if node == self.home {
             Requester::Local { req_id: req }
         } else {
             Requester::Remote { node, req_id: req }
@@ -97,6 +129,13 @@ impl Harness {
                 needs_data,
             } => {
                 let a = self.dir().invalidate_ack(vpn, from, needs_data);
+                (a, vpn)
+            }
+            PendingAck::Forward { vpn, from } => {
+                // The owner grants directly to the requester — that is
+                // the request's resolution — then acks the home.
+                self.grants += 1;
+                let a = self.dir().owner_ack(vpn, from);
                 (a, vpn)
             }
         };
@@ -145,6 +184,39 @@ proptest! {
         let dir = h.dir.take().unwrap();
         prop_assert!(dir.check_invariants().is_ok(), "{:?}", dir.check_invariants());
         // Exactly one resolution (grant or retry) per request.
+        prop_assert_eq!(h.grants + h.retries, h.requests);
+    }
+
+    /// The sharded (owner-forwarded) variant under the same random
+    /// schedules: invariants hold at every step, every request resolves
+    /// exactly once (inline grant, forwarded grant, or retry), and the
+    /// directory quiesces cleanly.
+    #[test]
+    fn forwarded_random_schedules_preserve_invariants(
+        steps in proptest::collection::vec(
+            (0u8..2, 0u64..4, 0u16..6, any::<bool>(), 0usize..8), 1..200
+        )
+    ) {
+        let mut h = Harness::forwarded();
+        let mut req_id = 0u64;
+        for (kind, page, node, write, ack_index) in steps {
+            match kind {
+                0 => {
+                    req_id += 1;
+                    h.request(
+                        Vpn::new(page),
+                        if write { Access::Write } else { Access::Read },
+                        NodeId(node),
+                        req_id,
+                    );
+                }
+                _ => h.deliver_one_ack(ack_index),
+            }
+            prop_assert!(h.dir.as_ref().unwrap().check_invariants().is_ok());
+        }
+        h.drain();
+        let dir = h.dir.take().unwrap();
+        prop_assert!(dir.check_invariants().is_ok(), "{:?}", dir.check_invariants());
         prop_assert_eq!(h.grants + h.retries, h.requests);
     }
 

@@ -94,12 +94,11 @@ fn stalled_replies_complete_instead_of_hanging() {
     let first = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan.clone()));
     let second = mixed_workload(ClusterConfig::new(3).with_fault_plan(plan));
     assert_eq!(fingerprint(&first), fingerprint(&second));
-    first
-        .process()
-        .directory
-        .lock()
-        .check_invariants()
-        .expect("directory consistent after stalls");
+    for dir in &first.process().directories {
+        dir.lock()
+            .check_invariants()
+            .expect("directory consistent after stalls");
+    }
 }
 
 /// The crash scenario: node 2 dies at 3 ms while one thread works there.
@@ -167,8 +166,8 @@ fn node_crash_rehomes_threads_and_reclaims_pages() {
         "node 2 owned pages when it died"
     );
 
-    {
-        let directory = shared.directory.lock();
+    for dir in &shared.directories {
+        let directory = dir.lock();
         directory
             .check_invariants()
             .expect("no dead node may linger in any owner set");
@@ -187,4 +186,193 @@ fn node_crash_recovery_is_deterministic() {
     let (first, _) = crash_workload();
     let (second, _) = crash_workload();
     assert_eq!(fingerprint(&first), fingerprint(&second));
+}
+
+/// A prefetch workload under a stalled reply link: the origin's grants
+/// sit in the stall window mid-prefetch; the hint must simply wait the
+/// window out (advisory, never a protocol error) and still install every
+/// page.
+fn stalled_prefetch_workload() -> RunReport {
+    let mut plan = FaultPlan::default();
+    plan.stall(
+        0,
+        1,
+        SimTime::ZERO + SimDuration::from_micros(50),
+        SimTime::ZERO + SimDuration::from_millis(3),
+    );
+    let cluster = Cluster::new(ClusterConfig::new(2).with_fault_plan(plan));
+    cluster.run(|p| {
+        let data = p.alloc_vec_aligned::<u64>(16 * 512, "stream"); // 16 pages
+        p.spawn(move |ctx| {
+            for i in 0..data.len() {
+                data.set(ctx, i, i as u64 + 9);
+            }
+            ctx.migrate(1).unwrap();
+            ctx.prefetch(data.addr(), (data.len() * 8) as u64, dex_core::Access::Read);
+            let mut buf = vec![0u64; 512];
+            for page in 0..16 {
+                data.read_slice(ctx, page * 512, &mut buf);
+                assert_eq!(buf[0], (page * 512) as u64 + 9);
+            }
+        });
+    })
+}
+
+#[test]
+fn prefetch_waits_out_stalled_replies() {
+    let first = stalled_prefetch_workload();
+    let second = stalled_prefetch_workload();
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    let counters = &first.process().stats.counters;
+    // The VMA sync demand-faults the first page, so 15 pages are hinted.
+    assert_eq!(
+        counters.get("prefetch.pages") + counters.get("prefetch.denied"),
+        15,
+        "every hinted page resolves exactly once"
+    );
+    assert!(
+        counters.get("prefetch.pages") >= 1,
+        "stalls delay grants, they do not deny them"
+    );
+    assert_eq!(first.stats.read_faults, 16 - counters.get("prefetch.pages"));
+}
+
+/// The prefetching thread's own node fail-stops while its hint replies
+/// are stalled in flight: the advisory path must abandon the outstanding
+/// slots, re-home the thread, and let the regular fault path (now at the
+/// origin) serve the data.
+fn crashed_prefetch_workload() -> RunReport {
+    let mut plan = FaultPlan::default();
+    // Grant replies from the origin stall once the prefetch is underway
+    // (migration and the first demand fault finish well before 1 ms)...
+    plan.stall(
+        0,
+        2,
+        SimTime::ZERO + SimDuration::from_millis(1),
+        SimTime::ZERO + SimDuration::from_millis(6),
+    );
+    // ...and node 2 dies with the whole prefetch outstanding.
+    plan.crash(2, SimTime::ZERO + SimDuration::from_millis(3));
+    let cluster = Cluster::new(ClusterConfig::new(3).with_fault_plan(plan));
+    cluster.run(|p| {
+        let data = p.alloc_vec_aligned::<u64>(8 * 512, "doomed");
+        p.spawn(move |ctx| {
+            ctx.migrate(2).unwrap();
+            // Take write ownership of the first page now, so the hint's
+            // VMA sync below needs no protocol traffic of its own.
+            data.set(ctx, 0, 1);
+            ctx.compute_ops(3_000_000); // ~1.5 ms: into the stall window
+            ctx.prefetch(
+                data.addr(),
+                (data.len() * 8) as u64,
+                dex_core::Access::Write,
+            );
+            // The crash re-homed us; the fault path serves writes from
+            // the origin as if the hint never happened.
+            assert_eq!(ctx.node(), NodeId(0), "crashed off node 2, now home");
+            for i in 0..data.len() {
+                data.set(ctx, i, i as u64 * 11);
+            }
+        });
+    })
+}
+
+#[test]
+fn prefetch_survives_own_node_crash_and_rehomes() {
+    let first = crashed_prefetch_workload();
+    let second = crashed_prefetch_workload();
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    let shared = first.process();
+    let counters = &shared.stats.counters;
+    assert!(
+        counters.get("migrations.crash_rehomed") >= 1,
+        "the prefetching thread must have re-homed"
+    );
+    assert_eq!(
+        counters.get("prefetch.denied"),
+        7,
+        "every outstanding hint slot is abandoned, none granted \
+         (page 0 was demand-faulted before the hint)"
+    );
+    assert_eq!(counters.get("prefetch.pages"), 0);
+    for dir in &shared.directories {
+        dir.lock()
+            .check_invariants()
+            .expect("directory consistent after the crash");
+    }
+}
+
+/// Pipelined prefetches contending for write ownership of the same
+/// pages: whoever hits an open transaction is answered with a retry,
+/// which the advisory path counts as a denial and leaves to first touch
+/// — never a panic, never a lost page. A thread on node 1 takes the
+/// whole region first; a stalled ack link from node 1 then holds every
+/// revocation transaction open while nodes 2 and 3 prefetch the same
+/// pages simultaneously, so one of each request pair must be denied.
+fn contended_prefetch_workload() -> RunReport {
+    let mut plan = FaultPlan::default();
+    // The stall opens after node 1 owns the region (setup finishes near
+    // 1 ms) and holds its invalidation acks — and with them every
+    // revocation transaction — until 6 ms.
+    plan.stall(
+        1,
+        0,
+        SimTime::ZERO + SimDuration::from_micros(1_500),
+        SimTime::ZERO + SimDuration::from_millis(6),
+    );
+    let cluster = Cluster::new(ClusterConfig::new(4).with_fault_plan(plan));
+    cluster.run(|p| {
+        let data = p.alloc_vec_aligned::<u64>(8 * 512, "contended");
+        p.spawn(move |ctx| {
+            ctx.migrate(1).unwrap();
+            data.set(ctx, 0, 1);
+            ctx.prefetch(
+                data.addr(),
+                (data.len() * 8) as u64,
+                dex_core::Access::Write,
+            );
+        });
+        for n in 2..=3u16 {
+            p.spawn(move |ctx| {
+                ctx.migrate(n).unwrap();
+                data.set(ctx, 0, n as u64); // VMA + page-0 ownership
+                ctx.compute_ops(6_000_000); // ~3 ms: into the stall window
+                ctx.prefetch(
+                    data.addr(),
+                    (data.len() * 8) as u64,
+                    dex_core::Access::Write,
+                );
+                // Disjoint halves, so the data outcome is schedule-free.
+                let half = data.len() / 2;
+                let base = (n as usize - 2) * half;
+                for i in 0..half {
+                    data.set(ctx, base + i, (base + i) as u64 + 3);
+                }
+            });
+        }
+    })
+}
+
+#[test]
+fn contended_prefetch_denials_fall_back_to_faulting() {
+    let first = contended_prefetch_workload();
+    let second = contended_prefetch_workload();
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    let counters = &first.process().stats.counters;
+    // Each of the three threads demand-faults page 0 up front and hints
+    // the remaining 7 pages.
+    assert_eq!(
+        counters.get("prefetch.pages") + counters.get("prefetch.denied"),
+        21,
+        "every hint resolves exactly once"
+    );
+    assert!(
+        counters.get("prefetch.denied") >= 1,
+        "simultaneous write prefetches over one region must collide"
+    );
+    for dir in &first.process().directories {
+        dir.lock()
+            .check_invariants()
+            .expect("directory consistent after contention");
+    }
 }
