@@ -18,7 +18,7 @@ use dex_core::{Cluster, ClusterConfig, RunReport};
 const PAGES: usize = 8;
 
 fn pingpong(config: ClusterConfig, rounds: usize) -> RunReport {
-    let cluster = Cluster::new(config);
+    let cluster = Cluster::new(dex_bench::with_spans_if_requested(config));
     cluster.run(|p| {
         let v = p.alloc_vec_aligned::<u64>(PAGES * 512, "shard_pingpong");
         p.spawn(move |ctx| {
@@ -51,6 +51,8 @@ fn main() {
 
     let classic = pingpong(ClusterConfig::new(4), rounds);
     let sharded = pingpong(ClusterConfig::new(4).with_directory_shards(4), rounds);
+    dex_bench::write_spans("shard_classic", &classic).expect("write span dump");
+    dex_bench::write_spans("shard", &sharded).expect("write span dump");
 
     let row = |name: &str, r: &RunReport| {
         let c = &r.process().stats.counters;

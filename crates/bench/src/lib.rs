@@ -22,6 +22,13 @@
 //! `dex-check perf` subcommand diffs those files against the committed
 //! baselines with tolerance bands. `--smoke` (or `DEX_BENCH_SMOKE=1`)
 //! selects the reduced configuration the CI gate runs.
+//!
+//! Setting `DEX_BENCH_SPANS=<dir>` additionally records causal spans
+//! during the representative runs and dumps each as a `# dex-spans v1`
+//! trace (`SPANS_<name>.txt`) into that directory — the raw material for
+//! `dex-prof diff` when the perf gate trips. Span recording is pure
+//! bookkeeping on the simulator side, so the `BENCH_*.json` numbers are
+//! bit-identical with or without it.
 
 #![warn(missing_docs)]
 
@@ -30,6 +37,9 @@ mod perf;
 pub use perf::{smoke, BenchResult, BENCH_SCHEMA};
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dex_core::{ClusterConfig, RunReport};
 
 /// Formats a simple aligned text table: `header` row then `rows`, each a
 /// vector of cells. The first column is left-aligned, the rest right.
@@ -76,6 +86,42 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// The span-dump directory named by `DEX_BENCH_SPANS`, when set and
+/// non-empty. Bench binaries treat this as the opt-in switch for
+/// recording span traces alongside their `BENCH_*.json` results.
+pub fn spans_dir() -> Option<PathBuf> {
+    match std::env::var("DEX_BENCH_SPANS") {
+        Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+        _ => None,
+    }
+}
+
+/// Turns on causal-span recording when `DEX_BENCH_SPANS` requests a
+/// dump. Spans are schedule-neutral bookkeeping, so the run's virtual
+/// time and counters are unchanged either way.
+#[must_use]
+pub fn with_spans_if_requested(config: ClusterConfig) -> ClusterConfig {
+    if spans_dir().is_some() {
+        config.with_spans()
+    } else {
+        config
+    }
+}
+
+/// Writes `report`'s span trace as `SPANS_<name>.txt` (the
+/// `# dex-spans v1` codec) into the `DEX_BENCH_SPANS` directory and
+/// returns the path; `Ok(None)` when no dump was requested.
+pub fn write_spans(name: &str, report: &RunReport) -> std::io::Result<Option<PathBuf>> {
+    let Some(dir) = spans_dir() else {
+        return Ok(None);
+    };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("SPANS_{name}.txt"));
+    std::fs::write(&path, dex_prof::encode_spans(&report.spans))?;
+    eprintln!("wrote {}", path.display());
+    Ok(Some(path))
 }
 
 /// Parses `--flag value` style arguments from `std::env::args`.

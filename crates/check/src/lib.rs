@@ -39,6 +39,10 @@
 //!   results from the bench binaries against committed baselines with
 //!   tolerance bands, and self-tests that a seeded regression is
 //!   caught.
+//! * [`whatif`] — the causal what-if profiler: per-component virtual
+//!   speedups (exact under deterministic rerun) swept over named
+//!   workloads, ranked into an attribution report, with a self-test
+//!   that a seeded-dominant component must win the ranking.
 //!
 //! The `dex-check` binary wires all of them into CI:
 //!
@@ -65,6 +69,7 @@ pub mod perf;
 pub mod races;
 pub mod sc;
 pub mod scenarios;
+pub mod whatif;
 
 pub use dpor::{footprints_after, rf_signature, worth_exploring, Footprint};
 pub use explore::{
@@ -87,3 +92,7 @@ pub use perf::{
 pub use races::{analyze_races, render_race_report, Conflict, LockCycle, RaceReport};
 pub use sc::{check_sequential_consistency, render_sc_report, ScReport, ScViolation};
 pub use scenarios::{run_scenario, scenario_names, Scenario, SCENARIOS};
+pub use whatif::{
+    find_whatif_workload, full_component_registry, run_whatif, whatif_self_test,
+    whatif_workload_names, WhatIfRun, WhatIfWorkload, WHATIF_WORKLOADS,
+};

@@ -13,6 +13,8 @@
 //! dex-check metrics
 //! dex-check perf [--results DIR] [--baselines DIR] [--tolerance PCT]
 //!                [--update] [--self-test]
+//! dex-check whatif [--workload NAME] [--factor F] [--component NAME]...
+//!                  [--out FILE] [--smoke] [--self-test]
 //! dex-check all
 //! ```
 //!
@@ -58,6 +60,8 @@ USAGE:
   dex-check metrics
   dex-check perf [--results DIR] [--baselines DIR] [--tolerance PCT]
                  [--update] [--self-test]
+  dex-check whatif [--workload NAME] [--factor F] [--component NAME]...
+                   [--out FILE] [--smoke] [--self-test]
   dex-check all
 
 SUBCOMMANDS:
@@ -95,11 +99,19 @@ SUBCOMMANDS:
            the baselines from the results dir; --self-test perturbs
            each committed baseline past the band and verifies the
            comparison fails (proves the gate has teeth)
+  whatif   causal what-if profiler: sweep virtual speedups/slowdowns
+           over the named CostModel/NetConfig components for a chosen
+           workload — the deterministic simulator makes each virtual
+           speedup exact, not sampled — and print the ranked causal
+           attribution report (`dex-prof` renders the same data from
+           the `# dex-whatif v1` file written by --out). --self-test
+           requires the known-dominant component of a retry-bound
+           scenario to rank first and an irrelevant one to rank last
   all      lint + races + faults + explore (small budget + mutation
-           sweep) + timeline + metrics + perf self-test + model (2
-           nodes x 2 pages, the 3-node coalescing world, and the
-           3-node sharded two-hop world, each with a full mutation
-           sweep)
+           sweep) + timeline + metrics + perf self-test + whatif
+           self-test + model (2 nodes x 2 pages, the 3-node coalescing
+           world, and the 3-node sharded two-hop world, each with a
+           full mutation sweep)
 
 MODEL OPTIONS:
   --nodes N          number of nodes, 2..=4 (default 2)
@@ -132,6 +144,18 @@ PERF OPTIONS:
   --update           rewrite the baselines from the results directory
   --self-test        skip the comparison; verify seeded regressions in
                      each committed baseline are caught by the band
+
+WHATIF OPTIONS:
+  --workload NAME    workload to sweep: pingpong (retry-bound), migrate
+                     (migration-bound), or shard (two-hop grants)
+                     (default pingpong)
+  --factor F         cost scale per experiment; 0.5 = virtual speedup,
+                     2.0 = virtual slowdown (default 0.5)
+  --component NAME   sweep only this component (repeatable; default:
+                     the full CostModel + net.* registry)
+  --out FILE         also write the `# dex-whatif v1` report to FILE
+  --smoke            small fixed sweep (3 components) for CI smoke
+  --self-test        run the ranked-attribution self-test instead
 ";
 
 fn main() -> ExitCode {
@@ -153,6 +177,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(rest),
         "metrics" => cmd_metrics(rest),
         "perf" => cmd_perf(rest),
+        "whatif" => cmd_whatif(rest),
         "all" => cmd_all(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -728,8 +753,97 @@ fn cmd_perf(args: &[String]) -> Result<bool, String> {
         println!("  VIOLATION {violation}");
     }
     let ok = violations.is_empty();
+    if !ok {
+        println!(
+            "  hint: explain the drift with\n    \
+             dex-prof diff {}/BENCH_<name>.json {}/BENCH_<name>.json\n  \
+             and rank what to optimize with `dex-check whatif --workload <name>`",
+            baseline_dir.display(),
+            results_dir.display()
+        );
+    }
     println!("perf {}", if ok { "PASS" } else { "FAIL" });
     Ok(ok)
+}
+
+fn cmd_whatif(args: &[String]) -> Result<bool, String> {
+    let mut workload = "pingpong".to_string();
+    let mut factor = 0.5f64;
+    let mut components: Vec<String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut smoke = false;
+    let mut self_test = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--workload" => workload = value("--workload")?.clone(),
+            "--factor" => {
+                let v = value("--factor")?;
+                factor = v.parse().map_err(|_| format!("`{v}` is not a number"))?;
+            }
+            "--component" => components.push(value("--component")?.clone()),
+            "--out" => out = Some(PathBuf::from(value("--out")?)),
+            "--smoke" => smoke = true,
+            "--self-test" => self_test = true,
+            other => return Err(format!("unknown flag `{other}` for `whatif`\n\n{USAGE}")),
+        }
+    }
+
+    if self_test {
+        let started = std::time::Instant::now();
+        match dex_check::whatif_self_test() {
+            Ok(lines) => {
+                for line in &lines {
+                    println!("  {line}");
+                }
+                println!(
+                    "whatif self-test PASS (dominant component ranks first, \
+                     irrelevant one last) in {:.2?}",
+                    started.elapsed()
+                );
+                return Ok(true);
+            }
+            Err(e) => {
+                println!("whatif self-test FAIL: {e}");
+                return Ok(false);
+            }
+        }
+    }
+
+    if components.is_empty() {
+        components = if smoke {
+            ["retry_backoff", "protocol_handling", "net.verb_latency"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        } else {
+            dex_check::full_component_registry()
+        };
+    }
+
+    let started = std::time::Instant::now();
+    let run = dex_check::run_whatif(&workload, &components, factor)?;
+    print!("{}", dex_prof::render_whatif(&run.report));
+    if let Some(path) = &out {
+        std::fs::write(path, dex_prof::encode_whatif(&run.report))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("\n`# dex-whatif v1` report written to {}", path.display());
+    }
+    println!(
+        "\nwhatif {} ({} experiment(s), baseline rerun {}) in {:.2?}",
+        if run.deterministic { "PASS" } else { "FAIL" },
+        run.report.entries.len(),
+        if run.deterministic {
+            "bit-identical"
+        } else {
+            "DIVERGED — virtual speedups unsound"
+        },
+        started.elapsed()
+    );
+    Ok(run.deterministic)
 }
 
 fn cmd_all(args: &[String]) -> Result<bool, String> {
@@ -766,6 +880,9 @@ fn cmd_all(args: &[String]) -> Result<bool, String> {
 
     println!("\n== perf: baseline self-test ==");
     ok &= cmd_perf(&["--self-test".into()])?;
+
+    println!("\n== whatif: causal-attribution self-test ==");
+    ok &= cmd_whatif(&["--self-test".into()])?;
 
     println!("\n== model: 2 nodes x 2 pages, mutation sweep ==");
     ok &= cmd_model(&[

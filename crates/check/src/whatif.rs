@@ -1,0 +1,321 @@
+//! The causal what-if profiler behind `dex-check whatif`.
+//!
+//! Coz-style virtual speedups, made exact by determinism: for each named
+//! cost component ([`CostModel`] kernel-path constants and [`NetConfig`]
+//! fabric constants), scale its time cost by a factor, rerun the chosen
+//! workload — bit-reproducibly — and record the end-to-end movement. The
+//! ranked report answers "what is worth optimizing": a component whose
+//! −50% perturbation moves the run −31% *causes* a third of the runtime;
+//! one that moves nothing is off the critical path entirely.
+//!
+//! The rendering and the `# dex-whatif v1` codec live in `dex-prof`
+//! ([`dex_prof::whatif`]); this module owns the workloads and the sweep.
+
+use dex_core::{Cluster, ClusterConfig, CostModel, RunReport};
+use dex_net::NetConfig;
+use dex_prof::{WhatIfEntry, WhatIfReport};
+
+/// One sweepable workload: a named deterministic scenario rerun once per
+/// perturbation.
+#[derive(Clone, Copy)]
+pub struct WhatIfWorkload {
+    /// CLI name.
+    pub name: &'static str,
+    /// One-line description for usage output.
+    pub description: &'static str,
+    run: fn(CostModel, NetConfig) -> RunReport,
+}
+
+/// A retry-dominated scenario: two writers on different nodes fault on
+/// the same page *simultaneously* every round (the barrier re-syncs
+/// their phases), so one write per round collides with the other's
+/// in-flight invalidation transaction and pays the retry back-off — the
+/// paper's slow mode, and the dominant cost here by design.
+fn pingpong(cost: CostModel, net: NetConfig) -> RunReport {
+    let config = ClusterConfig::new(3).with_cost(cost).with_net(net);
+    Cluster::new(config).run(|p| {
+        let v = p.alloc_vec_aligned::<u64>(512, "contended");
+        let barrier = p.new_barrier(2, "round");
+        for node in [1u16, 2u16] {
+            p.spawn(move |ctx| {
+                ctx.set_site("whatif.pingpong");
+                ctx.migrate(node).expect("node exists");
+                for round in 0..24u64 {
+                    barrier.wait(ctx);
+                    v.set(ctx, 0, round);
+                }
+            });
+        }
+    })
+}
+
+/// A migration-dominated scenario: threads bounce across nodes touching
+/// almost no data, so first-migration remote-worker setup and the other
+/// Table II phases dominate.
+fn migrate(cost: CostModel, net: NetConfig) -> RunReport {
+    let config = ClusterConfig::new(4).with_cost(cost).with_net(net);
+    Cluster::new(config).run(|p| {
+        let v = p.alloc_vec::<u64>(64, "tokens");
+        for t in 0..2u16 {
+            p.spawn(move |ctx| {
+                ctx.set_site("whatif.migrate");
+                for hop in 0..3u16 {
+                    let dst = 1 + (t + hop) % 3;
+                    ctx.migrate(dst).expect("node exists");
+                    v.set(ctx, (t * 3 + hop) as usize, hop as u64);
+                }
+                ctx.migrate_back().expect("return home");
+            });
+        }
+    })
+}
+
+/// The `shard` bench shape at smoke size: sharded directory homes with
+/// two-hop owner-forwarded grants, ownership ping-ponging between two
+/// writers while a third node pulls read replicas.
+fn shard(cost: CostModel, net: NetConfig) -> RunReport {
+    let config = ClusterConfig::new(4)
+        .with_cost(cost)
+        .with_net(net)
+        .with_directory_shards(4);
+    Cluster::new(config).run(|p| {
+        let v = p.alloc_vec_aligned::<u64>(4 * 512, "shard_pingpong");
+        p.spawn(move |ctx| {
+            ctx.set_site("whatif.shard");
+            ctx.migrate(1).expect("node 1 exists");
+            for page in 0..4 {
+                v.set(ctx, page * 512, page as u64);
+            }
+            for round in 0..3usize {
+                ctx.migrate(3).expect("node 3 exists");
+                for page in 0..4 {
+                    let _ = v.get(ctx, page * 512);
+                }
+                let writer = if round % 2 == 0 { 2 } else { 1 };
+                ctx.migrate(writer).expect("writer node exists");
+                for page in 0..4 {
+                    v.set(ctx, page * 512, round as u64);
+                }
+            }
+        });
+    })
+}
+
+/// The sweepable workloads.
+pub const WHATIF_WORKLOADS: &[WhatIfWorkload] = &[
+    WhatIfWorkload {
+        name: "pingpong",
+        description: "two writers colliding on one cell (retry-dominated)",
+        run: pingpong,
+    },
+    WhatIfWorkload {
+        name: "migrate",
+        description: "threads hopping across nodes (migration-dominated)",
+        run: migrate,
+    },
+    WhatIfWorkload {
+        name: "shard",
+        description: "sharded-directory ping-pong with a reader (two-hop grants)",
+        run: shard,
+    },
+];
+
+/// The workload names, for usage output.
+pub fn whatif_workload_names() -> Vec<&'static str> {
+    WHATIF_WORKLOADS.iter().map(|w| w.name).collect()
+}
+
+/// Finds a workload by CLI name.
+pub fn find_whatif_workload(name: &str) -> Option<WhatIfWorkload> {
+    WHATIF_WORKLOADS.iter().find(|w| w.name == name).copied()
+}
+
+/// Every perturbable component: the [`CostModel`] registry followed by
+/// the `net.`-prefixed [`NetConfig`] registry.
+pub fn full_component_registry() -> Vec<String> {
+    CostModel::components()
+        .iter()
+        .chain(NetConfig::components())
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Builds the (cost, net) pair with one component's time cost scaled by
+/// `factor`; the component name decides which registry applies.
+fn perturbed_models(component: &str, factor: f64) -> Result<(CostModel, NetConfig), String> {
+    let mut cost = CostModel::default();
+    let mut net = NetConfig::default();
+    if component.starts_with("net.") {
+        net.perturb(component, factor)?;
+    } else {
+        cost.perturb(component, factor)?;
+    }
+    Ok((cost, net))
+}
+
+/// The result of one sweep.
+pub struct WhatIfRun {
+    /// The ranked attribution report (codec + rendering in `dex-prof`).
+    pub report: WhatIfReport,
+    /// Whether the unperturbed baseline reran bit-identically — the
+    /// determinism the exactness claim rests on. A `false` here means
+    /// the virtual-speedup deltas cannot be trusted.
+    pub deterministic: bool,
+}
+
+/// Sweeps `components` at `factor` over the named workload: one baseline
+/// run (plus a determinism rerun), then one perturbed rerun per
+/// component.
+pub fn run_whatif(workload: &str, components: &[String], factor: f64) -> Result<WhatIfRun, String> {
+    let w = find_whatif_workload(workload).ok_or_else(|| {
+        format!(
+            "unknown what-if workload `{workload}` (expected one of {:?})",
+            whatif_workload_names()
+        )
+    })?;
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(format!(
+            "perturbation factor must be finite and positive, got {factor}"
+        ));
+    }
+    let baseline = (w.run)(CostModel::default(), NetConfig::default());
+    let again = (w.run)(CostModel::default(), NetConfig::default());
+    let deterministic = baseline.virtual_time == again.virtual_time;
+    let mut entries = Vec::with_capacity(components.len());
+    for component in components {
+        let (cost, net) = perturbed_models(component, factor)?;
+        let perturbed = (w.run)(cost, net);
+        entries.push(WhatIfEntry {
+            component: component.clone(),
+            factor,
+            perturbed_ns: perturbed.virtual_time.as_nanos(),
+        });
+    }
+    Ok(WhatIfRun {
+        report: WhatIfReport {
+            workload: w.name.to_string(),
+            baseline_ns: baseline.virtual_time.as_nanos(),
+            entries,
+        },
+        deterministic,
+    })
+}
+
+/// The component set the self-test sweeps: `retry_backoff` must dominate
+/// the ping-pong scenario, and `backward_update` — no thread ever
+/// migrates backward there — must have exactly zero causal impact.
+pub const SELF_TEST_COMPONENTS: &[&str] = &[
+    "retry_backoff",
+    "protocol_handling",
+    "fault_entry",
+    "fault_fixup",
+    "backward_update",
+];
+
+/// Proves the profiler has teeth: on the retry-dominated ping-pong
+/// scenario, halving `retry_backoff` must produce the largest end-to-end
+/// movement (rank 1), and the deliberately irrelevant `backward_update`
+/// must rank last with zero movement. Returns the ranking lines on
+/// success; errors describe which expectation failed.
+pub fn whatif_self_test() -> Result<Vec<String>, String> {
+    let components: Vec<String> = SELF_TEST_COMPONENTS.iter().map(|s| s.to_string()).collect();
+    let run = run_whatif("pingpong", &components, 0.5)?;
+    if !run.deterministic {
+        return Err("baseline rerun was not bit-identical; virtual speedups are unsound".into());
+    }
+    let report = &run.report;
+    let ranked = report.ranked();
+    let mut lines = Vec::with_capacity(ranked.len() + 1);
+    lines.push(format!(
+        "pingpong baseline {} ns, factor 0.5, {} component(s)",
+        report.baseline_ns,
+        ranked.len()
+    ));
+    for (i, e) in ranked.iter().enumerate() {
+        lines.push(format!(
+            "rank {}: {} ({:+.1}%)",
+            i + 1,
+            e.component,
+            e.delta_percent(report.baseline_ns)
+        ));
+    }
+    let first = ranked.first().ok_or("empty sweep")?;
+    if first.component != "retry_backoff" {
+        return Err(format!(
+            "expected retry_backoff to rank first on the retry-dominated scenario, got {} ({:+.1}%)",
+            first.component,
+            first.delta_percent(report.baseline_ns)
+        ));
+    }
+    if first.delta_percent(report.baseline_ns) > -10.0 {
+        return Err(format!(
+            "halving retry_backoff moved the run only {:+.1}% — retries are not dominating",
+            first.delta_percent(report.baseline_ns)
+        ));
+    }
+    let last = ranked.last().expect("nonempty");
+    if last.component != "backward_update" {
+        return Err(format!(
+            "expected backward_update to rank last (no backward migrations), got {}",
+            last.component
+        ));
+    }
+    if last.delta_ns(report.baseline_ns) != 0 {
+        return Err(format!(
+            "backward_update moved the run by {} ns; it must be causally irrelevant",
+            last.delta_ns(report.baseline_ns)
+        ));
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes() {
+        let lines = whatif_self_test().expect("self-test");
+        assert!(lines.iter().any(|l| l.contains("rank 1: retry_backoff")));
+        assert!(lines.last().unwrap().contains("backward_update"));
+    }
+
+    #[test]
+    fn migration_workload_is_dominated_by_worker_setup() {
+        let components = vec![
+            "remote_worker_setup".to_string(),
+            "retry_backoff".to_string(),
+        ];
+        let run = run_whatif("migrate", &components, 0.5).unwrap();
+        assert!(run.deterministic);
+        let ranked = run.report.ranked();
+        assert_eq!(ranked[0].component, "remote_worker_setup");
+        assert!(ranked[0].delta_percent(run.report.baseline_ns) < -5.0);
+    }
+
+    #[test]
+    fn net_components_sweep_through_the_same_api() {
+        let components = vec!["net.verb_latency".to_string()];
+        let run = run_whatif("shard", &components, 2.0).unwrap();
+        // Slowing every message leg must slow the run.
+        assert!(run.report.entries[0].delta_ns(run.report.baseline_ns) > 0);
+    }
+
+    #[test]
+    fn unknown_workload_and_component_error() {
+        assert!(run_whatif("nope", &[], 0.5).is_err());
+        assert!(run_whatif("pingpong", &["bogus".to_string()], 0.5).is_err());
+        assert!(run_whatif("pingpong", &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn full_registry_covers_both_models() {
+        let reg = full_component_registry();
+        assert!(reg.iter().any(|c| c == "retry_backoff"));
+        assert!(reg.iter().any(|c| c == "net.verb_latency"));
+        assert_eq!(
+            reg.len(),
+            CostModel::components().len() + NetConfig::components().len()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! End-to-end tests for the causal profiler and the cross-run differ:
+//! perturbed reruns must be bit-identical when repeated, and a seeded
+//! `forward_handling` slowdown on the shard-bench shape must surface as
+//! `owner_forward` being the top protocol-side mover in `dex-prof diff`.
+
+use dex_check::run_whatif;
+use dex_core::{Cluster, ClusterConfig, CostModel, RunReport};
+use dex_prof::{diff_spans, render_diff, DiffInput};
+
+/// The shard bench's ping-pong shape at smoke size, spans on: two
+/// writers bounce exclusive ownership while a third node pulls read
+/// replicas, so sharded homes route grants through the two-hop
+/// owner-forwarded path.
+fn shard_run(cost: CostModel) -> RunReport {
+    let config = ClusterConfig::new(4)
+        .with_cost(cost)
+        .with_directory_shards(4)
+        .with_spans();
+    Cluster::new(config).run(|p| {
+        let v = p.alloc_vec_aligned::<u64>(4 * 512, "shard_pingpong");
+        p.spawn(move |ctx| {
+            ctx.set_site("test.shard");
+            ctx.migrate(1).expect("node 1 exists");
+            for page in 0..4 {
+                v.set(ctx, page * 512, page as u64);
+            }
+            for round in 0..3usize {
+                ctx.migrate(3).expect("node 3 exists");
+                for page in 0..4 {
+                    let _ = v.get(ctx, page * 512);
+                }
+                let writer = if round % 2 == 0 { 2 } else { 1 };
+                ctx.migrate(writer).expect("writer node exists");
+                for page in 0..4 {
+                    v.set(ctx, page * 512, round as u64);
+                }
+            }
+        });
+    })
+}
+
+#[test]
+fn perturbed_reruns_are_bit_identical() {
+    let components = vec![
+        "forward_handling".to_string(),
+        "net.verb_latency".to_string(),
+    ];
+    let a = run_whatif("shard", &components, 2.0).expect("sweep");
+    let b = run_whatif("shard", &components, 2.0).expect("sweep");
+    assert!(a.deterministic, "baseline rerun drifted");
+    assert!(b.deterministic, "baseline rerun drifted");
+    assert_eq!(a.report.baseline_ns, b.report.baseline_ns);
+    for (ea, eb) in a.report.entries.iter().zip(&b.report.entries) {
+        assert_eq!(ea.component, eb.component);
+        assert_eq!(
+            ea.perturbed_ns, eb.perturbed_ns,
+            "perturbed rerun of {} must be bit-identical when repeated",
+            ea.component
+        );
+    }
+}
+
+#[test]
+fn seeded_forward_slowdown_names_owner_forward_as_top_mover() {
+    let base = shard_run(CostModel::default());
+    let mut slow = CostModel::default();
+    slow.perturb("forward_handling", 4.0)
+        .expect("known component");
+    let cand = shard_run(slow);
+
+    let diff = diff_spans(&base.spans, &cand.spans);
+    // Among the protocol/handler span kinds, the slowed path must rank
+    // first (fault/migration totals may out-delta it in absolute terms —
+    // they contain it).
+    let protocol = [
+        "owner_forward",
+        "invalidate_batch",
+        "directory_handling",
+        "invalidation",
+        "page_fixup",
+        "fault_retry",
+    ];
+    let top_protocol = diff
+        .per_kind
+        .iter()
+        .find(|r| protocol.contains(&r.key.as_str()))
+        .expect("a protocol span kind moved");
+    assert_eq!(
+        top_protocol.key,
+        "owner_forward",
+        "expected the seeded forward_handling slowdown to surface as owner_forward; \
+         per-kind rows: {:?}",
+        diff.per_kind
+            .iter()
+            .map(|r| (r.key.as_str(), r.delta_ns()))
+            .collect::<Vec<_>>()
+    );
+    let ratio = top_protocol.ratio().expect("forwards ran in the baseline");
+    assert!(
+        ratio > 2.0,
+        "a 4x forward_handling slowdown must show up as a large ratio, got {ratio:.2}"
+    );
+
+    // The rendered report names the mover and the nodes it moved on.
+    let text = render_diff(
+        &DiffInput::Spans(base.spans),
+        &DiffInput::Spans(cand.spans),
+        16,
+    )
+    .expect("same artifact kinds");
+    assert!(text.contains("owner_forward @ node"), "{text}");
+    assert!(text.contains("slower"), "{text}");
+}

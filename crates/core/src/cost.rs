@@ -117,10 +117,129 @@ impl Default for CostModel {
     }
 }
 
+/// The tunable components of the [`CostModel`], by registry name — the
+/// sweep surface of the `dex-check whatif` causal profiler. Every timed
+/// field is listed; structural knobs (`cores_per_node`,
+/// `coalesce_faults`, `zero_page_optimization`) are deliberately absent
+/// because a multiplicative factor has no meaning for them.
+pub const COST_COMPONENTS: &[&str] = &[
+    "ns_per_op",
+    "fault_entry",
+    "fault_fixup",
+    "protocol_handling",
+    "retry_backoff",
+    "forward_handling",
+    "context_capture_first",
+    "context_capture_next",
+    "remote_worker_setup",
+    "thread_fork",
+    "context_install",
+    "worker_reuse",
+    "backward_capture",
+    "backward_update",
+    "fault_watch_interval",
+    "fault_watch_cap",
+    "mem_bandwidth",
+];
+
 impl CostModel {
     /// Virtual time for `ops` abstract compute operations.
     pub fn compute_time(&self, ops: u64) -> SimDuration {
         SimDuration::from_nanos((ops as f64 * self.ns_per_op).ceil() as u64)
+    }
+
+    /// The registry of perturbable component names, in declaration order.
+    pub fn components() -> &'static [&'static str] {
+        COST_COMPONENTS
+    }
+
+    /// Scales one named component's *time cost* by `factor` — the
+    /// virtual-speedup primitive of Coz-style causal profiling. A factor
+    /// of `0.5` makes the component twice as fast, `2.0` twice as slow.
+    /// Bandwidth components are inverted (halving the cost doubles the
+    /// bandwidth) so `factor` always reads as "what happens to the time
+    /// this component charges".
+    ///
+    /// Errors on an unknown component name or a non-finite/non-positive
+    /// factor; the model is unchanged on error.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dex_core::CostModel;
+    ///
+    /// let mut cost = CostModel::default();
+    /// let before = cost.retry_backoff;
+    /// cost.perturb("retry_backoff", 0.5).unwrap();
+    /// assert_eq!(cost.retry_backoff.as_nanos(), before.as_nanos() / 2);
+    /// assert!(cost.perturb("no_such_component", 0.5).is_err());
+    /// ```
+    pub fn perturb(&mut self, component: &str, factor: f64) -> Result<(), String> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(format!(
+                "perturbation factor must be finite and positive, got {factor}"
+            ));
+        }
+        let scale = |d: &mut SimDuration| {
+            *d = SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64);
+        };
+        match component {
+            "ns_per_op" => self.ns_per_op *= factor,
+            "fault_entry" => scale(&mut self.fault_entry),
+            "fault_fixup" => scale(&mut self.fault_fixup),
+            "protocol_handling" => scale(&mut self.protocol_handling),
+            "retry_backoff" => scale(&mut self.retry_backoff),
+            "forward_handling" => scale(&mut self.forward_handling),
+            "context_capture_first" => scale(&mut self.context_capture_first),
+            "context_capture_next" => scale(&mut self.context_capture_next),
+            "remote_worker_setup" => scale(&mut self.remote_worker_setup),
+            "thread_fork" => scale(&mut self.thread_fork),
+            "context_install" => scale(&mut self.context_install),
+            "worker_reuse" => scale(&mut self.worker_reuse),
+            "backward_capture" => scale(&mut self.backward_capture),
+            "backward_update" => scale(&mut self.backward_update),
+            "fault_watch_interval" => scale(&mut self.fault_watch_interval),
+            "fault_watch_cap" => scale(&mut self.fault_watch_cap),
+            "mem_bandwidth" => {
+                // Time per byte is 1/bandwidth: scaling the cost by
+                // `factor` divides the bandwidth by it.
+                self.mem_bandwidth_bytes_per_sec =
+                    ((self.mem_bandwidth_bytes_per_sec as f64 / factor).round() as u64).max(1);
+            }
+            other => {
+                return Err(format!(
+                    "unknown cost component `{other}` (known: {})",
+                    COST_COMPONENTS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The current magnitude of one component, in the unit `perturb`
+    /// scales (nanoseconds for durations, ns/op for `ns_per_op`,
+    /// ns-per-KiB for `mem_bandwidth`). `None` for unknown names.
+    pub fn component_magnitude(&self, component: &str) -> Option<f64> {
+        Some(match component {
+            "ns_per_op" => self.ns_per_op,
+            "fault_entry" => self.fault_entry.as_nanos() as f64,
+            "fault_fixup" => self.fault_fixup.as_nanos() as f64,
+            "protocol_handling" => self.protocol_handling.as_nanos() as f64,
+            "retry_backoff" => self.retry_backoff.as_nanos() as f64,
+            "forward_handling" => self.forward_handling.as_nanos() as f64,
+            "context_capture_first" => self.context_capture_first.as_nanos() as f64,
+            "context_capture_next" => self.context_capture_next.as_nanos() as f64,
+            "remote_worker_setup" => self.remote_worker_setup.as_nanos() as f64,
+            "thread_fork" => self.thread_fork.as_nanos() as f64,
+            "context_install" => self.context_install.as_nanos() as f64,
+            "worker_reuse" => self.worker_reuse.as_nanos() as f64,
+            "backward_capture" => self.backward_capture.as_nanos() as f64,
+            "backward_update" => self.backward_update.as_nanos() as f64,
+            "fault_watch_interval" => self.fault_watch_interval.as_nanos() as f64,
+            "fault_watch_cap" => self.fault_watch_cap.as_nanos() as f64,
+            "mem_bandwidth" => 4096.0 * 1e9 / self.mem_bandwidth_bytes_per_sec as f64,
+            _ => return None,
+        })
     }
 }
 
@@ -152,6 +271,45 @@ mod tests {
         let c = CostModel::default();
         let total = c.worker_reuse + c.thread_fork + c.context_install;
         assert_eq!(total, SimDuration::from_micros(230));
+    }
+
+    #[test]
+    fn every_registered_component_perturbs_and_reports() {
+        for &name in CostModel::components() {
+            let mut c = CostModel::default();
+            let before = c.component_magnitude(name).unwrap();
+            assert!(before > 0.0, "{name} magnitude must be positive");
+            c.perturb(name, 2.0).unwrap();
+            let after = c.component_magnitude(name).unwrap();
+            // Doubling the cost roughly doubles the reported magnitude
+            // (rounding to whole nanoseconds allows small error).
+            let ratio = after / before;
+            assert!(
+                (ratio - 2.0).abs() < 0.01,
+                "{name}: {before} -> {after} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn perturb_rejects_bad_input() {
+        let mut c = CostModel::default();
+        assert!(c.perturb("bogus", 0.5).is_err());
+        assert!(c.perturb("retry_backoff", 0.0).is_err());
+        assert!(c.perturb("retry_backoff", -1.0).is_err());
+        assert!(c.perturb("retry_backoff", f64::NAN).is_err());
+        assert!(c.perturb("retry_backoff", f64::INFINITY).is_err());
+        assert_eq!(c.retry_backoff, CostModel::default().retry_backoff);
+        assert!(c.component_magnitude("bogus").is_none());
+    }
+
+    #[test]
+    fn bandwidth_perturb_inverts() {
+        // Slowing memory by 2x halves the bandwidth; cost reads as time.
+        let mut c = CostModel::default();
+        let before = c.mem_bandwidth_bytes_per_sec;
+        c.perturb("mem_bandwidth", 2.0).unwrap();
+        assert_eq!(c.mem_bandwidth_bytes_per_sec, before / 2);
     }
 
     #[test]

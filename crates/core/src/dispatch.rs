@@ -528,6 +528,9 @@ pub(crate) fn apply_origin_actions(
                         crate::directory::Requester::Local { req_id } => (home, req_id),
                     };
                     shared.stats.counters.incr("protocol.forwards");
+                    if let Some(m) = &shared.metrics {
+                        m.node(home).incr("protocol.forwards");
+                    }
                     sends.push((
                         to,
                         DexMsg::OwnerForward {
@@ -721,6 +724,9 @@ fn handle_owner_forward(
         }
     };
     shared.stats.counters.incr("protocol.forwards_serviced");
+    if let Some(m) = &shared.metrics {
+        m.node(node).incr("protocol.forwards_serviced");
+    }
     let out = handling.map_or(span, |id| SpanContext(id.0));
     endpoint.send_traced(
         ctx,
@@ -749,7 +755,7 @@ fn handle_owner_forward(
         shared.spans.record(Span {
             id,
             parent: SpanId(span.0),
-            kind: SpanKind::DirectoryHandling,
+            kind: SpanKind::OwnerForward,
             node,
             task: PROTOCOL_TASK,
             start: t0,
@@ -849,11 +855,14 @@ fn handle_invalidate_batch(
         acks.push((vpn, data));
     }
     shared.stats.counters.incr("protocol.invalidate_batches");
+    if let Some(m) = &shared.metrics {
+        m.node(node).incr("protocol.invalidate_batches");
+    }
     if let Some(id) = inval {
         shared.spans.record(Span {
             id,
             parent: SpanId(span.0),
-            kind: SpanKind::Invalidation,
+            kind: SpanKind::InvalidateBatch,
             node,
             task: PROTOCOL_TASK,
             start: t0,

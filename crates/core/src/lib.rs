@@ -69,7 +69,7 @@ mod thread;
 mod trace;
 
 pub use cluster::{Cluster, ClusterConfig, ClusterHandle, DexProcess, DexStats, RunReport};
-pub use cost::CostModel;
+pub use cost::{CostModel, COST_COMPONENTS};
 pub use directory::model;
 pub use directory::{DirAction, DirStats, Directory, NodeSet, Requester};
 pub use handle::{DsmCell, DsmMatrix, DsmScalar, DsmVec, ProcessRef};

@@ -75,6 +75,12 @@ pub enum SpanKind {
     PageFixup,
     /// A sharer handling an invalidation (possibly flushing data).
     Invalidation,
+    /// The current owner servicing a grant the sharded home forwarded to
+    /// it (two-hop ownership transfer, PR 9).
+    OwnerForward,
+    /// A destination node handling one batched invalidation fan-out
+    /// message (`InvalidateBatch`, possibly flushing several pages).
+    InvalidateBatch,
     /// A forward migration, origin side end to end.
     MigrationForward,
     /// One remote-side phase of a migration (worker setup, fork, ...).
@@ -103,6 +109,8 @@ impl SpanKind {
             SpanKind::DirectoryHandling => "directory_handling",
             SpanKind::PageFixup => "page_fixup",
             SpanKind::Invalidation => "invalidation",
+            SpanKind::OwnerForward => "owner_forward",
+            SpanKind::InvalidateBatch => "invalidate_batch",
             SpanKind::MigrationForward => "migration_forward",
             SpanKind::MigrationPhase => "migration_phase",
             SpanKind::MigrationBack => "migration_back",
@@ -123,6 +131,8 @@ impl SpanKind {
             "directory_handling" => SpanKind::DirectoryHandling,
             "page_fixup" => SpanKind::PageFixup,
             "invalidation" => SpanKind::Invalidation,
+            "owner_forward" => SpanKind::OwnerForward,
+            "invalidate_batch" => SpanKind::InvalidateBatch,
             "migration_forward" => SpanKind::MigrationForward,
             "migration_phase" => SpanKind::MigrationPhase,
             "migration_back" => SpanKind::MigrationBack,
@@ -421,6 +431,8 @@ mod tests {
             SpanKind::DirectoryHandling,
             SpanKind::PageFixup,
             SpanKind::Invalidation,
+            SpanKind::OwnerForward,
+            SpanKind::InvalidateBatch,
             SpanKind::MigrationForward,
             SpanKind::MigrationPhase,
             SpanKind::MigrationBack,

@@ -736,6 +736,9 @@ impl<'a> ThreadCtx<'a> {
                         // its async ownership ack.
                         opened_txn = true;
                         shared.stats.counters.incr("protocol.forwards");
+                        if let Some(m) = &shared.metrics {
+                            m.node(node).incr("protocol.forwards");
+                        }
                         sends.push((
                             *to,
                             DexMsg::OwnerForward {
@@ -1177,6 +1180,10 @@ impl<'a> ThreadCtx<'a> {
         }
         shared.stats.counters.add("prefetch.pages", granted);
         shared.stats.counters.add("prefetch.denied", denied);
+        if let Some(m) = &shared.metrics {
+            m.node(node).add("prefetch.pages", granted);
+            m.node(node).add("prefetch.denied", denied);
+        }
     }
 
     /// Picks the thread up off its fail-stopped node and re-homes it to

@@ -79,10 +79,79 @@ impl Default for NetConfig {
     }
 }
 
+/// The tunable timing components of the [`NetConfig`], by registry
+/// name — the fabric half of the `dex-check whatif` sweep surface.
+/// Names carry a `net.` prefix so they never collide with
+/// `CostModel` components in a combined registry. Sizing knobs
+/// (pool chunk counts, strategy) are structural, not scalable, and
+/// are deliberately absent.
+pub const NET_COMPONENTS: &[&str] = &[
+    "net.verb_latency",
+    "net.rdma_extra_latency",
+    "net.bandwidth",
+    "net.memcpy_bandwidth",
+    "net.dma_map_cost",
+    "net.mr_register_cost",
+];
+
 impl NetConfig {
     /// The paper's testbed: 56 Gb/s FDR InfiniBand (same as `default()`).
     pub fn infiniband_56g() -> Self {
         NetConfig::default()
+    }
+
+    /// The registry of perturbable component names, in declaration order.
+    pub fn components() -> &'static [&'static str] {
+        NET_COMPONENTS
+    }
+
+    /// Scales one named component's *time cost* by `factor`, mirroring
+    /// `CostModel::perturb`: latencies are multiplied, bandwidths divided
+    /// (so `factor` always reads as "what happens to the time this
+    /// component charges"). Errors on unknown names or non-finite /
+    /// non-positive factors; the config is unchanged on error.
+    pub fn perturb(&mut self, component: &str, factor: f64) -> Result<(), String> {
+        if !factor.is_finite() || factor <= 0.0 {
+            return Err(format!(
+                "perturbation factor must be finite and positive, got {factor}"
+            ));
+        }
+        let scale = |d: &mut SimDuration| {
+            *d = SimDuration::from_nanos((d.as_nanos() as f64 * factor).round() as u64);
+        };
+        let slow = |b: &mut u64| {
+            *b = ((*b as f64 / factor).round() as u64).max(1);
+        };
+        match component {
+            "net.verb_latency" => scale(&mut self.verb_latency),
+            "net.rdma_extra_latency" => scale(&mut self.rdma_extra_latency),
+            "net.bandwidth" => slow(&mut self.bandwidth_bytes_per_sec),
+            "net.memcpy_bandwidth" => slow(&mut self.memcpy_bytes_per_sec),
+            "net.dma_map_cost" => scale(&mut self.dma_map_cost),
+            "net.mr_register_cost" => scale(&mut self.mr_register_cost),
+            other => {
+                return Err(format!(
+                    "unknown net component `{other}` (known: {})",
+                    NET_COMPONENTS.join(", ")
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// The current magnitude of one component, in the unit `perturb`
+    /// scales (nanoseconds for latencies, ns-per-page for bandwidths).
+    /// `None` for unknown names.
+    pub fn component_magnitude(&self, component: &str) -> Option<f64> {
+        Some(match component {
+            "net.verb_latency" => self.verb_latency.as_nanos() as f64,
+            "net.rdma_extra_latency" => self.rdma_extra_latency.as_nanos() as f64,
+            "net.bandwidth" => 4096.0 * 1e9 / self.bandwidth_bytes_per_sec as f64,
+            "net.memcpy_bandwidth" => 4096.0 * 1e9 / self.memcpy_bytes_per_sec as f64,
+            "net.dma_map_cost" => self.dma_map_cost.as_nanos() as f64,
+            "net.mr_register_cost" => self.mr_register_cost.as_nanos() as f64,
+            _ => return None,
+        })
     }
 
     /// A 1990s-DSM-era fabric: 100 Mb/s switched Ethernet with a kernel
@@ -184,6 +253,49 @@ mod tests {
         assert!(old > 10 * tcp, "100M {old} vs 10G {tcp}");
         assert!(tcp > 3 * ib, "10G {tcp} vs IB {ib}");
         assert!(ib > 3 * next, "IB {ib} vs 400G {next}");
+    }
+
+    #[test]
+    fn every_net_component_perturbs_and_reports() {
+        for &name in NetConfig::components() {
+            let mut cfg = NetConfig::default();
+            let before = cfg.component_magnitude(name).unwrap();
+            assert!(before > 0.0, "{name} magnitude must be positive");
+            cfg.perturb(name, 2.0).unwrap();
+            let after = cfg.component_magnitude(name).unwrap();
+            let ratio = after / before;
+            assert!(
+                (ratio - 2.0).abs() < 0.01,
+                "{name}: {before} -> {after} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn net_perturb_rejects_bad_input() {
+        let mut cfg = NetConfig::default();
+        assert!(cfg.perturb("verb_latency", 0.5).is_err(), "prefix required");
+        assert!(cfg.perturb("net.bandwidth", 0.0).is_err());
+        assert!(cfg.perturb("net.bandwidth", f64::NAN).is_err());
+        assert_eq!(
+            cfg.bandwidth_bytes_per_sec,
+            NetConfig::default().bandwidth_bytes_per_sec
+        );
+    }
+
+    #[test]
+    fn net_bandwidth_perturb_inverts() {
+        let mut cfg = NetConfig::default();
+        cfg.perturb("net.bandwidth", 2.0).unwrap();
+        assert_eq!(
+            cfg.bandwidth_bytes_per_sec,
+            NetConfig::default().bandwidth_bytes_per_sec / 2
+        );
+        // Wire time for a page doubled.
+        assert_eq!(
+            cfg.wire_time(4096).as_nanos(),
+            2 * NetConfig::default().wire_time(4096).as_nanos() - 1,
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod metrics;
 mod pool;
 mod series;
 
-pub use config::{NetConfig, RdmaStrategy};
+pub use config::{NetConfig, RdmaStrategy, NET_COMPONENTS};
 pub use fabric::{Delivery, Endpoint, Fabric, NodeId, SpanContext, WireMessage, HEADER_BYTES};
 pub use metrics::{
     HistogramStats, HistogramSummary, LinkMetrics, MetricsRegistry, MetricsSnapshot,

@@ -50,6 +50,40 @@ pub fn migration_phases(spans: &[Span]) -> Vec<PhaseStat> {
     by_label.into_values().collect()
 }
 
+/// Aggregates the protocol-side span kinds — directory handling,
+/// owner-forwarded grants, batched and unicast invalidations, fixups,
+/// retries — into one (kind, label) table, so the two-hop path of the
+/// sharded directory gets its own rows instead of vanishing into the
+/// fault trees. Returns `(kind, label, stat)` rows in kind/label order.
+pub fn protocol_path_breakdown(spans: &[Span]) -> Vec<(SpanKind, PhaseStat)> {
+    let mut by_key: BTreeMap<(&'static str, &'static str), (SpanKind, PhaseStat)> = BTreeMap::new();
+    for s in spans.iter().filter(|s| {
+        matches!(
+            s.kind,
+            SpanKind::DirectoryHandling
+                | SpanKind::OwnerForward
+                | SpanKind::InvalidateBatch
+                | SpanKind::Invalidation
+                | SpanKind::PageFixup
+                | SpanKind::FaultRetry
+        )
+    }) {
+        let e = by_key.entry((s.kind.as_str(), s.label)).or_insert_with(|| {
+            (
+                s.kind,
+                PhaseStat {
+                    label: s.label,
+                    count: 0,
+                    total_ns: 0,
+                },
+            )
+        });
+        e.1.count += 1;
+        e.1.total_ns += s.duration().as_nanos();
+    }
+    by_key.into_values().collect()
+}
+
 /// One node of a rendered fault tree.
 struct TreeNode<'a> {
     span: &'a Span,
@@ -164,6 +198,21 @@ pub fn render_critical_path(spans: &[Span], top: usize) -> String {
         );
     }
 
+    let protocol = protocol_path_breakdown(spans);
+    if !protocol.is_empty() {
+        let _ = writeln!(out, "\n-- protocol path breakdown --");
+        for (kind, p) in &protocol {
+            let _ = writeln!(
+                out,
+                "{:<18} {:<24} {:>4} sample(s)  avg {:>8.1} us",
+                kind.as_str(),
+                p.label,
+                p.count,
+                p.mean_us(),
+            );
+        }
+    }
+
     let phases = migration_phases(spans);
     let _ = writeln!(out, "\n-- migration phases (Table II shape) --");
     if phases.is_empty() {
@@ -256,6 +305,53 @@ mod tests {
             report.contains("unattributed wire/queue/handler time: 8.0 us of 10.0 us"),
             "2 us of 10 attributed, 8 unattributed:\n{report}"
         );
+    }
+
+    #[test]
+    fn forwarded_path_gets_named_rows_not_other() {
+        // A sharded-directory fault: home forwards to the owner, the
+        // owner services the grant, readers are revoked in one batch.
+        let spans = vec![
+            span(1, 0, SpanKind::Fault, "write_fault", 0, 20_000),
+            span(
+                2,
+                1,
+                SpanKind::DirectoryHandling,
+                "page_request_write",
+                3_000,
+                4_000,
+            ),
+            span(
+                3,
+                2,
+                SpanKind::OwnerForward,
+                "owner_forward_write",
+                7_000,
+                9_500,
+            ),
+            span(
+                4,
+                2,
+                SpanKind::InvalidateBatch,
+                "invalidate_batch_flush",
+                7_000,
+                11_000,
+            ),
+        ];
+        let rows = protocol_path_breakdown(&spans);
+        let fwd = rows
+            .iter()
+            .find(|(k, _)| *k == SpanKind::OwnerForward)
+            .expect("owner_forward has its own row");
+        assert_eq!(fwd.1.label, "owner_forward_write");
+        assert_eq!(fwd.1.count, 1);
+        assert!((fwd.1.mean_us() - 2.5).abs() < 1e-9);
+        assert!(rows.iter().any(|(k, _)| *k == SpanKind::InvalidateBatch));
+
+        let report = render_critical_path(&spans, 5);
+        assert!(report.contains("protocol path breakdown"), "{report}");
+        assert!(report.contains("owner_forward"), "{report}");
+        assert!(report.contains("invalidate_batch"), "{report}");
     }
 
     #[test]

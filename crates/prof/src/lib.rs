@@ -43,15 +43,23 @@
 mod analyze;
 pub mod codec;
 mod critical_path;
+pub mod diff;
 mod report;
 pub mod series_codec;
 pub mod span_codec;
 mod timeline;
 mod top;
+pub mod whatif;
 
 pub use analyze::{FalseSharingSuspect, NodeTraffic, PageStat, Profile, SiteStat};
 pub use codec::{decode_trace, decode_trace_with_dropped, encode_trace, encode_trace_with_dropped};
-pub use critical_path::{migration_phases, render_critical_path, PhaseStat};
+pub use critical_path::{
+    migration_phases, protocol_path_breakdown, render_critical_path, PhaseStat,
+};
+pub use diff::{
+    bench_numeric_fields, diff_bench, diff_series, diff_spans, render_diff, sniff_and_decode,
+    DiffInput, DiffRow, SpanDiff,
+};
 pub use report::{render_report, ReportOptions};
 pub use series_codec::{decode_series, encode_series};
 pub use span_codec::{
@@ -59,3 +67,4 @@ pub use span_codec::{
 };
 pub use timeline::{export_chrome_trace, export_chrome_trace_with_series};
 pub use top::render_top;
+pub use whatif::{decode_whatif, encode_whatif, render_whatif, WhatIfEntry, WhatIfReport};

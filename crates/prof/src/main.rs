@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dex-prof top [FILE] [--window N]
+//! dex-prof diff BASELINE CANDIDATE [--top N]
 //! ```
 //!
 //! `top` renders one window of a `# dex-series v1` telemetry time-series
@@ -10,20 +11,26 @@
 //! sharing demo workload with telemetry enabled and renders its final
 //! window, health alarms included.
 //!
+//! `diff` aligns two runs' artifacts — span traces, series, or
+//! `BENCH_*.json` results, sniffed by header — and reports where the
+//! virtual time moved: per span kind, per node, per link, and along the
+//! slowest fault's critical path.
+//!
 //! Exit status: `0` on success, `1` when the rendered window carries
 //! health alarms (live mode), `2` on usage or I/O errors.
 
 use std::process::ExitCode;
 
 use dex_core::{Cluster, ClusterConfig, DsmCell};
-use dex_prof::{decode_series, render_top};
+use dex_prof::{decode_series, render_diff, render_top, sniff_and_decode};
 use dex_sim::SimDuration;
 
 const USAGE: &str = "\
-dex-prof — telemetry dashboard for DEX runs
+dex-prof — telemetry dashboard and cross-run differ for DEX runs
 
 USAGE:
   dex-prof top [FILE] [--window N]
+  dex-prof diff BASELINE CANDIDATE [--top N]
 
 SUBCOMMANDS:
   top      render one window of a `# dex-series v1` time-series as a
@@ -31,9 +38,14 @@ SUBCOMMANDS:
            quantiles). FILE is a series text file; without it, the
            built-in sharing demo runs live with telemetry and the final
            window is rendered together with its health alarms.
+  diff     align two artifacts of the same kind — `# dex-spans v1` span
+           traces, `# dex-series v1` series, or `dex-bench v1` JSON
+           results (format sniffed from the first line) — and report
+           where virtual time moved, top movers first.
 
 OPTIONS:
-  --window N   render window N instead of the last one
+  --window N   (top) render window N instead of the last one
+  --top N      (diff) rows per section (default 12)
 ";
 
 fn main() -> ExitCode {
@@ -47,6 +59,7 @@ fn main() -> ExitCode {
     };
     let result = match cmd {
         "top" => cmd_top(rest),
+        "diff" => cmd_diff(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -95,6 +108,36 @@ fn cmd_top(args: &[String]) -> Result<bool, String> {
             Ok(report.health.is_empty())
         }
     }
+}
+
+fn cmd_diff(args: &[String]) -> Result<bool, String> {
+    let mut files: Vec<&str> = Vec::new();
+    let mut top: usize = 12;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--top" => {
+                let v = it.next().ok_or("--top needs a value")?;
+                top = v.parse().map_err(|_| format!("`{v}` is not a number"))?;
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}` for `diff`\n\n{USAGE}"))
+            }
+            path => files.push(path),
+        }
+    }
+    let [baseline, candidate] = files[..] else {
+        return Err(format!(
+            "diff needs exactly two files (baseline, candidate)\n\n{USAGE}"
+        ));
+    };
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        sniff_and_decode(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let report = render_diff(&load(baseline)?, &load(candidate)?, top.max(1))?;
+    print!("{report}");
+    Ok(true)
 }
 
 /// The live demo: two nodes alternately writing one cell — enough

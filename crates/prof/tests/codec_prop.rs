@@ -9,8 +9,9 @@ use dex_os::{Tid, VirtAddr};
 use dex_prof::codec::intern_site;
 use dex_prof::{
     decode_series, decode_spans, decode_spans_with_dropped, decode_trace,
-    decode_trace_with_dropped, encode_series, encode_spans, encode_spans_with_dropped,
-    encode_trace, encode_trace_with_dropped,
+    decode_trace_with_dropped, decode_whatif, encode_series, encode_spans,
+    encode_spans_with_dropped, encode_trace, encode_trace_with_dropped, encode_whatif, WhatIfEntry,
+    WhatIfReport,
 };
 use dex_sim::{SimDuration, SimTime};
 use proptest::prelude::*;
@@ -49,6 +50,8 @@ fn span_kind() -> impl Strategy<Value = SpanKind> {
         Just(SpanKind::DirectoryHandling),
         Just(SpanKind::PageFixup),
         Just(SpanKind::Invalidation),
+        Just(SpanKind::OwnerForward),
+        Just(SpanKind::InvalidateBatch),
         Just(SpanKind::MigrationForward),
         Just(SpanKind::MigrationPhase),
         Just(SpanKind::MigrationBack),
@@ -145,6 +148,40 @@ fn arb_series() -> impl Strategy<Value = TimeSeries> {
         })
 }
 
+/// A hostile string that may additionally lead with `#` — the comment
+/// marker the what-if codec must not confuse with a data row.
+fn hostile_component() -> impl Strategy<Value = String> {
+    (any::<bool>(), hostile_string()).prop_map(|(hash, s)| if hash { format!("#{s}") } else { s })
+}
+
+/// A finite positive factor; `f64::Display` is shortest-round-trip, so
+/// any such value must decode back to the identical bits.
+fn arb_factor() -> impl Strategy<Value = f64> {
+    (1u64..=1_000_000_000, 1u64..=1_000_000_000).prop_map(|(num, den)| num as f64 / den as f64)
+}
+
+fn arb_whatif() -> impl Strategy<Value = WhatIfReport> {
+    (
+        hostile_component(),
+        any::<u64>(),
+        proptest::collection::vec(
+            (hostile_component(), arb_factor(), any::<u64>()).prop_map(
+                |(component, factor, perturbed_ns)| WhatIfEntry {
+                    component,
+                    factor,
+                    perturbed_ns,
+                },
+            ),
+            0..20,
+        ),
+    )
+        .prop_map(|(workload, baseline_ns, entries)| WhatIfReport {
+            workload,
+            baseline_ns,
+            entries,
+        })
+}
+
 /// Arbitrary (often invalid-UTF-8) bytes, decoded lossily.
 fn arb_text() -> impl Strategy<Value = String> {
     proptest::collection::vec(any::<u8>(), 0..200)
@@ -204,10 +241,24 @@ proptest! {
     }
 
     #[test]
+    fn whatif_round_trips(report in arb_whatif()) {
+        let decoded = decode_whatif(&encode_whatif(&report)).unwrap();
+        prop_assert_eq!(&decoded.workload, &report.workload);
+        prop_assert_eq!(decoded.baseline_ns, report.baseline_ns);
+        prop_assert_eq!(decoded.entries.len(), report.entries.len());
+        for (a, b) in report.entries.iter().zip(&decoded.entries) {
+            prop_assert_eq!(&a.component, &b.component);
+            prop_assert_eq!(a.factor.to_bits(), b.factor.to_bits());
+            prop_assert_eq!(a.perturbed_ns, b.perturbed_ns);
+        }
+    }
+
+    #[test]
     fn arbitrary_text_never_panics_the_decoders(text in arb_text()) {
         let _ = decode_trace(&text);
         let _ = decode_spans(&text);
         let _ = decode_series(&text);
+        let _ = decode_whatif(&text);
     }
 
     #[test]
@@ -223,6 +274,8 @@ proptest! {
         prop_assert!(decode_series(&wrong_series).is_err());
         let swapped_series = format!("# dex-spans v1\n{body}");
         prop_assert!(decode_series(&swapped_series).is_err());
+        let wrong_whatif = format!("# dex-whatif v2\n{body}");
+        prop_assert!(decode_whatif(&wrong_whatif).is_err());
     }
 }
 
